@@ -1,0 +1,48 @@
+// Extension benchmark: scaling the hybrid executor across multiple virtual
+// GPUs (the paper's future-work direction).  Expected: near-linear scaling
+// while the aggregate GPU throughput stays below the problem's transfer-
+// bound optimum; the CPU's share shrinks as D grows.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/multi_gpu.hpp"
+
+int main() {
+  using namespace oocgemm;
+  bench::PrintHeader(
+      "Extension - multi-GPU hybrid scaling",
+      "IPDPS'21 Sec. VII (future work: scaling to arbitrarily large matrices)",
+      "speedup grows with device count, sublinearly (per-device pipeline "
+      "edges and the fixed CPU)");
+
+  bench::BenchContext ctx;
+  TablePrinter table({"matrix", "1 GPU", "2 GPUs", "4 GPUs", "2-GPU speedup",
+                      "4-GPU speedup"});
+  for (const auto& spec : sparse::PaperMatrices(bench::kBenchScaleShift)) {
+    sparse::Csr a = spec.build();
+    std::vector<double> gflops;
+    for (int num_devices : {1, 2, 4}) {
+      std::vector<std::unique_ptr<vgpu::Device>> storage;
+      std::vector<vgpu::Device*> devices;
+      for (int d = 0; d < num_devices; ++d) {
+        storage.push_back(
+            std::make_unique<vgpu::Device>(bench::BenchDeviceProperties()));
+        devices.push_back(storage.back().get());
+      }
+      auto r = core::MultiGpuHybrid(devices, a, a, ctx.options, ctx.pool);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s x%d failed: %s\n", spec.abbr.c_str(),
+                     num_devices, r.status().ToString().c_str());
+        return 1;
+      }
+      gflops.push_back(r->stats.combined.gflops());
+    }
+    table.AddRow({spec.abbr, Fixed(gflops[0], 3), Fixed(gflops[1], 3),
+                  Fixed(gflops[2], 3), Fixed(gflops[1] / gflops[0], 2) + "x",
+                  Fixed(gflops[2] / gflops[0], 2) + "x"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 10: hybrid GFLOPS as a function of the GPU flop ratio, for two
+// representative matrices.  Paper: GFLOPS rises with the ratio, peaks near
+// 65%, then drops as the CPU idles.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace oocgemm;
+  bench::PrintHeader(
+      "Fig. 10 - hybrid GFLOPS vs GPU/CPU allocation ratio",
+      "IPDPS'21 Sec. V-E, Fig. 10",
+      "rises to a peak near ratio 0.65, then falls toward the GPU-only rate");
+
+  bench::BenchContext ctx;
+  const char* matrices[] = {"com-lj", "nlp"};
+  for (const char* abbr : matrices) {
+    sparse::DatasetSpec spec =
+        sparse::PaperMatrix(abbr, bench::kBenchScaleShift);
+    sparse::Csr a = spec.build();
+    std::printf("-- %s --\n", spec.abbr.c_str());
+    TablePrinter table({"ratio", "GFLOPS", "gpu chunks", "cpu chunks",
+                        "gpu time", "cpu time"});
+    double best_gflops = 0.0, best_ratio = 0.0;
+    for (int pct = 35; pct <= 95; pct += 5) {
+      core::ExecutorOptions options = ctx.options;
+      options.gpu_ratio = pct / 100.0;
+      vgpu::Device device(bench::BenchDeviceProperties());
+      auto r = core::Hybrid(device, a, a, options, ctx.pool);
+      if (!r.ok()) {
+        std::fprintf(stderr, "ratio %d failed: %s\n", pct,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      if (r->stats.gflops() > best_gflops) {
+        best_gflops = r->stats.gflops();
+        best_ratio = options.gpu_ratio;
+      }
+      table.AddRow({Fixed(options.gpu_ratio, 2), Fixed(r->stats.gflops(), 3),
+                    std::to_string(r->stats.num_gpu_chunks),
+                    std::to_string(r->stats.num_cpu_chunks),
+                    HumanSeconds(r->stats.gpu_seconds),
+                    HumanSeconds(r->stats.cpu_seconds)});
+    }
+    table.Print();
+    std::printf("best ratio: %.2f (paper fixes 0.65)\n\n", best_ratio);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 4: percentage of data-transfer time over total execution time for
+// the synchronous, partitioned spECK baseline, per matrix.
+// Paper band: 77.55% - 89.65%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace oocgemm;
+  bench::PrintHeader(
+      "Fig. 4 - transfer-time fraction of synchronous spECK",
+      "IPDPS'21 Sec. IV-A, Fig. 4",
+      "data transfers occupy ~77-90% of the total time on every matrix");
+
+  bench::BenchContext ctx;
+  TablePrinter table({"matrix", "chunks", "total", "d2h busy", "kernels",
+                      "h2d", "alloc", "transfer fraction", "paper band"});
+  for (const auto& spec : sparse::PaperMatrices(bench::kBenchScaleShift)) {
+    sparse::Csr a = spec.build();
+    vgpu::Device device(bench::BenchDeviceProperties());
+    auto r = core::SyncOutOfCore(device, a, a, ctx.options, ctx.pool);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.abbr.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    const core::RunStats& s = r->stats;
+    table.AddRow({spec.abbr, std::to_string(s.num_chunks),
+                  HumanSeconds(s.total_seconds),
+                  HumanSeconds(s.d2h_seconds), HumanSeconds(s.kernel_seconds),
+                  HumanSeconds(s.h2d_seconds), HumanSeconds(s.alloc_seconds),
+                  Fixed(100.0 * s.transfer_fraction, 2) + " %",
+                  "77.6-89.7 %"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks of the real (non-simulated) host
+// kernels: accumulators, partitioners, prefix sums and the CPU SpGEMM.
+// These measure wall-clock throughput of the library's hot loops.
+#include <benchmark/benchmark.h>
+
+#include "common/prefix_sum.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kernels/accumulators.hpp"
+#include "kernels/cpu_spgemm.hpp"
+#include "partition/panels.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace oocgemm;
+
+void BM_HashAccumulatorInsert(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  kernels::HashAccumulator acc;
+  acc.Reserve(n);
+  Pcg32 rng(1);
+  std::vector<sparse::index_t> cols(static_cast<std::size_t>(n));
+  for (auto& c : cols) c = static_cast<sparse::index_t>(rng.Below(1 << 20));
+  for (auto _ : state) {
+    acc.Clear();
+    for (sparse::index_t c : cols) acc.Add(c, 1.0);
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashAccumulatorInsert)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DenseAccumulatorInsert(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  kernels::DenseAccumulator acc;
+  acc.Reserve(1 << 20);
+  Pcg32 rng(1);
+  std::vector<sparse::index_t> cols(static_cast<std::size_t>(n));
+  for (auto& c : cols) c = static_cast<sparse::index_t>(rng.Below(1 << 20));
+  for (auto _ : state) {
+    acc.Clear();
+    for (sparse::index_t c : cols) acc.Add(c, 1.0);
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DenseAccumulatorInsert)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int64_t> counts(n, 3);
+  std::vector<std::int64_t> offsets(n + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExclusiveScan(counts.data(), counts.size(), offsets.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExclusiveScan)->Arg(1 << 12)->Arg(1 << 18)->Arg(1 << 22);
+
+sparse::Csr BenchGraph(int scale) {
+  sparse::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8.0;
+  p.seed = 7;
+  return sparse::GenerateRmat(p);
+}
+
+void BM_PartitionColsNaive(benchmark::State& state) {
+  sparse::Csr b = BenchGraph(12);
+  partition::PanelBoundaries bounds = partition::UniformBoundaries(
+      b.cols(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::PartitionColsNaive(b, bounds));
+  }
+  state.SetItemsProcessed(state.iterations() * b.nnz());
+}
+BENCHMARK(BM_PartitionColsNaive)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PartitionColsOptimized(benchmark::State& state) {
+  sparse::Csr b = BenchGraph(12);
+  partition::PanelBoundaries bounds = partition::UniformBoundaries(
+      b.cols(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::PartitionColsOptimized(b, bounds));
+  }
+  state.SetItemsProcessed(state.iterations() * b.nnz());
+}
+BENCHMARK(BM_PartitionColsOptimized)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CpuSpgemm(benchmark::State& state) {
+  sparse::Csr a = BenchGraph(static_cast<int>(state.range(0)));
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::CpuSpgemm(a, a, pool));
+  }
+}
+BENCHMARK(BM_CpuSpgemm)->Arg(10)->Arg(12);
+
+void BM_ReferenceVsProduction(benchmark::State& state) {
+  // Tracks the production kernel's advantage over the oracle.
+  sparse::Csr a = BenchGraph(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::CpuSpgemmSerial(a, a));
+  }
+}
+BENCHMARK(BM_ReferenceVsProduction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

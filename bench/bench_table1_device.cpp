@@ -1,0 +1,36 @@
+// Table I: Nvidia Tesla V100 specifications — echoed from the virtual
+// device profile, plus the reproduction-scale profile the benches use.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace oocgemm;
+  bench::PrintHeader("Table I - device specification", "IPDPS'21 Table I",
+                     "the virtual device mirrors the V100 configuration");
+
+  auto print_props = [](const vgpu::DeviceProperties& p) {
+    TablePrinter t({"property", "value"});
+    t.AddRow({"GPUs", p.name});
+    t.AddRow({"Architecture", "Volta (virtual)"});
+    t.AddRow({"#SM", std::to_string(p.num_sms)});
+    t.AddRow({"Size of device memory", HumanBytes(p.memory_bytes)});
+    t.AddRow({"FP32 CUDA Cores/GPU", std::to_string(p.fp32_cores)});
+    t.AddRow({"effective H2D bandwidth",
+              HumanBytes(static_cast<std::int64_t>(p.h2d_bandwidth)) + "/s"});
+    t.AddRow({"effective D2H bandwidth",
+              HumanBytes(static_cast<std::int64_t>(p.d2h_bandwidth)) + "/s"});
+    t.AddRow({"kernel launch overhead", HumanSeconds(p.kernel_launch_overhead)});
+    t.AddRow({"transfer latency", HumanSeconds(p.transfer_latency)});
+    t.AddRow({"alloc/free overhead", HumanSeconds(p.alloc_overhead) + " / " +
+                                         HumanSeconds(p.free_overhead)});
+    t.Print();
+    std::printf("\n");
+  };
+
+  std::printf("-- full-scale profile (Table I) --\n");
+  print_props(vgpu::V100Properties());
+  std::printf("-- reproduction-scale profile used by the benches --\n");
+  print_props(bench::BenchDeviceProperties());
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+namespace oocgemm::bench {
+
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_ref.c_str());
+  std::printf("expected shape: %s\n\n", expectation.c_str());
+}
+
+}  // namespace oocgemm::bench

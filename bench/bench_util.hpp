@@ -1,0 +1,42 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary prints one of the paper's tables/figures as a plain
+// text table: paper-reported values (where applicable) next to the values
+// measured on the virtual device.  All runs are deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/thread_pool.hpp"
+#include "core/executors.hpp"
+#include "sparse/datasets.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::bench {
+
+/// Device used by all figure benches: V100 engine/bandwidth model with
+/// memory scaled down with the matrix stand-ins (16 GiB -> 16 MiB), keeping
+/// the paper's "output exceeds device memory by an order of magnitude"
+/// regime — and its chunk counts — at reproduction scale.
+inline vgpu::DeviceProperties BenchDeviceProperties() {
+  return vgpu::ScaledV100Properties(/*mem_shift=*/10);
+}
+
+/// Dataset scale used by the figure benches (0 = the default stand-in
+/// size; see sparse::PaperMatrices).
+inline constexpr int kBenchScaleShift = 0;
+
+struct BenchContext {
+  ThreadPool pool;
+  core::ExecutorOptions options;
+
+  BenchContext() : pool(0) {}
+};
+
+/// Prints the standard bench header naming the figure being reproduced.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation);
+
+}  // namespace oocgemm::bench

@@ -1,0 +1,40 @@
+// Human-readable formatting and a fixed-width table printer shared by every
+// benchmark binary so the emitted tables line up with the paper's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oocgemm {
+
+/// "1.50 GB", "312.00 MB", "17 B" ... (binary prefixes, 1024-based).
+std::string HumanBytes(std::int64_t bytes);
+
+/// "1.23 G", "456.00 M" ... (decimal prefixes) for counts such as flops.
+std::string HumanCount(double count);
+
+/// Seconds with an auto-chosen unit ("1.23 s", "45.6 ms", "789 us").
+std::string HumanSeconds(double seconds);
+
+/// Fixed-point with `digits` decimals.
+std::string Fixed(double v, int digits = 2);
+
+/// Column-aligned plain-text table.  Usage:
+///   TablePrinter t({"matrix", "GFLOPS"}); t.AddRow({"nlp", "2.42"}); t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oocgemm

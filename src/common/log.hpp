@@ -1,0 +1,23 @@
+// Minimal leveled logger.  Off by default above WARNING so benchmark output
+// stays clean; tests and examples can raise verbosity.
+#pragma once
+
+#include <string>
+
+namespace oocgemm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const std::string& message);
+
+#define OOC_LOG(level, msg)                                          \
+  do {                                                               \
+    if (static_cast<int>(::oocgemm::LogLevel::level) >=              \
+        static_cast<int>(::oocgemm::GetLogLevel()))                  \
+      ::oocgemm::LogMessage(::oocgemm::LogLevel::level, (msg));      \
+  } while (0)
+
+}  // namespace oocgemm

@@ -1,0 +1,80 @@
+#include "common/prefix_sum.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+
+namespace oocgemm {
+
+std::int64_t ExclusiveScanInPlace(std::int64_t* io, std::size_t n) {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t v = io[i];
+    io[i] = sum;
+    sum += v;
+  }
+  return sum;
+}
+
+std::int64_t ExclusiveScan(const std::int64_t* counts, std::size_t n,
+                           std::int64_t* offsets) {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i] = sum;
+    sum += counts[i];
+  }
+  offsets[n] = sum;
+  return sum;
+}
+
+std::vector<std::int64_t> ExclusiveScan(const std::vector<std::int64_t>& counts) {
+  std::vector<std::int64_t> offsets(counts.size() + 1);
+  ExclusiveScan(counts.data(), counts.size(), offsets.data());
+  return offsets;
+}
+
+std::int64_t ParallelExclusiveScan(const std::int64_t* counts, std::size_t n,
+                                   std::int64_t* offsets, ThreadPool& pool) {
+  constexpr std::size_t kSerialCutoff = 1 << 14;
+  if (n < kSerialCutoff || pool.num_threads() <= 1) {
+    return ExclusiveScan(counts, n, offsets);
+  }
+  const std::size_t p = pool.num_threads();
+  const std::size_t block = (n + p - 1) / p;
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<std::int64_t> block_sums(num_blocks, 0);
+
+  // Pass 1: local exclusive scans, recording each block's total.
+  pool.ParallelFor(0, num_blocks, [&](std::size_t b0, std::size_t b1,
+                                      std::size_t /*worker*/) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(n, lo + block);
+      std::int64_t sum = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        offsets[i] = sum;
+        sum += counts[i];
+      }
+      block_sums[b] = sum;
+    }
+  });
+
+  // Serial scan of the (tiny) block totals.
+  std::int64_t total = ExclusiveScanInPlace(block_sums.data(), num_blocks);
+
+  // Pass 2: add block bases.
+  pool.ParallelFor(0, num_blocks, [&](std::size_t b0, std::size_t b1,
+                                      std::size_t /*worker*/) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(n, lo + block);
+      const std::int64_t base = block_sums[b];
+      for (std::size_t i = lo; i < hi; ++i) offsets[i] += base;
+    }
+  });
+  offsets[n] = total;
+  return total;
+}
+
+}  // namespace oocgemm

@@ -1,0 +1,33 @@
+// Serial and blocked-parallel prefix sums.
+//
+// Prefix sums are the backbone of CSR construction, panel partitioning and
+// symbolic-to-numeric transitions; the paper parallelizes its column-panel
+// partitioner "in a prefix sum fashion" (Section III-D).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oocgemm {
+
+class ThreadPool;
+
+/// In-place exclusive scan: out[i] = sum of in[0..i).  Returns total sum.
+/// `io` holds counts on entry and offsets on exit; its size is n.
+std::int64_t ExclusiveScanInPlace(std::int64_t* io, std::size_t n);
+
+/// Exclusive scan of `counts` (size n) into `offsets` (size n + 1), with
+/// offsets[n] = total.  The conventional CSR row_offsets construction.
+std::int64_t ExclusiveScan(const std::int64_t* counts, std::size_t n,
+                           std::int64_t* offsets);
+
+/// Overload building the offsets vector (size n + 1).
+std::vector<std::int64_t> ExclusiveScan(const std::vector<std::int64_t>& counts);
+
+/// Blocked two-pass parallel exclusive scan using `pool`; equivalent output
+/// to ExclusiveScan.  Falls back to serial for small n.
+std::int64_t ParallelExclusiveScan(const std::int64_t* counts, std::size_t n,
+                                   std::int64_t* offsets, ThreadPool& pool);
+
+}  // namespace oocgemm

@@ -1,0 +1,95 @@
+// Deterministic, seedable pseudo-random generators.
+//
+// All stochastic components of the library (matrix generators, workload
+// shufflers, property-test sweeps) draw from these generators so that every
+// run, test, and benchmark is bit-reproducible across platforms.  We do not
+// use std::mt19937 / std::uniform_*_distribution because their outputs are
+// not guaranteed identical across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace oocgemm {
+
+/// SplitMix64: tiny, fast, passes BigCrush; used to expand seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (XSH-RR 64/32): the library's main generator.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0x14057b7ef767814full) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  std::uint32_t NextU32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t NextU64() {
+    return (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  std::uint32_t Below(std::uint32_t bound) {
+    OOC_CHECK(bound > 0);
+    std::uint64_t m = static_cast<std::uint64_t>(NextU32()) * bound;
+    std::uint32_t lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(NextU32()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  std::uint64_t Below64(std::uint64_t bound) {
+    OOC_CHECK(bound > 0);
+    // Simple modulo fallback for 64-bit bounds; bias is negligible for the
+    // bounds used in this library (far below 2^63).
+    return NextU64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace oocgemm

@@ -1,0 +1,52 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace oocgemm {
+
+namespace {
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.total = std::accumulate(values.begin(), values.end(), 0.0);
+  s.mean = s.total / static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(m2 / static_cast<double>(values.size()));
+  s.p50 = Percentile(values, 0.50);
+  s.p90 = Percentile(values, 0.90);
+  s.p99 = Percentile(values, 0.99);
+  return s;
+}
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cum += values[i];
+    weighted += values[i] * static_cast<double>(i + 1);
+  }
+  if (cum <= 0.0) return 0.0;
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace oocgemm

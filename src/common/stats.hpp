@@ -1,0 +1,56 @@
+// Small descriptive-statistics helpers for benchmark reporting and for the
+// matrix analyses (degree skew, chunk-size spread) in the evaluation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oocgemm {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;   // population
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double total = 0.0;
+};
+
+/// Computes count/min/max/mean/stddev/percentiles; empty input gives zeros.
+Summary Summarize(std::vector<double> values);
+
+/// Gini coefficient in [0,1] of a non-negative distribution; the skewness
+/// proxy we use to characterize the paper's graph matrices vs the regular
+/// FEM/optimization matrices.
+double GiniCoefficient(std::vector<double> values);
+
+/// Streaming mean/variance (Welford).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace oocgemm

@@ -1,0 +1,151 @@
+// Lightweight error-handling primitives used across the library.
+//
+// Recoverable failures (I/O errors, out-of-device-memory, malformed input)
+// travel through Status / StatusOr<T>.  Programming errors (precondition
+// violations) abort through OOC_CHECK, matching the "fail fast on contract
+// violation" idiom of the C++ Core Guidelines (I.6/E.12).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace oocgemm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IO_ERROR"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier.  An engaged message is only present for
+/// non-OK statuses.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfMemory(std::string m) {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Either a value or a non-OK Status.  Minimal std::expected stand-in.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}                 // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}         // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    require_value();
+    return *value_;
+  }
+  const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  T&& value() && {
+    require_value();
+    return std::move(*value_);
+  }
+  T* operator->() {
+    require_value();
+    return &*value_;
+  }
+  const T* operator->() const {
+    require_value();
+    return &*value_;
+  }
+
+ private:
+  void require_value() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "StatusOr accessed without value: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "OOC_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+/// Contract check active in every build type (unlike assert).
+#define OOC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::oocgemm::detail::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define OOC_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::oocgemm::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace oocgemm

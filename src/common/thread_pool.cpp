@@ -1,0 +1,93 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/status.hpp"
+
+namespace oocgemm {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(std::size_t /*worker_index*/) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t min_grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t p = num_threads();
+  min_grain = std::max<std::size_t>(1, min_grain);
+  std::size_t num_blocks = std::min(p, (n + min_grain - 1) / min_grain);
+  if (num_blocks <= 1) {
+    fn(begin, end, 0);
+    return;
+  }
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  // One task per worker slot; worker_index == task index so per-slot scratch
+  // is never shared between concurrent tasks.
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t lo = begin + b * block;
+    const std::size_t hi = std::min(end, lo + block);
+    Submit([&fn, lo, hi, b] { fn(lo, hi, b); });
+  }
+  Wait();
+  OOC_CHECK(failures.load() == 0);
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace oocgemm

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a blocking parallel-for.
+//
+// The CPU-side SpGEMM kernel (Nagasaka-style, Section III-C of the paper)
+// and the partitioners use this pool.  Work is divided into contiguous
+// blocks; each task receives [begin, end) so that per-thread scratch (hash
+// tables, dense accumulators) can be reused across iterations of a block.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oocgemm {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 picks hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(block_begin, block_end, worker_index) over [begin, end) split
+  /// into roughly num_threads * oversubscribe blocks; blocks until done.
+  /// worker_index < num_threads() identifies the scratch slot the task may
+  /// use; blocks with the same worker_index never run concurrently.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn,
+                   std::size_t min_grain = 1);
+
+ private:
+  void WorkerLoop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool for callers that do not manage their own.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace oocgemm

@@ -1,0 +1,22 @@
+// Wall-clock timer for host-side measurements (the virtual-GPU timeline has
+// its own simulated clock in src/vgpu/vtime.hpp).
+#pragma once
+
+#include <chrono>
+
+namespace oocgemm {
+
+class WallTimer {
+ public:
+  WallTimer() { Reset(); }
+  void Reset() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace oocgemm

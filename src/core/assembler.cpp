@@ -1,0 +1,90 @@
+#include "core/assembler.hpp"
+
+#include <algorithm>
+
+#include "common/prefix_sum.hpp"
+#include "common/status.hpp"
+
+namespace oocgemm::core {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+Csr AssembleChunks(const partition::PanelBoundaries& row_bounds,
+                   const partition::PanelBoundaries& col_bounds,
+                   std::vector<ChunkPayload> chunks) {
+  const int nr = row_bounds.num_panels();
+  const int nc = col_bounds.num_panels();
+  const index_t rows = row_bounds.begin.back();
+  const index_t cols = col_bounds.begin.back();
+  OOC_CHECK(chunks.size() == static_cast<std::size_t>(nr) *
+                                 static_cast<std::size_t>(nc));
+
+  // Index chunks by (row_panel, col_panel); detect duplicates/missing.
+  std::vector<const ChunkPayload*> grid(
+      static_cast<std::size_t>(nr) * static_cast<std::size_t>(nc), nullptr);
+  for (const ChunkPayload& ch : chunks) {
+    OOC_CHECK(ch.row_panel >= 0 && ch.row_panel < nr);
+    OOC_CHECK(ch.col_panel >= 0 && ch.col_panel < nc);
+    const std::size_t slot =
+        static_cast<std::size_t>(ch.row_panel) * static_cast<std::size_t>(nc) +
+        static_cast<std::size_t>(ch.col_panel);
+    OOC_CHECK(grid[slot] == nullptr && "duplicate chunk");
+    const index_t panel_rows = row_bounds.panel_width(ch.row_panel);
+    OOC_CHECK(ch.row_offsets.size() ==
+              static_cast<std::size_t>(panel_rows) + 1);
+    grid[slot] = &ch;
+  }
+
+  // Pass 1: per-row totals.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(rows), 0);
+  for (int rp = 0; rp < nr; ++rp) {
+    const index_t r0 = row_bounds.panel_begin(rp);
+    const index_t panel_rows = row_bounds.panel_width(rp);
+    for (int cp = 0; cp < nc; ++cp) {
+      const ChunkPayload& ch = *grid[static_cast<std::size_t>(rp) *
+                                         static_cast<std::size_t>(nc) +
+                                     static_cast<std::size_t>(cp)];
+      for (index_t r = 0; r < panel_rows; ++r) {
+        counts[static_cast<std::size_t>(r0 + r)] +=
+            ch.row_offsets[static_cast<std::size_t>(r) + 1] -
+            ch.row_offsets[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+  std::vector<offset_t> offsets = ExclusiveScan(counts);
+  const std::int64_t nnz = offsets.back();
+
+  // Pass 2: fill; iterating col panels in order keeps each row sorted
+  // (panel column ranges are disjoint and increasing).
+  std::vector<index_t> out_cols(static_cast<std::size_t>(nnz));
+  std::vector<value_t> out_vals(static_cast<std::size_t>(nnz));
+  std::vector<offset_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (int rp = 0; rp < nr; ++rp) {
+    const index_t r0 = row_bounds.panel_begin(rp);
+    const index_t panel_rows = row_bounds.panel_width(rp);
+    for (int cp = 0; cp < nc; ++cp) {
+      const ChunkPayload& ch = *grid[static_cast<std::size_t>(rp) *
+                                         static_cast<std::size_t>(nc) +
+                                     static_cast<std::size_t>(cp)];
+      const index_t col_base = col_bounds.panel_begin(cp);
+      for (index_t r = 0; r < panel_rows; ++r) {
+        offset_t& w = cursor[static_cast<std::size_t>(r0 + r)];
+        for (offset_t k = ch.row_offsets[static_cast<std::size_t>(r)];
+             k < ch.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+          out_cols[static_cast<std::size_t>(w)] =
+              ch.col_ids[static_cast<std::size_t>(k)] + col_base;
+          out_vals[static_cast<std::size_t>(w)] =
+              ch.values[static_cast<std::size_t>(k)];
+          ++w;
+        }
+      }
+    }
+  }
+  return Csr(rows, cols, std::move(offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+}  // namespace oocgemm::core

@@ -1,0 +1,33 @@
+// Reassembly of transferred output chunks into the final CSR matrix.
+//
+// Chunk C[i][j] holds the rows of row panel i restricted to the columns of
+// column panel j (panel-local ids).  Because the Row-Column formulation
+// makes chunk values final (Section III-A: "final values within a chunk of
+// the output matrix C are independent"), assembly is pure concatenation:
+// row r of C is the ordered concatenation of its pieces over j, with column
+// ids rebased by each panel's first column.
+#pragma once
+
+#include <vector>
+
+#include "partition/panels.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::core {
+
+/// One chunk's payload as it arrived in host memory.
+struct ChunkPayload {
+  int row_panel = 0;
+  int col_panel = 0;
+  std::vector<sparse::offset_t> row_offsets;  // panel-local rows + 1
+  std::vector<sparse::index_t> col_ids;       // panel-local column ids
+  std::vector<sparse::value_t> values;
+};
+
+/// Assembles chunks (any order; exactly one per (i, j) pair) into the
+/// final rows x cols matrix.  Aborts on missing or duplicate chunks.
+sparse::Csr AssembleChunks(const partition::PanelBoundaries& row_bounds,
+                           const partition::PanelBoundaries& col_bounds,
+                           std::vector<ChunkPayload> chunks);
+
+}  // namespace oocgemm::core

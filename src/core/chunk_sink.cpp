@@ -1,0 +1,140 @@
+#include "core/chunk_sink.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace oocgemm::core {
+
+namespace {
+
+using FilePtr = std::unique_ptr<std::FILE, int (*)(std::FILE*)>;
+
+std::string ChunkPath(const std::string& dir, int rp, int cp) {
+  return dir + "/chunk_" + std::to_string(rp) + "_" + std::to_string(cp) +
+         ".bin";
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+constexpr char kMagic[8] = {'O', 'O', 'C', 'C', 'H', 'K', '0', '1'};
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  const std::int64_t n = static_cast<std::int64_t>(v.size());
+  return std::fwrite(&n, sizeof(n), 1, f) == 1 &&
+         std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>& v) {
+  std::int64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 || n < 0) return false;
+  v.resize(static_cast<std::size_t>(n));
+  return std::fread(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+}  // namespace
+
+DiskChunkSink::DiskChunkSink(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Status DiskChunkSink::Consume(ChunkPayload&& payload) {
+  const std::string path =
+      ChunkPath(directory_, payload.row_panel, payload.col_panel);
+  FilePtr f(std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return Status::IoError("cannot open " + path);
+  const std::int32_t ids[2] = {payload.row_panel, payload.col_panel};
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
+      std::fwrite(ids, sizeof(ids[0]), 2, f.get()) != 2 ||
+      !WriteVec(f.get(), payload.row_offsets) ||
+      !WriteVec(f.get(), payload.col_ids) ||
+      !WriteVec(f.get(), payload.values)) {
+    return Status::IoError("short write: " + path);
+  }
+  ++chunks_written_;
+  bytes_written_ +=
+      static_cast<std::int64_t>(payload.row_offsets.size() * sizeof(sparse::offset_t)) +
+      static_cast<std::int64_t>(payload.col_ids.size() * sizeof(sparse::index_t)) +
+      static_cast<std::int64_t>(payload.values.size() * sizeof(sparse::value_t));
+  return Status::Ok();
+}
+
+Status DiskChunkSink::Finalize(const partition::PanelBoundaries& row_bounds,
+                               const partition::PanelBoundaries& col_bounds) {
+  FilePtr f(std::fopen(ManifestPath(directory_).c_str(), "w"), &std::fclose);
+  if (!f) return Status::IoError("cannot open manifest in " + directory_);
+  std::fprintf(f.get(), "oocgemm-chunks v1\n");
+  std::fprintf(f.get(), "row_panels %d\n", row_bounds.num_panels());
+  for (sparse::index_t b : row_bounds.begin) std::fprintf(f.get(), "%d ", b);
+  std::fprintf(f.get(), "\ncol_panels %d\n", col_bounds.num_panels());
+  for (sparse::index_t b : col_bounds.begin) std::fprintf(f.get(), "%d ", b);
+  std::fprintf(f.get(), "\n");
+  return Status::Ok();
+}
+
+StatusOr<ChunkPayload> DiskChunkSink::Load(const std::string& directory,
+                                           int row_panel, int col_panel) {
+  const std::string path = ChunkPath(directory, row_panel, col_panel);
+  FilePtr f(std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return Status::NotFound("no chunk file " + path);
+  char magic[8];
+  std::int32_t ids[2];
+  ChunkPayload p;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0 ||
+      std::fread(ids, sizeof(ids[0]), 2, f.get()) != 2) {
+    return Status::IoError("corrupt chunk header: " + path);
+  }
+  p.row_panel = ids[0];
+  p.col_panel = ids[1];
+  if (!ReadVec(f.get(), p.row_offsets) || !ReadVec(f.get(), p.col_ids) ||
+      !ReadVec(f.get(), p.values)) {
+    return Status::IoError("corrupt chunk body: " + path);
+  }
+  return p;
+}
+
+StatusOr<sparse::Csr> DiskChunkSink::AssembleFromDisk(
+    const std::string& directory) {
+  FilePtr f(std::fopen(ManifestPath(directory).c_str(), "r"), &std::fclose);
+  if (!f) return Status::NotFound("no manifest in " + directory);
+  char word1[64], word2[64];
+  int nr = 0, nc = 0;
+  if (std::fscanf(f.get(), "%63s %63s", word1, word2) != 2 ||
+      std::fscanf(f.get(), "%63s %d", word1, &nr) != 2) {
+    return Status::IoError("corrupt manifest (row header)");
+  }
+  partition::PanelBoundaries rb, cb;
+  rb.begin.resize(static_cast<std::size_t>(nr) + 1);
+  for (auto& b : rb.begin) {
+    if (std::fscanf(f.get(), "%d", &b) != 1) {
+      return Status::IoError("corrupt manifest (row bounds)");
+    }
+  }
+  if (std::fscanf(f.get(), "%63s %d", word1, &nc) != 2) {
+    return Status::IoError("corrupt manifest (col header)");
+  }
+  cb.begin.resize(static_cast<std::size_t>(nc) + 1);
+  for (auto& b : cb.begin) {
+    if (std::fscanf(f.get(), "%d", &b) != 1) {
+      return Status::IoError("corrupt manifest (col bounds)");
+    }
+  }
+
+  std::vector<ChunkPayload> payloads;
+  payloads.reserve(static_cast<std::size_t>(nr) * static_cast<std::size_t>(nc));
+  for (int rp = 0; rp < nr; ++rp) {
+    for (int cp = 0; cp < nc; ++cp) {
+      auto p = Load(directory, rp, cp);
+      if (!p.ok()) return p.status();
+      payloads.push_back(std::move(p.value()));
+    }
+  }
+  return AssembleChunks(rb, cb, std::move(payloads));
+}
+
+}  // namespace oocgemm::core

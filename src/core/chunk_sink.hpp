@@ -1,0 +1,75 @@
+// Destinations for output chunks as they arrive from the executors.
+//
+// The paper assembles C in host memory (their host has 128 GB).  For
+// outputs beyond host RAM the same chunk stream can spill to disk instead:
+// each chunk is written as one file plus a manifest, and the final matrix
+// can either be assembled later or consumed chunk-wise without ever
+// materializing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/assembler.hpp"
+#include "partition/panels.hpp"
+
+namespace oocgemm::core {
+
+/// Receives finished chunks in completion order.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+  virtual Status Consume(ChunkPayload&& payload) = 0;
+};
+
+/// Accumulates chunks in host memory (the paper's behaviour).
+class MemoryChunkSink final : public ChunkSink {
+ public:
+  Status Consume(ChunkPayload&& payload) override {
+    payloads_.push_back(std::move(payload));
+    return Status::Ok();
+  }
+
+  std::vector<ChunkPayload>& payloads() { return payloads_; }
+
+  /// Assembles everything received into the final matrix.
+  sparse::Csr Assemble(const partition::PanelBoundaries& row_bounds,
+                       const partition::PanelBoundaries& col_bounds) {
+    return AssembleChunks(row_bounds, col_bounds, std::move(payloads_));
+  }
+
+ private:
+  std::vector<ChunkPayload> payloads_;
+};
+
+/// Spills each chunk to `<dir>/chunk_<i>_<j>.bin` as it completes, so host
+/// memory holds at most the in-flight chunks.  A text manifest records the
+/// chunk grid.  Use Load()/AssembleFromDisk() to read back.
+class DiskChunkSink final : public ChunkSink {
+ public:
+  explicit DiskChunkSink(std::string directory);
+
+  Status Consume(ChunkPayload&& payload) override;
+
+  /// Writes the manifest; call once after the run completes.
+  Status Finalize(const partition::PanelBoundaries& row_bounds,
+                  const partition::PanelBoundaries& col_bounds);
+
+  int chunks_written() const { return chunks_written_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+
+  /// Reads one spilled chunk back.
+  static StatusOr<ChunkPayload> Load(const std::string& directory,
+                                     int row_panel, int col_panel);
+
+  /// Reads the manifest and every chunk, and assembles the full matrix.
+  static StatusOr<sparse::Csr> AssembleFromDisk(const std::string& directory);
+
+ private:
+  std::string directory_;
+  int chunks_written_ = 0;
+  std::int64_t bytes_written_ = 0;
+};
+
+}  // namespace oocgemm::core

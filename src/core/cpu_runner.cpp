@@ -1,0 +1,41 @@
+#include "core/cpu_runner.hpp"
+
+#include "kernels/cpu_spgemm.hpp"
+
+namespace oocgemm::core {
+
+CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
+                          const std::vector<int>& order,
+                          const ExecutorOptions& options, ThreadPool& pool) {
+  CpuRunOutput out;
+  const kernels::CostModel& cm = options.spgemm.cost_model;
+  kernels::CpuSpgemmOptions cpu_options;  // hash accumulator, as in the paper
+
+  for (int id : order) {
+    const partition::ChunkDesc& desc = prep.chunks[static_cast<std::size_t>(id)];
+    const sparse::Csr& a_panel =
+        prep.a_panels[static_cast<std::size_t>(desc.row_panel)];
+    const sparse::Csr& b_panel =
+        prep.b_panels[static_cast<std::size_t>(desc.col_panel)];
+    sparse::Csr c = kernels::CpuSpgemm(a_panel, b_panel, pool, cpu_options);
+
+    const double cr = c.nnz() > 0 ? static_cast<double>(desc.flops) /
+                                        static_cast<double>(c.nnz())
+                                  : 1.0;
+    out.busy_seconds += cm.CpuChunkSeconds(desc.flops, cr);
+    out.flops += desc.flops;
+    out.nnz += c.nnz();
+    ++out.chunks_run;
+
+    ChunkPayload payload;
+    payload.row_panel = desc.row_panel;
+    payload.col_panel = desc.col_panel;
+    payload.row_offsets = c.row_offsets();
+    payload.col_ids = c.col_ids();
+    payload.values = c.values();
+    out.payloads.push_back(std::move(payload));
+  }
+  return out;
+}
+
+}  // namespace oocgemm::core

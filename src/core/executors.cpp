@@ -1,0 +1,312 @@
+#include "core/executors.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cpu_runner.hpp"
+#include "core/gpu_runner.hpp"
+#include "core/panel_cache.hpp"
+#include "core/problem.hpp"
+#include "kernels/cpu_spgemm.hpp"
+#include "kernels/device_csr.hpp"
+#include "kernels/device_spgemm.hpp"
+#include "sparse/analysis.hpp"
+
+namespace oocgemm::core {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::value_t;
+
+namespace {
+
+std::vector<int> NaturalOrder(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<int> ChunkOrder(const PreparedProblem& prep, bool reorder) {
+  return reorder ? partition::OrderByFlopsDecreasing(prep.chunks)
+                 : NaturalOrder(prep.num_chunks());
+}
+
+void FinishStats(const PreparedProblem& prep, const vgpu::Trace* trace,
+                 RunStats& stats) {
+  stats.num_chunks = prep.num_chunks();
+  stats.num_row_panels = prep.plan.num_row_panels;
+  stats.num_col_panels = prep.plan.num_col_panels;
+  stats.flops = prep.total_flops;
+  if (trace) FillStatsFromTrace(*trace, stats);
+  stats.compression_ratio =
+      stats.nnz_out > 0 ? static_cast<double>(stats.flops) /
+                              static_cast<double>(stats.nnz_out)
+                        : 0.0;
+}
+
+}  // namespace
+
+namespace {
+
+StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
+                                      const Csr& b,
+                                      const ExecutorOptions& options,
+                                      ThreadPool& pool) {
+  // The baseline uses one working set at a time: no double buffering.
+  ExecutorOptions sync_options = options;
+  sync_options.plan.buffers = 1;
+  auto prep_or =
+      PrepareProblem(a, b, device.capacity(), sync_options, pool);
+  if (!prep_or.ok()) return prep_or.status();
+  const PreparedProblem& prep = prep_or.value();
+
+  device.ResetTimeline();
+  vgpu::HostContext host;
+  vgpu::Stream* stream = device.CreateStream("sync");
+  vgpu::MallocMemorySource source(device);  // spECK's dynamic allocations
+  PanelCache cache(device, host, prep.plan.max_a_panel_bytes,
+                   prep.plan.max_b_panel_bytes);
+  kernels::DeviceSpgemm engine(device, options.spgemm);
+
+  std::vector<ChunkPayload> payloads;
+  std::int64_t nnz_total = 0;
+
+  // Algorithm 3: row-major double loop, transfer after each chunk.
+  for (const partition::ChunkDesc& desc : prep.chunks) {
+    const std::string tag = "chunk[" + std::to_string(desc.row_panel) + "," +
+                            std::to_string(desc.col_panel) + "]";
+    auto da = cache.Acquire(
+        host, *stream, PanelCache::kA, desc.row_panel,
+        prep.a_panels[static_cast<std::size_t>(desc.row_panel)],
+        options.pinned_host);
+    if (!da.ok()) return da.status();
+    auto db = cache.Acquire(
+        host, *stream, PanelCache::kB, desc.col_panel,
+        prep.b_panels[static_cast<std::size_t>(desc.col_panel)],
+        options.pinned_host);
+    if (!db.ok()) return db.status();
+
+    auto chunk =
+        engine.Multiply(host, *stream, da.value(), db.value(), source, tag);
+    if (!chunk.ok()) return chunk.status();
+    cache.MarkUse(*stream, PanelCache::kA, desc.row_panel);
+    cache.MarkUse(*stream, PanelCache::kB, desc.col_panel);
+
+    ChunkPayload payload;
+    payload.row_panel = desc.row_panel;
+    payload.col_panel = desc.col_panel;
+    payload.row_offsets = chunk->row_offsets;
+    payload.col_ids.resize(static_cast<std::size_t>(chunk->nnz));
+    payload.values.resize(static_cast<std::size_t>(chunk->nnz));
+    device.MemcpyD2HAsync(host, *stream, payload.col_ids.data(),
+                          chunk->d_col_ids,
+                          chunk->nnz * static_cast<std::int64_t>(sizeof(index_t)),
+                          tag + ".payload.col_ids", options.pinned_host);
+    device.MemcpyD2HAsync(host, *stream, payload.values.data(),
+                          chunk->d_values,
+                          chunk->nnz * static_cast<std::int64_t>(sizeof(value_t)),
+                          tag + ".payload.values", options.pinned_host);
+    // "Data movement was done synchronously."
+    device.StreamSynchronize(host, *stream);
+
+    nnz_total += chunk->nnz;
+    payloads.push_back(std::move(payload));
+    kernels::ReleaseChunk(host, source, chunk.value());
+  }
+  device.DeviceSynchronize(host);
+
+  RunResult result;
+  result.stats.total_seconds = host.now;
+  result.stats.nnz_out = nnz_total;
+  result.stats.num_gpu_chunks = prep.num_chunks();
+  result.stats.gpu_seconds = host.now;
+  result.stats.device_peak_bytes = device.peak_bytes();
+  FinishStats(prep, &device.trace(), result.stats);
+  result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
+                            std::move(payloads));
+  return result;
+}
+
+StatusOr<RunResult> AsyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
+                                       const Csr& b,
+                                       const ExecutorOptions& options,
+                                       ThreadPool& pool) {
+  auto prep_or = PrepareProblem(a, b, device.capacity(), options, pool);
+  if (!prep_or.ok()) return prep_or.status();
+  const PreparedProblem& prep = prep_or.value();
+
+  device.ResetTimeline();
+  vgpu::HostContext host;
+  std::vector<int> order = ChunkOrder(prep, options.reorder_chunks);
+  auto run = RunGpuChunks(device, host, prep, order, options);
+  if (!run.ok()) return run.status();
+
+  RunResult result;
+  result.stats.total_seconds = run->makespan;
+  result.stats.nnz_out = run->nnz;
+  result.stats.num_gpu_chunks = run->chunks_run;
+  result.stats.gpu_seconds = run->makespan;
+  result.stats.device_peak_bytes = device.peak_bytes();
+  FinishStats(prep, &device.trace(), result.stats);
+  result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
+                            std::move(run->payloads));
+  return result;
+}
+
+}  // namespace
+
+StatusOr<RunResult> CpuMulticore(const Csr& a, const Csr& b,
+                                 const ExecutorOptions& options,
+                                 ThreadPool& pool) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  const kernels::CostModel& cm = options.spgemm.cost_model;
+  Csr c = kernels::CpuSpgemm(a, b, pool, kernels::CpuSpgemmOptions{});
+
+  RunResult result;
+  result.stats.flops = sparse::TotalFlops(a, b);
+  result.stats.nnz_out = c.nnz();
+  result.stats.compression_ratio =
+      c.nnz() > 0 ? static_cast<double>(result.stats.flops) /
+                        static_cast<double>(c.nnz())
+                  : 0.0;
+  result.stats.total_seconds = cm.CpuChunkSeconds(
+      result.stats.flops, result.stats.compression_ratio);
+  result.stats.cpu_seconds = result.stats.total_seconds;
+  result.stats.num_chunks = 1;
+  result.stats.num_cpu_chunks = 1;
+  result.c = std::move(c);
+  return result;
+}
+
+namespace {
+
+StatusOr<RunResult> HybridImpl(vgpu::Device& device, const Csr& a,
+                               const Csr& b, const ExecutorOptions& options,
+                               ThreadPool& pool) {
+  auto prep_or = PrepareProblem(a, b, device.capacity(), options, pool);
+  if (!prep_or.ok()) return prep_or.status();
+  const PreparedProblem& prep = prep_or.value();
+
+  device.ResetTimeline();
+
+  // Algorithm 4: order chunks (by flops when reordering is on), then give
+  // the leading chunks holding `gpu_ratio` of the flops to the GPU.
+  std::vector<int> order = ChunkOrder(prep, options.reorder_chunks);
+  const int num_gpu =
+      partition::CountGpuChunks(prep.chunks, order, options.gpu_ratio);
+  std::vector<int> gpu_order(order.begin(), order.begin() + num_gpu);
+  std::vector<int> cpu_order(order.begin() + num_gpu, order.end());
+
+  // "We launch two parallel threads: one thread for GPU and one for CPU."
+  // Their virtual clocks both start at zero; the makespan is the later one.
+  vgpu::HostContext gpu_host;
+  auto gpu_run = RunGpuChunks(device, gpu_host, prep, gpu_order, options);
+  if (!gpu_run.ok()) return gpu_run.status();
+
+  CpuRunOutput cpu_run = RunCpuChunks(prep, cpu_order, options, pool);
+
+  RunResult result;
+  result.stats.gpu_seconds = gpu_run->makespan;
+  result.stats.cpu_seconds = cpu_run.busy_seconds;
+  result.stats.total_seconds = std::max(gpu_run->makespan, cpu_run.busy_seconds);
+  result.stats.nnz_out = gpu_run->nnz + cpu_run.nnz;
+  result.stats.num_gpu_chunks = gpu_run->chunks_run;
+  result.stats.num_cpu_chunks = cpu_run.chunks_run;
+  result.stats.device_peak_bytes = device.peak_bytes();
+  FinishStats(prep, &device.trace(), result.stats);
+  // The trace only covers the GPU side; the hybrid makespan may be CPU-bound.
+  result.stats.total_seconds =
+      std::max(result.stats.total_seconds,
+               std::max(gpu_run->makespan, cpu_run.busy_seconds));
+
+  std::vector<ChunkPayload> payloads = std::move(gpu_run->payloads);
+  for (auto& p : cpu_run.payloads) payloads.push_back(std::move(p));
+  result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
+                            std::move(payloads));
+  return result;
+}
+
+StatusOr<StreamedRunResult> AsyncOutOfCoreStreamedImpl(
+    vgpu::Device& device, const Csr& a, const Csr& b,
+    const ExecutorOptions& options, ThreadPool& pool, ChunkSink& sink) {
+  auto prep_or = PrepareProblem(a, b, device.capacity(), options, pool);
+  if (!prep_or.ok()) return prep_or.status();
+  const PreparedProblem& prep = prep_or.value();
+
+  device.ResetTimeline();
+  vgpu::HostContext host;
+  std::vector<int> order = ChunkOrder(prep, options.reorder_chunks);
+  auto run = RunGpuChunks(device, host, prep, order, options, &sink);
+  if (!run.ok()) return run.status();
+
+  StreamedRunResult result;
+  result.stats.total_seconds = run->makespan;
+  result.stats.nnz_out = run->nnz;
+  result.stats.num_gpu_chunks = run->chunks_run;
+  result.stats.gpu_seconds = run->makespan;
+  result.stats.device_peak_bytes = device.peak_bytes();
+  FinishStats(prep, &device.trace(), result.stats);
+  result.row_bounds = prep.row_bounds;
+  result.col_bounds = prep.col_bounds;
+  return result;
+}
+
+/// Pool sizes come from a sampled estimate; a chunk can overflow them at
+/// run time.  Retry with a doubled safety factor (re-planning shrinks the
+/// chunks), as a production out-of-core runner must.
+template <typename Result, typename Fn>
+StatusOr<Result> RunWithOomRetry(Fn&& attempt, ExecutorOptions options) {
+  constexpr int kMaxAttempts = 4;
+  for (int i = 0;; ++i) {
+    StatusOr<Result> r = attempt(options);
+    if (r.ok() || r.status().code() != StatusCode::kOutOfMemory ||
+        i + 1 == kMaxAttempts) {
+      return r;
+    }
+    options.plan.nnz_safety_factor *= 2.0;
+  }
+}
+
+}  // namespace
+
+StatusOr<RunResult> SyncOutOfCore(vgpu::Device& device, const Csr& a,
+                                  const Csr& b, const ExecutorOptions& options,
+                                  ThreadPool& pool) {
+  return RunWithOomRetry<RunResult>(
+      [&](const ExecutorOptions& o) {
+        return SyncOutOfCoreImpl(device, a, b, o, pool);
+      },
+      options);
+}
+
+StatusOr<RunResult> AsyncOutOfCore(vgpu::Device& device, const Csr& a,
+                                   const Csr& b,
+                                   const ExecutorOptions& options,
+                                   ThreadPool& pool) {
+  return RunWithOomRetry<RunResult>(
+      [&](const ExecutorOptions& o) {
+        return AsyncOutOfCoreImpl(device, a, b, o, pool);
+      },
+      options);
+}
+
+StatusOr<RunResult> Hybrid(vgpu::Device& device, const Csr& a, const Csr& b,
+                           const ExecutorOptions& options, ThreadPool& pool) {
+  return RunWithOomRetry<RunResult>(
+      [&](const ExecutorOptions& o) { return HybridImpl(device, a, b, o, pool); },
+      options);
+}
+
+StatusOr<StreamedRunResult> AsyncOutOfCoreStreamed(
+    vgpu::Device& device, const Csr& a, const Csr& b,
+    const ExecutorOptions& options, ThreadPool& pool, ChunkSink& sink) {
+  return RunWithOomRetry<StreamedRunResult>(
+      [&](const ExecutorOptions& o) {
+        return AsyncOutOfCoreStreamedImpl(device, a, b, o, pool, sink);
+      },
+      options);
+}
+
+}  // namespace oocgemm::core

@@ -1,0 +1,222 @@
+#include "core/gpu_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "core/panel_cache.hpp"
+#include "kernels/device_csr.hpp"
+#include "kernels/device_spgemm.hpp"
+#include "vgpu/memory_pool.hpp"
+#include "vgpu/memory_source.hpp"
+
+namespace oocgemm::core {
+
+using kernels::ChunkPipeline;
+using kernels::ChunkProduct;
+using kernels::DeviceCsr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+namespace {
+
+/// A chunk whose kernels are issued and whose payload is (being) moved.
+struct PendingChunk {
+  int slot = 0;
+  int row_panel = 0;
+  int col_panel = 0;
+  ChunkProduct product;
+  ChunkPayload payload;           // host destination buffers
+  vgpu::Stream* stream = nullptr;
+  std::int64_t rows_transferred = 0;  // payload rows already issued D2H
+};
+
+/// Issues the D2H payload transfer of rows [rows_from, rows_to) of the
+/// pending chunk on its own stream (after its numeric phase by stream
+/// order).  Column-id and value arrays move as separate copies, as they are
+/// separate ranges of device memory.
+void IssuePayloadRows(vgpu::Device& device, vgpu::HostContext& host,
+                      PendingChunk& pending, index_t rows_from,
+                      index_t rows_to, bool pinned, const char* what) {
+  const ChunkProduct& p = pending.product;
+  OOC_CHECK(0 <= rows_from && rows_from <= rows_to && rows_to <= p.rows);
+  const offset_t e0 = p.row_offsets[static_cast<std::size_t>(rows_from)];
+  const offset_t e1 = p.row_offsets[static_cast<std::size_t>(rows_to)];
+  const std::int64_t entries = e1 - e0;
+  if (entries <= 0) {
+    pending.rows_transferred = rows_to;
+    return;
+  }
+  const std::string tag = "chunk[" + std::to_string(pending.row_panel) + "," +
+                          std::to_string(pending.col_panel) + "]." + what;
+  device.MemcpyD2HAsync(
+      host, *pending.stream, pending.payload.col_ids.data() + e0,
+      p.d_col_ids.Slice(e0 * static_cast<std::int64_t>(sizeof(index_t)),
+                        entries * static_cast<std::int64_t>(sizeof(index_t))),
+      entries * static_cast<std::int64_t>(sizeof(index_t)), tag + ".col_ids",
+      pinned);
+  device.MemcpyD2HAsync(
+      host, *pending.stream, pending.payload.values.data() + e0,
+      p.d_values.Slice(e0 * static_cast<std::int64_t>(sizeof(value_t)),
+                       entries * static_cast<std::int64_t>(sizeof(value_t))),
+      entries * static_cast<std::int64_t>(sizeof(value_t)), tag + ".values",
+      pinned);
+  pending.rows_transferred = rows_to;
+}
+
+}  // namespace
+
+StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
+                                    vgpu::HostContext& host,
+                                    const PreparedProblem& prep,
+                                    const std::vector<int>& order,
+                                    const ExecutorOptions& options,
+                                    ChunkSink* sink) {
+  GpuRunOutput out;
+  if (order.empty()) {
+    out.makespan = host.now;
+    return out;
+  }
+
+  const int nc = prep.plan.num_col_panels;
+  constexpr int kSlots = 2;  // "we create two streams and two buffers"
+
+  vgpu::Stream* streams[kSlots] = {device.CreateStream("pipe0"),
+                                   device.CreateStream("pipe1")};
+  std::unique_ptr<vgpu::MemoryPool> pools[kSlots];
+  std::unique_ptr<vgpu::PoolMemorySource> sources[kSlots];
+  for (int s = 0; s < kSlots; ++s) {
+    pools[s] = std::make_unique<vgpu::MemoryPool>(
+        device, host, prep.plan.pool_bytes, "pool" + std::to_string(s));
+    sources[s] = std::make_unique<vgpu::PoolMemorySource>(*pools[s]);
+  }
+
+  PanelCache cache(device, host, prep.plan.max_a_panel_bytes,
+                   prep.plan.max_b_panel_bytes);
+  kernels::AccumulatorScratch scratch;
+  // Pending chunks: the one whose payload is in flight (prev) and, per
+  // slot, the one whose payload completed but is awaiting finalization.
+  std::optional<PendingChunk> slot_pending[kSlots];
+  std::optional<PendingChunk> prev;  // numeric done, payload not fully issued
+
+  Status sink_status = Status::Ok();
+  auto finalize_slot = [&](int slot) {
+    if (!slot_pending[slot]) return;
+    PendingChunk& done = *slot_pending[slot];
+    // All transfers of this chunk were issued on its stream; draining the
+    // stream guarantees the payload landed (virtually and physically).
+    device.StreamSynchronize(host, *done.stream);
+    out.nnz += done.product.nnz;
+    if (sink != nullptr) {
+      if (sink_status.ok()) sink_status = sink->Consume(std::move(done.payload));
+    } else {
+      out.payloads.push_back(std::move(done.payload));
+    }
+    slot_pending[slot].reset();
+    sources[slot]->Recycle();
+  };
+
+  const bool scheduled =
+      options.transfer_schedule == TransferSchedule::kScheduled;
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const partition::ChunkDesc& desc =
+        prep.chunks[static_cast<std::size_t>(order[k])];
+    const int slot = static_cast<int>(k % kSlots);
+    finalize_slot(slot);  // reuse of the slot's pool requires its drain
+
+    // Fetch this chunk's panels (H2D engine if not cached — runs
+    // concurrently with the other slot's D2H payload).
+    const std::string tag =
+        "chunk[" + std::to_string(desc.row_panel) + "," +
+        std::to_string(desc.col_panel) + "]";
+    auto da = cache.Acquire(
+        host, *streams[slot], PanelCache::kA, desc.row_panel,
+        prep.a_panels[static_cast<std::size_t>(desc.row_panel)],
+        options.pinned_host);
+    if (!da.ok()) return da.status();
+    auto db = cache.Acquire(
+        host, *streams[slot], PanelCache::kB, desc.col_panel,
+        prep.b_panels[static_cast<std::size_t>(desc.col_panel)],
+        options.pinned_host);
+    if (!db.ok()) return db.status();
+
+    ChunkPipeline pipeline(device, options.spgemm, scratch);
+
+    // Stage 1 + Fig. 6 transfer #1 (this chunk's analysis info).
+    OOC_RETURN_IF_ERROR(pipeline.RunAnalysis(host, *streams[slot], da.value(),
+                                             db.value(), *sources[slot], tag));
+
+    // Fig. 6 transfer #2: first portion of the previous chunk's payload,
+    // overlapping this chunk's symbolic phase.
+    if (prev && scheduled) {
+      const index_t split_row = static_cast<index_t>(
+          static_cast<double>(prev->product.rows) * options.split_fraction);
+      IssuePayloadRows(device, host, *prev, 0, split_row, options.pinned_host,
+                       "portion1");
+    }
+
+    // Stage 2 + Fig. 6 transfer #3 (this chunk's symbolic info).
+    OOC_RETURN_IF_ERROR(pipeline.RunSymbolic(host, *streams[slot]));
+
+    // Fig. 6 transfer #4: the remainder of the previous chunk's payload,
+    // overlapping this chunk's numeric phase.
+    if (prev) {
+      IssuePayloadRows(device, host, *prev,
+                       static_cast<index_t>(prev->rows_transferred),
+                       prev->product.rows, options.pinned_host,
+                       scheduled ? "portion2" : "payload");
+      slot_pending[prev->slot] = std::move(*prev);
+      prev.reset();
+    }
+
+    // Stage 3.
+    pipeline.RunNumeric(host, *streams[slot]);
+    cache.MarkUse(*streams[slot], PanelCache::kA, desc.row_panel);
+    cache.MarkUse(*streams[slot], PanelCache::kB, desc.col_panel);
+
+    PendingChunk cur;
+    cur.slot = slot;
+    cur.row_panel = desc.row_panel;
+    cur.col_panel = desc.col_panel;
+    cur.product = pipeline.TakeProduct();
+    cur.stream = streams[slot];
+    cur.payload.row_panel = desc.row_panel;
+    cur.payload.col_panel = desc.col_panel;
+    cur.payload.row_offsets = cur.product.row_offsets;
+    cur.payload.col_ids.resize(static_cast<std::size_t>(cur.product.nnz));
+    cur.payload.values.resize(static_cast<std::size_t>(cur.product.nnz));
+    out.flops += cur.product.flops;
+
+    if (scheduled) {
+      prev = std::move(cur);
+    } else {
+      // The naive double-buffering schedule: queue the whole payload right
+      // after the numeric phase (Fig. 5's problematic ordering — the next
+      // chunk's info transfer will stall behind it).
+      IssuePayloadRows(device, host, cur, 0, cur.product.rows,
+                       options.pinned_host, "payload");
+      slot_pending[cur.slot] = std::move(cur);
+    }
+    (void)nc;
+  }
+
+  // Drain: the last chunk's payload has nothing left to overlap with.
+  if (prev) {
+    IssuePayloadRows(device, host, *prev,
+                     static_cast<index_t>(prev->rows_transferred),
+                     prev->product.rows, options.pinned_host, "tail");
+    slot_pending[prev->slot] = std::move(*prev);
+    prev.reset();
+  }
+  for (int s = 0; s < kSlots; ++s) finalize_slot(s);
+  if (!sink_status.ok()) return sink_status;
+
+  device.DeviceSynchronize(host);
+  out.makespan = host.now;
+  out.chunks_run = static_cast<int>(order.size());
+  return out;
+}
+
+}  // namespace oocgemm::core

@@ -1,0 +1,52 @@
+// Pipelined execution of a sequence of chunks on the virtual GPU — the
+// asynchronous engine of Section IV:
+//
+//  * two streams and two memory pools (double buffering);
+//  * no dynamic device allocation: each chunk's panels, scratch and output
+//    live in its slot's pre-allocated pool (Section IV-B);
+//  * divided & scheduled transfers: while chunk i runs, chunk i-1's output
+//    payload moves D2H in two portions interleaved with chunk i's small
+//    info transfers — info(i), portion1(i-1), symbolic-info(i),
+//    portion2(i-1) — exactly the Fig. 6 engine order;
+//  * the caller chooses the chunk order (decreasing flops per Section IV-C,
+//    or Algorithm 3's row-major order).
+//
+// The same runner also serves as the GPU half of the hybrid executor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/assembler.hpp"
+#include "core/chunk_sink.hpp"
+#include "core/executor_options.hpp"
+#include "core/problem.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::core {
+
+struct GpuRunOutput {
+  std::vector<ChunkPayload> payloads;
+  /// Virtual time at which the last chunk (including its transfer) finished.
+  double makespan = 0.0;
+  int chunks_run = 0;
+  std::int64_t flops = 0;
+  std::int64_t nnz = 0;
+};
+
+/// Runs chunks `order[0..count)` of `prep` on `device`.  `host` carries the
+/// issuing thread's virtual clock (starts at host.now).  Fails on pool OOM
+/// (triggering the executors' re-planning retry) or panel upload OOM.
+///
+/// When `sink` is given, each chunk payload is handed to it as soon as its
+/// transfers drain (completion order) and `GpuRunOutput::payloads` stays
+/// empty — the streaming mode used for outputs beyond host memory.
+StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
+                                    vgpu::HostContext& host,
+                                    const PreparedProblem& prep,
+                                    const std::vector<int>& order,
+                                    const ExecutorOptions& options,
+                                    ChunkSink* sink = nullptr);
+
+}  // namespace oocgemm::core

@@ -1,0 +1,126 @@
+#include "core/multi_gpu.hpp"
+
+#include <algorithm>
+
+#include "core/cpu_runner.hpp"
+#include "core/gpu_runner.hpp"
+#include "core/problem.hpp"
+#include "partition/chunk.hpp"
+
+namespace oocgemm::core {
+
+StatusOr<MultiGpuResult> MultiGpuHybrid(
+    const std::vector<vgpu::Device*>& devices, const sparse::Csr& a,
+    const sparse::Csr& b, const ExecutorOptions& options, ThreadPool& pool) {
+  if (devices.empty()) {
+    return Status::InvalidArgument("MultiGpuHybrid needs at least one device");
+  }
+  std::int64_t min_capacity = devices[0]->capacity();
+  for (vgpu::Device* d : devices) {
+    min_capacity = std::min(min_capacity, d->capacity());
+  }
+
+  // Retry loop mirrors the single-device executors: pool overflow re-plans
+  // with a doubled safety factor.
+  ExecutorOptions attempt_options = options;
+  constexpr int kMaxAttempts = 4;
+  for (int attempt = 0;; ++attempt) {
+    auto prep_or = PrepareProblem(a, b, min_capacity, attempt_options, pool);
+    if (!prep_or.ok()) return prep_or.status();
+    const PreparedProblem& prep = prep_or.value();
+
+    // Generalized Algorithm 4 ratio: S' = D * r/(1-r) for single-GPU ratio r.
+    const int num_devices = static_cast<int>(devices.size());
+    const double r = std::clamp(attempt_options.gpu_ratio, 0.0, 1.0);
+    double ratio_d = 1.0;
+    if (r < 1.0) {
+      const double s = r / (1.0 - r);
+      const double ds = static_cast<double>(num_devices) * s;
+      ratio_d = ds / (ds + 1.0);
+    }
+
+    std::vector<int> order = attempt_options.reorder_chunks
+                                 ? partition::OrderByFlopsDecreasing(prep.chunks)
+                                 : [&] {
+                                     std::vector<int> natural(
+                                         prep.chunks.size());
+                                     for (std::size_t i = 0; i < natural.size();
+                                          ++i) {
+                                       natural[i] = static_cast<int>(i);
+                                     }
+                                     return natural;
+                                   }();
+    const int num_gpu =
+        partition::CountGpuChunks(prep.chunks, order, ratio_d);
+
+    // Deal the flop-sorted GPU prefix round-robin: every device gets a
+    // comparable mix of heavy and light chunks.
+    std::vector<std::vector<int>> per_device(
+        static_cast<std::size_t>(num_devices));
+    for (int i = 0; i < num_gpu; ++i) {
+      per_device[static_cast<std::size_t>(i % num_devices)].push_back(
+          order[static_cast<std::size_t>(i)]);
+    }
+    std::vector<int> cpu_order(order.begin() + num_gpu, order.end());
+
+    MultiGpuResult result;
+    std::vector<ChunkPayload> payloads;
+    bool oom = false;
+    Status oom_status = Status::Ok();
+
+    for (int d = 0; d < num_devices && !oom; ++d) {
+      devices[static_cast<std::size_t>(d)]->ResetTimeline();
+      vgpu::HostContext host;
+      auto run = RunGpuChunks(*devices[static_cast<std::size_t>(d)], host,
+                              prep, per_device[static_cast<std::size_t>(d)],
+                              attempt_options);
+      if (!run.ok()) {
+        if (run.status().code() == StatusCode::kOutOfMemory &&
+            attempt + 1 < kMaxAttempts) {
+          oom = true;
+          oom_status = run.status();
+          break;
+        }
+        return run.status();
+      }
+      result.stats.gpu_seconds.push_back(run->makespan);
+      result.stats.combined.nnz_out += run->nnz;
+      result.stats.combined.num_gpu_chunks += run->chunks_run;
+      for (auto& p : run->payloads) payloads.push_back(std::move(p));
+    }
+    if (oom) {
+      attempt_options.plan.nnz_safety_factor *= 2.0;
+      continue;
+    }
+
+    CpuRunOutput cpu = RunCpuChunks(prep, cpu_order, attempt_options, pool);
+    result.stats.combined.nnz_out += cpu.nnz;
+    result.stats.combined.num_cpu_chunks = cpu.chunks_run;
+    result.stats.combined.cpu_seconds = cpu.busy_seconds;
+    for (auto& p : cpu.payloads) payloads.push_back(std::move(p));
+
+    double makespan = cpu.busy_seconds;
+    for (double t : result.stats.gpu_seconds) makespan = std::max(makespan, t);
+    result.stats.combined.total_seconds = makespan;
+    result.stats.combined.gpu_seconds =
+        result.stats.gpu_seconds.empty()
+            ? 0.0
+            : *std::max_element(result.stats.gpu_seconds.begin(),
+                                result.stats.gpu_seconds.end());
+    result.stats.combined.flops = prep.total_flops;
+    result.stats.combined.num_chunks = prep.num_chunks();
+    result.stats.combined.num_row_panels = prep.plan.num_row_panels;
+    result.stats.combined.num_col_panels = prep.plan.num_col_panels;
+    result.stats.combined.compression_ratio =
+        result.stats.combined.nnz_out > 0
+            ? static_cast<double>(prep.total_flops) /
+                  static_cast<double>(result.stats.combined.nnz_out)
+            : 0.0;
+
+    result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
+                              std::move(payloads));
+    return result;
+  }
+}
+
+}  // namespace oocgemm::core

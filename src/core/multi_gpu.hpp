@@ -1,0 +1,44 @@
+// Multi-GPU extension of the hybrid executor (the paper's future-work
+// direction: "our ultimate goal of continuing to scale SpGEMM computations
+// to arbitrarily large matrices").
+//
+// Algorithm 4 generalizes directly: with D identical GPUs of per-device
+// speedup S over the CPU, the GPUs collectively take
+// Ratio_D = D*S / (D*S + 1) of the flops; the flop-sorted GPU prefix is
+// dealt round-robin across devices (each device then holds a similar mix
+// of heavy and light chunks), and each device runs the same asynchronous
+// pipeline on its own streams, pools and panel cache.  The CPU processes
+// the remaining chunks, and the makespan is the slowest worker.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/executor_options.hpp"
+#include "core/run_stats.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::core {
+
+struct MultiGpuStats {
+  RunStats combined;
+  /// Virtual makespan of each GPU worker.
+  std::vector<double> gpu_seconds;
+};
+
+struct MultiGpuResult {
+  sparse::Csr c;
+  MultiGpuStats stats;
+};
+
+/// C = A * B across `devices` plus the CPU.  All devices should have the
+/// same capacity (the plan is built for the smallest).  With
+/// options.gpu_ratio = r, the GPUs collectively receive
+/// D*r' / (D*r' + (1-r')) of the flops where r' is the single-GPU ratio —
+/// i.e. the generalized Algorithm 4 rule.
+StatusOr<MultiGpuResult> MultiGpuHybrid(
+    const std::vector<vgpu::Device*>& devices, const sparse::Csr& a,
+    const sparse::Csr& b, const ExecutorOptions& options, ThreadPool& pool);
+
+}  // namespace oocgemm::core

@@ -1,0 +1,105 @@
+#include "core/panel_cache.hpp"
+
+namespace oocgemm::core {
+
+using kernels::DeviceCsr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+namespace {
+std::int64_t Align(std::int64_t v) { return (v + 255) / 256 * 256; }
+}  // namespace
+
+PanelCache::PanelCache(vgpu::Device& device, vgpu::HostContext& host,
+                       std::int64_t max_a_bytes, std::int64_t max_b_bytes)
+    : device_(device), host_(&host) {
+  const std::int64_t a_slot = Align(max_a_bytes);
+  const std::int64_t b_slot = Align(max_b_bytes);
+  auto arena = device_.Malloc(host, 2 * a_slot + 2 * b_slot, "panel-cache");
+  OOC_CHECK(arena.ok() && "panel cache exceeds device capacity (planner bug)");
+  arena_ = arena.value();
+  slots_[kA][0].area = arena_.Slice(0, a_slot);
+  slots_[kA][1].area = arena_.Slice(a_slot, a_slot);
+  slots_[kB][0].area = arena_.Slice(2 * a_slot, b_slot);
+  slots_[kB][1].area = arena_.Slice(2 * a_slot + b_slot, b_slot);
+}
+
+PanelCache::~PanelCache() { device_.Free(*host_, arena_); }
+
+StatusOr<DeviceCsr> PanelCache::Acquire(vgpu::HostContext& host,
+                                        vgpu::Stream& stream, Kind kind,
+                                        int id, const sparse::Csr& host_panel,
+                                        bool pinned) {
+  auto& kind_slots = slots_[kind];
+  // Hit?
+  for (Slot& slot : kind_slots) {
+    if (slot.id == id) {
+      ++hits_;
+      return slot.panel;
+    }
+  }
+  ++misses_;
+  // Evict the least recently used slot.
+  Slot& victim = kind_slots[0].last_use.time <= kind_slots[1].last_use.time
+                     ? kind_slots[0]
+                     : kind_slots[1];
+  // The upload must not start before the evicted panel's readers finish.
+  device_.StreamWaitEvent(stream, victim.last_use);
+
+  const std::int64_t ro_bytes = Align(
+      static_cast<std::int64_t>(host_panel.row_offsets().size() *
+                                sizeof(offset_t)));
+  const std::int64_t ci_bytes =
+      Align(host_panel.nnz() * static_cast<std::int64_t>(sizeof(index_t)));
+  const std::int64_t va_bytes =
+      Align(host_panel.nnz() * static_cast<std::int64_t>(sizeof(value_t)));
+  if (ro_bytes + ci_bytes + va_bytes > victim.area.size) {
+    return Status::OutOfMemory("panel larger than cache slot: need " +
+                               std::to_string(ro_bytes + ci_bytes + va_bytes) +
+                               ", slot " + std::to_string(victim.area.size));
+  }
+
+  DeviceCsr d;
+  d.rows = host_panel.rows();
+  d.cols = host_panel.cols();
+  d.nnz = host_panel.nnz();
+  d.row_offsets = victim.area.Slice(0, ro_bytes);
+  d.col_ids = victim.area.Slice(ro_bytes, ci_bytes);
+  d.values = victim.area.Slice(ro_bytes + ci_bytes, va_bytes);
+
+  const std::string tag =
+      std::string(kind == kA ? "A" : "B") + "panel" + std::to_string(id);
+  device_.MemcpyH2DAsync(host, stream, d.row_offsets,
+                         host_panel.row_offsets().data(),
+                         static_cast<std::int64_t>(
+                             host_panel.row_offsets().size() * sizeof(offset_t)),
+                         tag + ".row_offsets", pinned);
+  device_.MemcpyH2DAsync(host, stream, d.col_ids, host_panel.col_ids().data(),
+                         host_panel.nnz() *
+                             static_cast<std::int64_t>(sizeof(index_t)),
+                         tag + ".col_ids", pinned);
+  device_.MemcpyH2DAsync(host, stream, d.values, host_panel.values().data(),
+                         host_panel.nnz() *
+                             static_cast<std::int64_t>(sizeof(value_t)),
+                         tag + ".values", pinned);
+
+  victim.id = id;
+  victim.panel = d;
+  // Until marked used, the upload itself is the latest activity.
+  victim.last_use = device_.RecordEvent(stream);
+  return d;
+}
+
+void PanelCache::MarkUse(vgpu::Stream& stream, Kind kind, int id) {
+  for (Slot& slot : slots_[kind]) {
+    if (slot.id == id) {
+      const vgpu::Event e = device_.RecordEvent(stream);
+      if (e.time > slot.last_use.time) slot.last_use = e;
+      return;
+    }
+  }
+  OOC_CHECK(false && "MarkUse on a panel that is not cached");
+}
+
+}  // namespace oocgemm::core

@@ -1,0 +1,68 @@
+// Device-resident cache of input panels.
+//
+// Algorithm 3's loop structure reuses panels across consecutive chunks (the
+// row panel of A across the inner loop; with few column panels, the same
+// column panel of B across many chunks).  Re-uploading panels per chunk
+// would swamp the H2D engine, so the executors keep the current panels in a
+// dedicated device area: two slots per matrix (double-buffered, since two
+// chunks are in flight).  Replacement makes the uploading stream wait on
+// the evicted slot's last reader — the event discipline CUDA would require,
+// checked by the device's hazard detector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "kernels/device_csr.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::core {
+
+class PanelCache {
+ public:
+  /// Reserves 2 slots of `max_a_bytes` for row panels of A and 2 slots of
+  /// `max_b_bytes` for column panels of B (one serializing Malloc).
+  PanelCache(vgpu::Device& device, vgpu::HostContext& host,
+             std::int64_t max_a_bytes, std::int64_t max_b_bytes);
+  ~PanelCache();
+
+  PanelCache(const PanelCache&) = delete;
+  PanelCache& operator=(const PanelCache&) = delete;
+
+  enum Kind { kA = 0, kB = 1 };
+
+  /// Returns the device copy of panel `id`, uploading on `stream` if it is
+  /// not cached.  The returned panel stays valid until evicted; callers
+  /// must MarkUse() once the chunk's kernels are issued so eviction can
+  /// wait for them.
+  StatusOr<kernels::DeviceCsr> Acquire(vgpu::HostContext& host,
+                                       vgpu::Stream& stream, Kind kind,
+                                       int id, const sparse::Csr& host_panel,
+                                       bool pinned);
+
+  /// Records that work issued on `stream` up to now reads panel (kind, id).
+  void MarkUse(vgpu::Stream& stream, Kind kind, int id);
+
+  /// Number of uploads skipped thanks to caching (diagnostics).
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    int id = -1;
+    vgpu::DevicePtr area;
+    kernels::DeviceCsr panel;
+    vgpu::Event last_use;   // latest reader's completion
+  };
+
+  vgpu::Device& device_;
+  vgpu::HostContext* host_;
+  vgpu::DevicePtr arena_;
+  std::array<std::array<Slot, 2>, 2> slots_;  // [kind][slot]
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace oocgemm::core

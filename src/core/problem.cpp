@@ -1,0 +1,32 @@
+#include "core/problem.hpp"
+
+namespace oocgemm::core {
+
+StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
+                                         const sparse::Csr& b,
+                                         std::int64_t device_capacity,
+                                         const ExecutorOptions& options,
+                                         ThreadPool& pool) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch: A is " +
+                                   a.DebugString() + ", B is " +
+                                   b.DebugString());
+  }
+  auto plan = partition::PlanPanels(a, b, device_capacity, options.plan);
+  if (!plan.ok()) return plan.status();
+
+  PreparedProblem prep;
+  prep.plan = plan.value();
+  prep.row_bounds = prep.plan.row_bounds;
+  prep.col_bounds = prep.plan.col_bounds;
+  prep.a_panels = partition::PartitionRows(a, prep.row_bounds);
+  prep.b_panels = partition::PartitionColsParallel(b, prep.col_bounds, pool);
+  prep.chunks = partition::AnalyzeChunks(
+      a, prep.row_bounds, b, prep.col_bounds,
+      prep.plan.row_nnz_estimate.empty() ? nullptr
+                                         : &prep.plan.row_nnz_estimate);
+  for (const auto& c : prep.chunks) prep.total_flops += c.flops;
+  return prep;
+}
+
+}  // namespace oocgemm::core

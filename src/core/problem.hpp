@@ -1,0 +1,38 @@
+// Shared preparation for all executors: panel planning, partitioning and
+// chunk analysis (lines 1-4 of Algorithm 3 plus GetFlops of Algorithm 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "core/executor_options.hpp"
+#include "partition/chunk.hpp"
+#include "partition/panel_plan.hpp"
+#include "partition/panels.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::core {
+
+struct PreparedProblem {
+  partition::PanelPlan plan;
+  partition::PanelBoundaries row_bounds;
+  partition::PanelBoundaries col_bounds;
+  std::vector<sparse::Csr> a_panels;  // host-resident row panels of A
+  std::vector<sparse::Csr> b_panels;  // host-resident column panels of B
+  std::vector<partition::ChunkDesc> chunks;  // row-major chunk grid
+  std::int64_t total_flops = 0;
+
+  int num_chunks() const { return static_cast<int>(chunks.size()); }
+};
+
+/// Plans panels for `device_capacity`, partitions both matrices (column
+/// panels via the optimized parallel partitioner) and analyzes all chunks.
+StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
+                                         const sparse::Csr& b,
+                                         std::int64_t device_capacity,
+                                         const ExecutorOptions& options,
+                                         ThreadPool& pool);
+
+}  // namespace oocgemm::core

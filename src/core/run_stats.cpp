@@ -1,0 +1,42 @@
+#include "core/run_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace oocgemm::core {
+
+void FillStatsFromTrace(const vgpu::Trace& trace, RunStats& stats) {
+  using vgpu::OpCategory;
+  stats.kernel_seconds = trace.BusyTime(OpCategory::kKernel);
+  stats.h2d_seconds = trace.BusyTime(OpCategory::kH2D);
+  stats.d2h_seconds = trace.BusyTime(OpCategory::kD2H);
+  stats.alloc_seconds =
+      trace.BusyTime(OpCategory::kAlloc) + trace.BusyTime(OpCategory::kFree);
+  stats.bytes_h2d = trace.Bytes(OpCategory::kH2D);
+  stats.bytes_d2h = trace.Bytes(OpCategory::kD2H);
+  stats.total_seconds = std::max(stats.total_seconds, trace.SpanEnd());
+  if (stats.total_seconds > 0.0) {
+    stats.d2h_fraction =
+        trace.CoveredTime(OpCategory::kD2H) / stats.total_seconds;
+    stats.transfer_fraction = (trace.CoveredTime(OpCategory::kD2H) +
+                               trace.CoveredTime(OpCategory::kH2D)) /
+                              stats.total_seconds;
+    stats.overlap_factor =
+        (stats.kernel_seconds + stats.h2d_seconds + stats.d2h_seconds) /
+        stats.total_seconds;
+  }
+}
+
+std::string RunStats::DebugString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "RunStats(%.4fs, %.3f GFLOPS, nnz=%lld, cr=%.2f, d2h=%.1f%%, "
+                "chunks=%d [gpu %d / cpu %d], panels=%dx%d)",
+                total_seconds, gflops(), static_cast<long long>(nnz_out),
+                compression_ratio, 100.0 * d2h_fraction, num_chunks,
+                num_gpu_chunks, num_cpu_chunks, num_row_panels,
+                num_col_panels);
+  return buf;
+}
+
+}  // namespace oocgemm::core

@@ -1,0 +1,60 @@
+// Result and statistics types shared by all executors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "vgpu/trace.hpp"
+
+namespace oocgemm::core {
+
+struct RunStats {
+  // Virtual makespan of the whole multiplication, including every transfer
+  // of the output to host memory (the paper's GFLOPS denominator).
+  double total_seconds = 0.0;
+
+  std::int64_t flops = 0;
+  std::int64_t nnz_out = 0;
+  double compression_ratio = 0.0;
+
+  // Device-side accounting (from the vgpu trace).
+  double kernel_seconds = 0.0;     // busy time of the compute engine
+  double h2d_seconds = 0.0;        // busy time of the H2D engine
+  double d2h_seconds = 0.0;        // busy time of the D2H engine
+  double alloc_seconds = 0.0;      // device-serializing (de)allocations
+  double d2h_fraction = 0.0;       // covered D2H time / makespan (Fig. 4)
+  double transfer_fraction = 0.0;  // covered (H2D u D2H) time / makespan
+  double overlap_factor = 0.0;     // busy(kernel+h2d+d2h) / makespan
+  std::int64_t bytes_h2d = 0;
+  std::int64_t bytes_d2h = 0;
+  std::int64_t device_peak_bytes = 0;
+
+  // Hybrid accounting.
+  double cpu_seconds = 0.0;        // CPU worker busy time (virtual)
+  double gpu_seconds = 0.0;        // GPU worker makespan (virtual)
+  int num_chunks = 0;
+  int num_gpu_chunks = 0;
+  int num_cpu_chunks = 0;
+  int num_row_panels = 1;
+  int num_col_panels = 1;
+
+  double gflops() const {
+    return total_seconds > 0.0
+               ? static_cast<double>(flops) / total_seconds / 1e9
+               : 0.0;
+  }
+
+  std::string DebugString() const;
+};
+
+struct RunResult {
+  sparse::Csr c;
+  RunStats stats;
+};
+
+/// Fills the trace-derived fields of `stats` from `trace` and sets
+/// total_seconds to at least the trace span.
+void FillStatsFromTrace(const vgpu::Trace& trace, RunStats& stats);
+
+}  // namespace oocgemm::core

@@ -1,0 +1,38 @@
+#include "core/spgemm.hpp"
+
+#include "core/problem.hpp"
+
+namespace oocgemm::core {
+
+StatusOr<RunResult> Multiply(vgpu::Device& device, const sparse::Csr& a,
+                             const sparse::Csr& b,
+                             const MultiplyOptions& options, ThreadPool& pool) {
+  switch (options.mode) {
+    case ExecutionMode::kGpuOutOfCore:
+      return AsyncOutOfCore(device, a, b, options, pool);
+    case ExecutionMode::kGpuSynchronous:
+      return SyncOutOfCore(device, a, b, options, pool);
+    case ExecutionMode::kHybrid:
+      return Hybrid(device, a, b, options, pool);
+    case ExecutionMode::kCpuOnly:
+      return CpuMulticore(a, b, options, pool);
+    case ExecutionMode::kAuto:
+      break;
+  }
+  // kAuto: probe the plan.  A single-chunk problem runs in-core on the GPU
+  // (the hybrid split would only idle one side); anything larger engages
+  // both processors.
+  auto prep = PrepareProblem(a, b, device.capacity(), options, pool);
+  if (!prep.ok()) return prep.status();
+  if (prep->num_chunks() <= 1) {
+    return AsyncOutOfCore(device, a, b, options, pool);
+  }
+  return Hybrid(device, a, b, options, pool);
+}
+
+StatusOr<RunResult> Multiply(vgpu::Device& device, const sparse::Csr& a,
+                             const sparse::Csr& b) {
+  return Multiply(device, a, b, MultiplyOptions{}, GlobalThreadPool());
+}
+
+}  // namespace oocgemm::core

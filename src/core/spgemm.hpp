@@ -1,0 +1,39 @@
+// Top-level convenience API: one entry point that picks the execution path.
+//
+// Most users should call core::Multiply and let the library decide between
+// the in-core fast path (everything fits on the device, a single chunk),
+// the asynchronous out-of-core pipeline, and the hybrid CPU+GPU executor —
+// all return the same RunResult.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "core/executors.hpp"
+
+namespace oocgemm::core {
+
+enum class ExecutionMode {
+  /// Use the hybrid executor when the problem spans several chunks and the
+  /// asynchronous GPU pipeline otherwise (a single chunk gives the CPU
+  /// nothing useful to do).
+  kAuto,
+  kGpuOutOfCore,   // AsyncOutOfCore
+  kGpuSynchronous, // SyncOutOfCore (baseline; for comparisons)
+  kHybrid,         // Hybrid
+  kCpuOnly,        // CpuMulticore
+};
+
+struct MultiplyOptions : ExecutorOptions {
+  ExecutionMode mode = ExecutionMode::kAuto;
+};
+
+/// C = A * B with automatic path selection (see ExecutionMode).
+StatusOr<RunResult> Multiply(vgpu::Device& device, const sparse::Csr& a,
+                             const sparse::Csr& b,
+                             const MultiplyOptions& options, ThreadPool& pool);
+
+/// Convenience overload with default options and the process-wide pool.
+StatusOr<RunResult> Multiply(vgpu::Device& device, const sparse::Csr& a,
+                             const sparse::Csr& b);
+
+}  // namespace oocgemm::core

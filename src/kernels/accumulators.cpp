@@ -1,0 +1,124 @@
+#include "kernels/accumulators.hpp"
+
+namespace oocgemm::kernels {
+
+namespace {
+std::int64_t NextPow2(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::uint64_t MixHash(index_t col) {
+  // Fibonacci hashing of the column id.
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(col)) *
+         0x9e3779b97f4a7c15ull;
+}
+}  // namespace
+
+void HashAccumulator::Reserve(std::int64_t max_entries) {
+  const std::int64_t want = NextPow2(std::max<std::int64_t>(16, max_entries * 2));
+  if (want > capacity()) Grow(want);
+}
+
+std::int64_t HashAccumulator::FindSlot(index_t col) {
+  const std::int64_t mask = capacity() - 1;
+  std::int64_t slot = static_cast<std::int64_t>(MixHash(col) >> 32) & mask;
+  for (;;) {
+    const index_t k = keys_[static_cast<std::size_t>(slot)];
+    if (k == col || k == kEmpty) return slot;
+    slot = (slot + 1) & mask;
+  }
+}
+
+void HashAccumulator::Grow(std::int64_t min_capacity) {
+  std::vector<index_t> old_keys = std::move(keys_);
+  std::vector<value_t> old_vals = std::move(vals_);
+  std::vector<std::int64_t> old_used = std::move(used_);
+  keys_.assign(static_cast<std::size_t>(
+                   NextPow2(std::max<std::int64_t>(16, min_capacity))),
+               kEmpty);
+  vals_.assign(keys_.size(), 0.0);
+  used_.clear();
+  used_.reserve(keys_.size() / 2);
+  for (std::int64_t slot : old_used) {
+    const index_t col = old_keys[static_cast<std::size_t>(slot)];
+    Add(col, old_vals[static_cast<std::size_t>(slot)]);
+  }
+}
+
+void HashAccumulator::Add(index_t col, value_t v) {
+  if (size() * 2 >= capacity()) Grow(capacity() * 2);
+  const std::int64_t slot = FindSlot(col);
+  if (keys_[static_cast<std::size_t>(slot)] == kEmpty) {
+    keys_[static_cast<std::size_t>(slot)] = col;
+    vals_[static_cast<std::size_t>(slot)] = v;
+    used_.push_back(slot);
+  } else {
+    vals_[static_cast<std::size_t>(slot)] += v;
+  }
+}
+
+void HashAccumulator::AddSymbolic(index_t col) { Add(col, 0.0); }
+
+std::int64_t HashAccumulator::ExtractSorted(index_t* cols_out,
+                                            value_t* vals_out) {
+  std::sort(used_.begin(), used_.end(), [this](std::int64_t a, std::int64_t b) {
+    return keys_[static_cast<std::size_t>(a)] < keys_[static_cast<std::size_t>(b)];
+  });
+  std::int64_t n = 0;
+  for (std::int64_t slot : used_) {
+    cols_out[n] = keys_[static_cast<std::size_t>(slot)];
+    if (vals_out) vals_out[n] = vals_[static_cast<std::size_t>(slot)];
+    ++n;
+  }
+  return n;
+}
+
+void HashAccumulator::Clear() {
+  for (std::int64_t slot : used_) keys_[static_cast<std::size_t>(slot)] = kEmpty;
+  used_.clear();
+}
+
+void DenseAccumulator::Reserve(index_t num_cols) {
+  if (static_cast<std::size_t>(num_cols) > values_.size()) {
+    values_.assign(static_cast<std::size_t>(num_cols), 0.0);
+    stamp_.assign(static_cast<std::size_t>(num_cols), 0);
+  }
+}
+
+void DenseAccumulator::Add(index_t col, value_t v) {
+  OOC_CHECK(static_cast<std::size_t>(col) < values_.size());
+  if (stamp_[static_cast<std::size_t>(col)] != generation_) {
+    stamp_[static_cast<std::size_t>(col)] = generation_;
+    values_[static_cast<std::size_t>(col)] = v;
+    touched_.push_back(col);
+  } else {
+    values_[static_cast<std::size_t>(col)] += v;
+  }
+}
+
+void DenseAccumulator::AddSymbolic(index_t col) { Add(col, 0.0); }
+
+std::int64_t DenseAccumulator::ExtractSorted(index_t* cols_out,
+                                             value_t* vals_out) {
+  std::sort(touched_.begin(), touched_.end());
+  std::int64_t n = 0;
+  for (index_t col : touched_) {
+    cols_out[n] = col;
+    if (vals_out) vals_out[n] = values_[static_cast<std::size_t>(col)];
+    ++n;
+  }
+  return n;
+}
+
+void DenseAccumulator::Clear() {
+  touched_.clear();
+  ++generation_;
+  if (generation_ == 0) {  // stamp wrap: invalidate everything explicitly
+    stamp_.assign(stamp_.size(), 0);
+    generation_ = 1;
+  }
+}
+
+}  // namespace oocgemm::kernels

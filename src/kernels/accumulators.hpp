@@ -1,0 +1,100 @@
+// Row accumulators for SpGEMM (Section II-B of the paper).
+//
+// Two strategies, matching the paper's in-core engine:
+//  * HashAccumulator — open-addressing map keyed by column id; good for
+//    sparse output rows.  Sized from an upper bound, values inserted by
+//    column id, extracted sorted.
+//  * DenseAccumulator — a dense value array indexed directly by column id
+//    with a generation-stamped occupancy mask; good for dense output rows
+//    (high compression ratio), wasteful for very sparse ones.
+//
+// Both support a symbolic mode (count distinct columns, no values) and a
+// numeric mode, and are designed for reuse across many rows without
+// per-row reallocation — the property the paper's pre-allocation scheme
+// depends on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::kernels {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+class HashAccumulator {
+ public:
+  /// Ensures capacity for `max_entries` distinct columns (load factor .5).
+  void Reserve(std::int64_t max_entries);
+
+  /// Inserts (col, v), accumulating on collision.
+  void Add(index_t col, value_t v);
+
+  /// Symbolic insert: records the column only.
+  void AddSymbolic(index_t col);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(used_.size()); }
+  std::int64_t capacity() const { return static_cast<std::int64_t>(keys_.size()); }
+
+  /// Writes the accumulated row sorted by column id; returns entry count.
+  /// `cols_out` / `vals_out` must have room for size() entries.  `vals_out`
+  /// may be null in symbolic mode.
+  std::int64_t ExtractSorted(index_t* cols_out, value_t* vals_out);
+
+  /// Forgets all entries; keeps capacity.  O(touched slots).
+  void Clear();
+
+ private:
+  std::int64_t FindSlot(index_t col);
+  void Grow(std::int64_t min_capacity);
+
+  std::vector<index_t> keys_;    // kEmpty when vacant
+  std::vector<value_t> vals_;
+  std::vector<std::int64_t> used_;  // occupied slot indices, insertion order
+  static constexpr index_t kEmpty = -1;
+};
+
+class DenseAccumulator {
+ public:
+  /// Sizes the dense array for columns [0, num_cols).
+  void Reserve(index_t num_cols);
+
+  void Add(index_t col, value_t v);
+  void AddSymbolic(index_t col);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(touched_.size()); }
+
+  std::int64_t ExtractSorted(index_t* cols_out, value_t* vals_out);
+
+  /// O(1): bumps the generation stamp instead of clearing arrays.
+  void Clear();
+
+ private:
+  std::vector<value_t> values_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<index_t> touched_;
+  std::uint32_t generation_ = 1;
+};
+
+/// Strategy selector used by the symbolic/numeric phases.
+enum class AccumulatorKind {
+  kAuto,   // dense for work-heavy rows, hash otherwise (paper's choice)
+  kHash,
+  kDense,
+};
+
+/// The paper's rule of thumb: dense accumulation pays off when the row's
+/// intermediate-product count is a significant fraction of the panel width.
+inline AccumulatorKind ChooseAccumulator(std::int64_t row_flops,
+                                         index_t panel_cols) {
+  return (row_flops / 2 >= static_cast<std::int64_t>(panel_cols) / 8)
+             ? AccumulatorKind::kDense
+             : AccumulatorKind::kHash;
+}
+
+}  // namespace oocgemm::kernels

@@ -1,0 +1,34 @@
+#include "kernels/binning.hpp"
+
+#include <cstdio>
+
+namespace oocgemm::kernels {
+
+RowGroups GroupRowsByWork(const std::int64_t* row_flops, std::size_t n) {
+  RowGroups rg;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t f = row_flops[i];
+    int g = 0;
+    while (g + 1 < kNumRowGroups && f > kGroupLimits[static_cast<std::size_t>(g)]) {
+      ++g;
+    }
+    // The loop exits with g such that f <= kGroupLimits[g] (or g == last).
+    rg.groups[static_cast<std::size_t>(g)].push_back(
+        static_cast<sparse::index_t>(i));
+  }
+  return rg;
+}
+
+std::string RowGroups::DebugString() const {
+  std::string out = "RowGroups(";
+  for (int g = 0; g < kNumRowGroups; ++g) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%zu", g ? ", " : "",
+                  groups[static_cast<std::size_t>(g)].size());
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace oocgemm::kernels

@@ -1,0 +1,45 @@
+// Row grouping for load balance (the host-side step between row analysis
+// and symbolic execution in Fig. 3 of the paper).
+//
+// Rows are grouped by work class so each group can be processed by a kernel
+// configuration suited to its size — mirroring spECK's lightweight analysis.
+// Group boundaries are powers of two on the flop count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace oocgemm::kernels {
+
+inline constexpr int kNumRowGroups = 5;
+
+/// Work-class thresholds (flops): group g holds rows with
+/// flops in (kGroupLimits[g-1], kGroupLimits[g]].
+inline constexpr std::array<std::int64_t, kNumRowGroups> kGroupLimits = {
+    0,        // group 0: empty rows (no work at all)
+    128,      // group 1: tiny rows
+    2048,     // group 2: small rows
+    32768,    // group 3: medium rows
+    INT64_MAX // group 4: heavy rows
+};
+
+struct RowGroups {
+  /// groups[g] lists panel-local row ids, preserving row order.
+  std::array<std::vector<sparse::index_t>, kNumRowGroups> groups;
+
+  std::size_t total_rows() const {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.size();
+    return n;
+  }
+  std::string DebugString() const;
+};
+
+/// Buckets rows [0, n) by their flop counts.
+RowGroups GroupRowsByWork(const std::int64_t* row_flops, std::size_t n);
+
+}  // namespace oocgemm::kernels

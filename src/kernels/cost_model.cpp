@@ -1,0 +1,41 @@
+#include "kernels/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/types.hpp"
+
+namespace oocgemm::kernels {
+
+double CostModel::NumericRate(double cr) const {
+  const double rate = numeric_coeff * std::pow(std::max(cr, 1.0), numeric_exp);
+  return std::clamp(rate, numeric_min, numeric_max);
+}
+
+double CostModel::GpuAnalysisSeconds(std::int64_t a_panel_nnz) const {
+  return static_cast<double>(a_panel_nnz) / analysis_entry_rate;
+}
+
+double CostModel::GpuSymbolicSeconds(std::int64_t flops, double cr) const {
+  return symbolic_fraction * GpuNumericSeconds(flops, cr);
+}
+
+double CostModel::GpuNumericSeconds(std::int64_t flops, double cr) const {
+  return group_imbalance_factor * static_cast<double>(flops) / NumericRate(cr);
+}
+
+double CostModel::GpuEndToEndSeconds(std::int64_t flops, double cr,
+                                     double d2h_bandwidth) const {
+  const double nnz_out = static_cast<double>(flops) / std::max(cr, 1.0);
+  const double transfer =
+      nnz_out * static_cast<double>(sparse::kBytesPerNnz) / d2h_bandwidth;
+  return GpuSymbolicSeconds(flops, cr) + GpuNumericSeconds(flops, cr) + transfer;
+}
+
+double CostModel::CpuChunkSeconds(std::int64_t flops, double cr) const {
+  const double per_flop = cpu_seconds_per_flop_coeff /
+                          std::pow(std::max(cr, 1.0), cpu_flop_exponent);
+  return cpu_chunk_overhead + static_cast<double>(flops) * per_flop;
+}
+
+}  // namespace oocgemm::kernels

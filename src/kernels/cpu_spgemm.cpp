@@ -1,0 +1,101 @@
+#include "kernels/cpu_spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/prefix_sum.hpp"
+#include "kernels/row_analysis.hpp"
+#include "kernels/spgemm_phases.hpp"
+
+namespace oocgemm::kernels {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+namespace {
+
+struct ThreadScratch {
+  AccumulatorScratch acc;
+};
+
+Csr RunTwoPhase(const Csr& a, const Csr& b, ThreadPool* pool,
+                const CpuSpgemmOptions& options) {
+  OOC_CHECK(a.cols() == b.rows());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::size_t num_threads = pool ? pool->num_threads() : 1;
+  std::vector<ThreadScratch> scratch(num_threads);
+
+  // Row analysis (flops per row drive the accumulator choice).
+  std::vector<std::int64_t> b_row_nnz = RowNnz(b);
+  std::vector<std::int64_t> row_flops(n);
+  std::vector<std::int64_t> row_nnz(n);
+
+  auto analyze_block = [&](std::size_t lo, std::size_t hi, std::size_t /*w*/) {
+    AnalyzeRows(a, static_cast<index_t>(lo), static_cast<index_t>(hi),
+                b_row_nnz, row_flops.data() + lo);
+  };
+
+  // Symbolic phase.
+  auto symbolic_block = [&](std::size_t lo, std::size_t hi, std::size_t w) {
+    std::vector<index_t> rows(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      rows[i - lo] = static_cast<index_t>(i);
+    }
+    SymbolicRows(a.row_offsets().data(), a.col_ids().data(),
+                 b.row_offsets().data(), b.col_ids().data(), b.cols(), rows,
+                 row_flops.data(), options.accumulator, scratch[w].acc,
+                 row_nnz.data());
+  };
+
+  if (pool) {
+    pool->ParallelFor(0, n, analyze_block, options.min_grain);
+    pool->ParallelFor(0, n, symbolic_block, options.min_grain);
+  } else {
+    analyze_block(0, n, 0);
+    symbolic_block(0, n, 0);
+  }
+
+  std::vector<offset_t> row_offsets(n + 1);
+  const std::int64_t nnz =
+      ExclusiveScan(row_nnz.data(), n, row_offsets.data());
+
+  std::vector<index_t> out_cols(static_cast<std::size_t>(nnz));
+  std::vector<value_t> out_vals(static_cast<std::size_t>(nnz));
+
+  // Numeric phase.
+  auto numeric_block = [&](std::size_t lo, std::size_t hi, std::size_t w) {
+    std::vector<index_t> rows(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      rows[i - lo] = static_cast<index_t>(i);
+    }
+    NumericRows(a.row_offsets().data(), a.col_ids().data(), a.values().data(),
+                b.row_offsets().data(), b.col_ids().data(), b.values().data(),
+                b.cols(), rows, row_flops.data(), options.accumulator,
+                scratch[w].acc, row_offsets.data(), out_cols.data(),
+                out_vals.data());
+  };
+  if (pool) {
+    pool->ParallelFor(0, n, numeric_block, options.min_grain);
+  } else {
+    numeric_block(0, n, 0);
+  }
+
+  return Csr(a.rows(), b.cols(), std::move(row_offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+}  // namespace
+
+Csr CpuSpgemm(const Csr& a, const Csr& b, ThreadPool& pool,
+              const CpuSpgemmOptions& options) {
+  return RunTwoPhase(a, b, &pool, options);
+}
+
+Csr CpuSpgemmSerial(const Csr& a, const Csr& b,
+                    const CpuSpgemmOptions& options) {
+  return RunTwoPhase(a, b, nullptr, options);
+}
+
+}  // namespace oocgemm::kernels

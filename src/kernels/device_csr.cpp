@@ -1,0 +1,90 @@
+#include "kernels/device_csr.hpp"
+
+#include <vector>
+
+namespace oocgemm::kernels {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+namespace {
+std::int64_t Align(std::int64_t v) { return (v + 255) / 256 * 256; }
+}  // namespace
+
+std::int64_t DeviceCsrBytes(index_t rows, std::int64_t nnz) {
+  return Align(static_cast<std::int64_t>(rows + 1) * sizeof(offset_t)) +
+         Align(nnz * static_cast<std::int64_t>(sizeof(index_t))) +
+         Align(nnz * static_cast<std::int64_t>(sizeof(value_t)));
+}
+
+std::int64_t DeviceCsrBytes(const Csr& m) {
+  return DeviceCsrBytes(m.rows(), m.nnz());
+}
+
+StatusOr<DeviceCsr> UploadCsr(vgpu::Device& device, vgpu::HostContext& host,
+                              vgpu::Stream& stream,
+                              vgpu::DeviceMemorySource& source, const Csr& m,
+                              const std::string& label, bool pinned) {
+  DeviceCsr d;
+  d.rows = m.rows();
+  d.cols = m.cols();
+  d.nnz = m.nnz();
+
+  auto ro = source.Allocate(
+      host, static_cast<std::int64_t>(m.row_offsets().size() * sizeof(offset_t)),
+      label + ".row_offsets");
+  if (!ro.ok()) return ro.status();
+  d.row_offsets = ro.value();
+
+  auto ci = source.Allocate(host, d.nnz * static_cast<std::int64_t>(sizeof(index_t)),
+                            label + ".col_ids");
+  if (!ci.ok()) return ci.status();
+  d.col_ids = ci.value();
+
+  auto va = source.Allocate(host, d.nnz * static_cast<std::int64_t>(sizeof(value_t)),
+                            label + ".values");
+  if (!va.ok()) return va.status();
+  d.values = va.value();
+
+  device.MemcpyH2DAsync(host, stream, d.row_offsets, m.row_offsets().data(),
+                        static_cast<std::int64_t>(m.row_offsets().size() *
+                                                  sizeof(offset_t)),
+                        label + ".row_offsets", pinned);
+  device.MemcpyH2DAsync(host, stream, d.col_ids, m.col_ids().data(),
+                        d.nnz * static_cast<std::int64_t>(sizeof(index_t)),
+                        label + ".col_ids", pinned);
+  device.MemcpyH2DAsync(host, stream, d.values, m.values().data(),
+                        d.nnz * static_cast<std::int64_t>(sizeof(value_t)),
+                        label + ".values", pinned);
+  return d;
+}
+
+void ReleaseCsr(vgpu::HostContext& host, vgpu::DeviceMemorySource& source,
+                DeviceCsr& m) {
+  source.Release(host, m.row_offsets);
+  source.Release(host, m.col_ids);
+  source.Release(host, m.values);
+  m = DeviceCsr{};
+}
+
+Csr DownloadCsr(vgpu::Device& device, vgpu::HostContext& host,
+                const DeviceCsr& m) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(m.rows) + 1);
+  std::vector<index_t> cols(static_cast<std::size_t>(m.nnz));
+  std::vector<value_t> vals(static_cast<std::size_t>(m.nnz));
+  device.MemcpyD2H(host, offsets.data(), m.row_offsets,
+                   static_cast<std::int64_t>(offsets.size() * sizeof(offset_t)),
+                   "download.row_offsets");
+  device.MemcpyD2H(host, cols.data(), m.col_ids,
+                   m.nnz * static_cast<std::int64_t>(sizeof(index_t)),
+                   "download.col_ids");
+  device.MemcpyD2H(host, vals.data(), m.values,
+                   m.nnz * static_cast<std::int64_t>(sizeof(value_t)),
+                   "download.values");
+  return Csr(m.rows, m.cols, std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+}  // namespace oocgemm::kernels

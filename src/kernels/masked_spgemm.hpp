@@ -1,0 +1,30 @@
+// Masked SpGEMM: C = (A * B) .* pattern(M).
+//
+// The GraphBLAS-style primitive behind the paper's graph-algorithm
+// motivation (Sec. I cites [22], the GraphBLAS foundations): when only the
+// entries of C at the mask's positions are needed — triangle counting,
+// clustering-coefficient and path-filter kernels — accumulating the full
+// product and discarding most of it wastes exactly the output volume the
+// out-of-core machinery exists to move.  Masking skips those entries at
+// accumulation time instead.
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_pool.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::kernels {
+
+/// C[i][j] = (A*B)[i][j] where M has a stored entry at (i, j); all other
+/// positions are dropped.  M's values are ignored (structural mask).
+/// Masked positions whose accumulated sum is exactly zero are dropped too
+/// (they are indistinguishable from never-touched positions).
+sparse::Csr MaskedCpuSpgemm(const sparse::Csr& a, const sparse::Csr& b,
+                            const sparse::Csr& mask, ThreadPool& pool);
+
+/// Triangle count of an undirected simple graph given its (symmetric,
+/// zero-diagonal) adjacency pattern: sum((A*A) .* A) / 6.
+std::int64_t CountTriangles(const sparse::Csr& adjacency, ThreadPool& pool);
+
+}  // namespace oocgemm::kernels

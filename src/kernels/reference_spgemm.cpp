@@ -1,0 +1,52 @@
+#include "kernels/reference_spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace oocgemm::kernels {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+Csr ReferenceSpgemm(const Csr& a, const Csr& b) {
+  OOC_CHECK(a.cols() == b.rows());
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> out_cols;
+  std::vector<value_t> out_vals;
+  std::vector<std::pair<index_t, value_t>> products;
+
+  for (index_t r = 0; r < a.rows(); ++r) {
+    products.clear();
+    for (offset_t ka = a.row_begin(r); ka < a.row_end(r); ++ka) {
+      const index_t mid = a.col_ids()[static_cast<std::size_t>(ka)];
+      const value_t av = a.values()[static_cast<std::size_t>(ka)];
+      for (offset_t kb = b.row_begin(mid); kb < b.row_end(mid); ++kb) {
+        products.emplace_back(b.col_ids()[static_cast<std::size_t>(kb)],
+                              av * b.values()[static_cast<std::size_t>(kb)]);
+      }
+    }
+    std::sort(products.begin(), products.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    std::size_t i = 0;
+    while (i < products.size()) {
+      const index_t col = products[i].first;
+      value_t sum = 0.0;
+      while (i < products.size() && products[i].first == col) {
+        sum += products[i].second;
+        ++i;
+      }
+      out_cols.push_back(col);
+      out_vals.push_back(sum);
+    }
+    offsets[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(out_cols.size());
+  }
+  return Csr(a.rows(), b.cols(), std::move(offsets), std::move(out_cols),
+             std::move(out_vals));
+}
+
+}  // namespace oocgemm::kernels

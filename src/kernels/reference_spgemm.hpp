@@ -1,0 +1,14 @@
+// Slow, obviously-correct SpGEMM used as the oracle in tests and to compute
+// exact output statistics.  Sort-based per-row accumulation, no shared
+// machinery with the production kernels (independence keeps the oracle
+// honest).
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace oocgemm::kernels {
+
+/// C = A * B.  Aborts on dimension mismatch (oracle use only).
+sparse::Csr ReferenceSpgemm(const sparse::Csr& a, const sparse::Csr& b);
+
+}  // namespace oocgemm::kernels

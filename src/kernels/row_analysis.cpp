@@ -1,0 +1,33 @@
+#include "kernels/row_analysis.hpp"
+
+#include "common/status.hpp"
+
+namespace oocgemm::kernels {
+
+using sparse::index_t;
+using sparse::offset_t;
+
+void AnalyzeRows(const sparse::Csr& a, index_t row_begin, index_t row_end,
+                 const std::vector<std::int64_t>& b_row_nnz,
+                 std::int64_t* flops_out) {
+  OOC_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows());
+  OOC_CHECK(b_row_nnz.size() == static_cast<std::size_t>(a.cols()));
+  for (index_t r = row_begin; r < row_end; ++r) {
+    std::int64_t f = 0;
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      f += b_row_nnz[static_cast<std::size_t>(
+          a.col_ids()[static_cast<std::size_t>(k)])];
+    }
+    flops_out[r - row_begin] = 2 * f;
+  }
+}
+
+std::vector<std::int64_t> RowNnz(const sparse::Csr& m) {
+  std::vector<std::int64_t> nnz(static_cast<std::size_t>(m.rows()));
+  for (index_t r = 0; r < m.rows(); ++r) {
+    nnz[static_cast<std::size_t>(r)] = m.row_nnz(r);
+  }
+  return nnz;
+}
+
+}  // namespace oocgemm::kernels

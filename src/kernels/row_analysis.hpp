@@ -1,0 +1,25 @@
+// Stage 1 of the in-core pipeline: per-row work analysis (Fig. 3 of the
+// paper).  For C = A * B, the work of output row i is
+//   flops(i) = 2 * sum_{k in A_i*} nnz(B_k*)
+// This drives (a) row grouping for load balance, (b) accumulator selection,
+// (c) the flop-based chunk scheduling of the out-of-core framework.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace oocgemm::kernels {
+
+/// Per-row flops of rows [row_begin, row_end) of A against B.
+/// b_row_nnz[k] must hold nnz of B's row k (precomputed once per panel).
+void AnalyzeRows(const sparse::Csr& a, sparse::index_t row_begin,
+                 sparse::index_t row_end,
+                 const std::vector<std::int64_t>& b_row_nnz,
+                 std::int64_t* flops_out);
+
+/// Convenience: row nnz array of a matrix.
+std::vector<std::int64_t> RowNnz(const sparse::Csr& m);
+
+}  // namespace oocgemm::kernels

@@ -1,0 +1,92 @@
+#include "kernels/spgemm_phases.hpp"
+
+namespace oocgemm::kernels {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+namespace {
+
+AccumulatorKind ResolveKind(AccumulatorKind kind, std::int64_t row_flops,
+                            index_t b_cols) {
+  if (kind != AccumulatorKind::kAuto) return kind;
+  return ChooseAccumulator(row_flops, b_cols);
+}
+
+}  // namespace
+
+void SymbolicRows(const offset_t* a_row_offsets, const index_t* a_col_ids,
+                  const offset_t* b_row_offsets, const index_t* b_col_ids,
+                  index_t b_cols, const std::vector<index_t>& rows,
+                  const std::int64_t* row_flops, AccumulatorKind kind,
+                  AccumulatorScratch& scratch, std::int64_t* row_nnz_out) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const index_t r = rows[i];
+    const std::int64_t flops = row_flops[r];
+    const AccumulatorKind k = ResolveKind(kind, flops, b_cols);
+    std::int64_t count = 0;
+    if (k == AccumulatorKind::kDense) {
+      scratch.dense.Reserve(b_cols);
+      scratch.dense.Clear();
+      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
+        const index_t mid = a_col_ids[ka];
+        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
+          scratch.dense.AddSymbolic(b_col_ids[kb]);
+        }
+      }
+      count = scratch.dense.size();
+    } else {
+      scratch.hash.Reserve(std::max<std::int64_t>(flops / 2, 8));
+      scratch.hash.Clear();
+      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
+        const index_t mid = a_col_ids[ka];
+        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
+          scratch.hash.AddSymbolic(b_col_ids[kb]);
+        }
+      }
+      count = scratch.hash.size();
+    }
+    row_nnz_out[r] = count;
+  }
+}
+
+void NumericRows(const offset_t* a_row_offsets, const index_t* a_col_ids,
+                 const value_t* a_values, const offset_t* b_row_offsets,
+                 const index_t* b_col_ids, const value_t* b_values,
+                 index_t b_cols, const std::vector<index_t>& rows,
+                 const std::int64_t* row_flops, AccumulatorKind kind,
+                 AccumulatorScratch& scratch, const offset_t* c_row_offsets,
+                 index_t* c_col_ids, value_t* c_values) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const index_t r = rows[i];
+    const std::int64_t flops = row_flops[r];
+    const AccumulatorKind k = ResolveKind(kind, flops, b_cols);
+    const offset_t out = c_row_offsets[r];
+    if (k == AccumulatorKind::kDense) {
+      scratch.dense.Reserve(b_cols);
+      scratch.dense.Clear();
+      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
+        const index_t mid = a_col_ids[ka];
+        const value_t av = a_values[ka];
+        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
+          scratch.dense.Add(b_col_ids[kb], av * b_values[kb]);
+        }
+      }
+      scratch.dense.ExtractSorted(c_col_ids + out, c_values + out);
+    } else {
+      scratch.hash.Reserve(std::max<std::int64_t>(flops / 2, 8));
+      scratch.hash.Clear();
+      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
+        const index_t mid = a_col_ids[ka];
+        const value_t av = a_values[ka];
+        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
+          scratch.hash.Add(b_col_ids[kb], av * b_values[kb]);
+        }
+      }
+      scratch.hash.ExtractSorted(c_col_ids + out, c_values + out);
+    }
+  }
+}
+
+}  // namespace oocgemm::kernels

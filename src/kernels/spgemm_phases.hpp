@@ -1,0 +1,53 @@
+// The symbolic and numeric phases of the two-phase SpGEMM (Section II-B).
+//
+// Both phases walk Gustavson row-row products of a row panel of A against a
+// column panel of B (stored in CSR with panel-local column ids) and
+// accumulate per output row, selecting hash or dense accumulation per row
+// as the paper does (dense for dense rows, hash for sparse rows).
+//
+// These functions are the *bodies* of virtual-GPU kernels: they run on the
+// host, but only ever through Device::LaunchKernel so their time is
+// attributed to the simulated compute engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/accumulators.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::kernels {
+
+/// Scratch accumulators reused across rows/kernels (no allocation inside
+/// the pipeline — the paper's requirement for asynchronous execution).
+struct AccumulatorScratch {
+  HashAccumulator hash;
+  DenseAccumulator dense;
+};
+
+/// Symbolic phase over a set of rows: writes the number of distinct output
+/// columns of each listed row to row_nnz_out (indexed like `rows`).
+///
+/// `a_row_offsets/a_col_ids` describe the row panel of A (panel-local rows,
+/// global column ids into B's row space); `b` is the column panel of B
+/// (b.cols() == panel width, panel-local column ids).
+void SymbolicRows(const sparse::offset_t* a_row_offsets,
+                  const sparse::index_t* a_col_ids,
+                  const sparse::offset_t* b_row_offsets,
+                  const sparse::index_t* b_col_ids, sparse::index_t b_cols,
+                  const std::vector<sparse::index_t>& rows,
+                  const std::int64_t* row_flops, AccumulatorKind kind,
+                  AccumulatorScratch& scratch, std::int64_t* row_nnz_out);
+
+/// Numeric phase over a set of rows: fills col/val arrays of output rows at
+/// positions given by c_row_offsets (panel-local CSR of the chunk).
+void NumericRows(const sparse::offset_t* a_row_offsets,
+                 const sparse::index_t* a_col_ids, const sparse::value_t* a_values,
+                 const sparse::offset_t* b_row_offsets,
+                 const sparse::index_t* b_col_ids, const sparse::value_t* b_values,
+                 sparse::index_t b_cols, const std::vector<sparse::index_t>& rows,
+                 const std::int64_t* row_flops, AccumulatorKind kind,
+                 AccumulatorScratch& scratch, const sparse::offset_t* c_row_offsets,
+                 sparse::index_t* c_col_ids, sparse::value_t* c_values);
+
+}  // namespace oocgemm::kernels

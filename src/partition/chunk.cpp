@@ -1,0 +1,136 @@
+#include "partition/chunk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.hpp"
+
+namespace oocgemm::partition {
+
+using sparse::index_t;
+using sparse::offset_t;
+
+std::vector<ChunkDesc> AnalyzeChunks(
+    const sparse::Csr& a, const PanelBoundaries& row_bounds,
+    const sparse::Csr& b, const PanelBoundaries& col_bounds,
+    const std::vector<double>* row_nnz_estimate) {
+  OOC_CHECK(a.cols() == b.rows());
+  OOC_CHECK(row_nnz_estimate == nullptr ||
+            row_nnz_estimate->size() == static_cast<std::size_t>(a.rows()));
+  const int nr = row_bounds.num_panels();
+  const int nc = col_bounds.num_panels();
+
+  // b_panel_row_nnz[p][k]: nnz of B row k inside column panel p.
+  std::vector<std::vector<std::int64_t>> b_panel_row_nnz =
+      ColPanelRowNnz(b, col_bounds);
+
+  std::vector<ChunkDesc> chunks(static_cast<std::size_t>(nr) *
+                                static_cast<std::size_t>(nc));
+  std::vector<std::int64_t> row_flops(static_cast<std::size_t>(nc));
+  for (int rp = 0; rp < nr; ++rp) {
+    const index_t r0 = row_bounds.panel_begin(rp);
+    const index_t r1 = row_bounds.panel_end(rp);
+    std::vector<std::int64_t> flops(static_cast<std::size_t>(nc), 0);
+    std::vector<std::int64_t> ub(static_cast<std::size_t>(nc), 0);
+    std::vector<double> est(static_cast<std::size_t>(nc), 0.0);
+    for (index_t r = r0; r < r1; ++r) {
+      std::fill(row_flops.begin(), row_flops.end(), 0);
+      for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+        const index_t mid = a.col_ids()[static_cast<std::size_t>(k)];
+        for (int cp = 0; cp < nc; ++cp) {
+          row_flops[static_cast<std::size_t>(cp)] +=
+              b_panel_row_nnz[static_cast<std::size_t>(cp)]
+                             [static_cast<std::size_t>(mid)];
+        }
+      }
+      std::int64_t row_total = 0;
+      for (int cp = 0; cp < nc; ++cp) {
+        row_total += row_flops[static_cast<std::size_t>(cp)];
+      }
+      for (int cp = 0; cp < nc; ++cp) {
+        const std::int64_t products = row_flops[static_cast<std::size_t>(cp)];
+        const std::int64_t f = 2 * products;
+        const std::int64_t row_ub =
+            std::min<std::int64_t>(products, col_bounds.panel_width(cp));
+        flops[static_cast<std::size_t>(cp)] += f;
+        ub[static_cast<std::size_t>(cp)] += row_ub;
+        if (row_nnz_estimate != nullptr && row_total > 0) {
+          // The chunk gets this row's products share of the predicted
+          // full-width row nnz, capped by the hard bound.
+          const double share = static_cast<double>(products) /
+                               static_cast<double>(row_total);
+          est[static_cast<std::size_t>(cp)] += std::min(
+              static_cast<double>(row_ub),
+              (*row_nnz_estimate)[static_cast<std::size_t>(r)] * share);
+        }
+      }
+    }
+    for (int cp = 0; cp < nc; ++cp) {
+      ChunkDesc& c = chunks[static_cast<std::size_t>(rp) *
+                                static_cast<std::size_t>(nc) +
+                            static_cast<std::size_t>(cp)];
+      c.row_panel = rp;
+      c.col_panel = cp;
+      c.flops = flops[static_cast<std::size_t>(cp)];
+      c.upper_bound_nnz = ub[static_cast<std::size_t>(cp)];
+      c.estimated_nnz =
+          row_nnz_estimate != nullptr
+              ? std::min(c.upper_bound_nnz,
+                         static_cast<std::int64_t>(
+                             est[static_cast<std::size_t>(cp)]) +
+                             1)
+              : c.upper_bound_nnz;
+    }
+  }
+  return chunks;
+}
+
+namespace {
+/// Work class of a chunk: logarithmic buckets 30% apart.  Sorting by class
+/// instead of by exact flops keeps Algorithm 3's row-major order (and so
+/// panel-cache locality) among chunks of comparable size, while still
+/// moving the genuinely heavier chunks to the front as Section IV-C
+/// requires.
+int FlopsClass(std::int64_t flops) {
+  if (flops <= 0) return 0;
+  return 1 + static_cast<int>(std::log(static_cast<double>(flops)) /
+                              std::log(1.3));
+}
+}  // namespace
+
+std::vector<int> OrderByFlopsDecreasing(const std::vector<ChunkDesc>& chunks) {
+  std::vector<int> order(chunks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int xi, int yi) {
+    const ChunkDesc& x = chunks[static_cast<std::size_t>(xi)];
+    const ChunkDesc& y = chunks[static_cast<std::size_t>(yi)];
+    const int cx = FlopsClass(x.flops);
+    const int cy = FlopsClass(y.flops);
+    if (cx != cy) return cx > cy;
+    // Within a class, walk column panels outermost: consecutive chunks
+    // then share the (large) B panel in the device panel cache.
+    if (x.col_panel != y.col_panel) return x.col_panel < y.col_panel;
+    return x.row_panel < y.row_panel;
+  });
+  return order;
+}
+
+int CountGpuChunks(const std::vector<ChunkDesc>& chunks,
+                   const std::vector<int>& order, double ratio) {
+  OOC_CHECK(order.size() == chunks.size());
+  if (ratio <= 0.0 || chunks.empty()) return 0;
+  std::int64_t total = 0;
+  for (const auto& c : chunks) total += c.flops;
+  if (total == 0 || ratio >= 1.0) return static_cast<int>(chunks.size());
+  std::int64_t gpu_flops = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    gpu_flops += chunks[static_cast<std::size_t>(order[i])].flops;
+    if (static_cast<double>(gpu_flops) / static_cast<double>(total) >= ratio) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return static_cast<int>(chunks.size());
+}
+
+}  // namespace oocgemm::partition

@@ -1,0 +1,56 @@
+// Chunk descriptors and per-chunk work analysis (GetFlops of Algorithm 4).
+//
+// A chunk C[i][j] is the product of row panel i of A and column panel j of
+// B.  Its flop count — cheap to compute relative to the SpGEMM itself — is
+// the paper's universal workload currency: it drives the execution order of
+// chunks (decreasing flops, Section IV-C), the GPU/CPU split of the hybrid
+// executor, and it correlates with the chunk's transfer cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/panels.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::partition {
+
+struct ChunkDesc {
+  int row_panel = 0;
+  int col_panel = 0;
+  std::int64_t flops = 0;
+  /// Worst-case nnz of the chunk: per output row min(flops/2, panel width)
+  /// summed.  The paper's Section IV-B observation that this bound is far
+  /// too loose for allocation is reproduced by bench_ablation_async_design.
+  std::int64_t upper_bound_nnz = 0;
+
+  /// Sampled-symbolic prediction of the chunk's nnz (<= upper_bound_nnz).
+  /// What the planner actually sizes pools with; a safety factor and an
+  /// OOM-retry loop in the executors absorb under-prediction.
+  std::int64_t estimated_nnz = 0;
+};
+
+/// Flops and size bounds/estimates for all num_row_panels x num_col_panels
+/// chunks, row-major (chunk_id = row * num_col_panels + col, as in
+/// Algorithm 4).  Cost: O(nnz(A) * num_col_panels).
+///
+/// `row_nnz_estimate` (size a.rows(), from sparse::EstimateRowNnz) predicts
+/// each output row's full-width nnz; each chunk receives the row's products
+/// share of it.  When null, estimated_nnz falls back to the upper bound.
+std::vector<ChunkDesc> AnalyzeChunks(
+    const sparse::Csr& a, const PanelBoundaries& row_bounds,
+    const sparse::Csr& b, const PanelBoundaries& col_bounds,
+    const std::vector<double>* row_nnz_estimate = nullptr);
+
+/// Indices of `chunks` sorted by decreasing flops (stable: equal-flop
+/// chunks keep Algorithm 4's row-major order).
+std::vector<int> OrderByFlopsDecreasing(const std::vector<ChunkDesc>& chunks);
+
+/// Algorithm 4, lines 16-24: the number of leading chunks (in the given
+/// order) whose cumulative flops first reaches `ratio` of the total.
+/// Returns 0 when ratio <= 0; returns chunks.size() when the total is 0 or
+/// ratio >= 1.
+int CountGpuChunks(const std::vector<ChunkDesc>& chunks,
+                   const std::vector<int>& order, double ratio);
+
+}  // namespace oocgemm::partition

@@ -1,0 +1,191 @@
+#include "partition/panel_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sparse/analysis.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::partition {
+
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+namespace {
+
+std::int64_t Align(std::int64_t v) { return (v + 255) / 256 * 256; }
+
+/// Device bytes of a CSR panel with `rows` rows and `nnz` entries,
+/// including per-array alignment padding.
+std::int64_t PanelBytes(std::int64_t rows, std::int64_t nnz) {
+  return Align((rows + 1) * static_cast<std::int64_t>(sizeof(offset_t))) +
+         Align(nnz * static_cast<std::int64_t>(sizeof(index_t))) +
+         Align(nnz * static_cast<std::int64_t>(sizeof(value_t)));
+}
+
+struct ChunkSizing {
+  std::int64_t max_a = 0;
+  std::int64_t max_b = 0;
+  std::int64_t max_out = 0;
+  std::int64_t max_working_set = 0;
+};
+
+ChunkSizing SizeChunks(const sparse::Csr& a, const PanelBoundaries& row_bounds,
+                       const sparse::Csr& b, const PanelBoundaries& col_bounds,
+                       const std::vector<double>* row_nnz_estimate,
+                       double nnz_safety_factor) {
+  ChunkSizing s;
+  const int nr = row_bounds.num_panels();
+  const int nc = col_bounds.num_panels();
+
+  std::vector<std::int64_t> a_bytes(static_cast<std::size_t>(nr));
+  for (int rp = 0; rp < nr; ++rp) {
+    const std::int64_t rows = row_bounds.panel_width(rp);
+    const std::int64_t nnz = a.row_begin(row_bounds.panel_end(rp)) -
+                             a.row_begin(row_bounds.panel_begin(rp));
+    a_bytes[static_cast<std::size_t>(rp)] = PanelBytes(rows, nnz);
+    s.max_a = std::max(s.max_a, a_bytes[static_cast<std::size_t>(rp)]);
+  }
+
+  std::vector<std::int64_t> b_nnz = ColPanelNnz(b, col_bounds);
+  std::vector<std::int64_t> b_bytes(static_cast<std::size_t>(nc));
+  for (int cp = 0; cp < nc; ++cp) {
+    b_bytes[static_cast<std::size_t>(cp)] =
+        PanelBytes(b.rows(), b_nnz[static_cast<std::size_t>(cp)]);
+    s.max_b = std::max(s.max_b, b_bytes[static_cast<std::size_t>(cp)]);
+  }
+
+  std::vector<ChunkDesc> chunks =
+      AnalyzeChunks(a, row_bounds, b, col_bounds, row_nnz_estimate);
+  for (const ChunkDesc& c : chunks) {
+    const std::int64_t rows = row_bounds.panel_width(c.row_panel);
+    // Pipeline scratch: per-row flops + per-row nnz (int64 each).
+    const std::int64_t scratch = 2 * Align(rows * 8);
+    const std::int64_t planned_nnz = std::min(
+        c.upper_bound_nnz,
+        static_cast<std::int64_t>(static_cast<double>(c.estimated_nnz) *
+                                  nnz_safety_factor) +
+            1);
+    const std::int64_t out = PanelBytes(rows, planned_nnz);
+    s.max_out = std::max(s.max_out, out);
+    s.max_working_set = std::max(s.max_working_set, scratch + out);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::int64_t MaxChunkWorkingSetBytes(const sparse::Csr& a,
+                                     const PanelBoundaries& row_bounds,
+                                     const sparse::Csr& b,
+                                     const PanelBoundaries& col_bounds) {
+  return SizeChunks(a, row_bounds, b, col_bounds, nullptr, 1.0)
+      .max_working_set;
+}
+
+std::string PanelPlan::DebugString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "PanelPlan(%dx%d panels, pool=%lld B, A<=%lld B, B<=%lld B, "
+                "out<=%lld B)",
+                num_row_panels, num_col_panels,
+                static_cast<long long>(pool_bytes),
+                static_cast<long long>(max_a_panel_bytes),
+                static_cast<long long>(max_b_panel_bytes),
+                static_cast<long long>(max_output_bytes));
+  return buf;
+}
+
+StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
+                               std::int64_t device_capacity,
+                               const PlanOptions& options) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch: A is " +
+                                   a.DebugString() + ", B is " +
+                                   b.DebugString());
+  }
+  if (options.buffers < 1 || options.capacity_fraction <= 0.0) {
+    return Status::InvalidArgument("bad plan options");
+  }
+  const std::int64_t budget = static_cast<std::int64_t>(
+      static_cast<double>(device_capacity) * options.capacity_fraction);
+
+  // Sampled-symbolic row-nnz prediction (full output width; independent of
+  // the panel boundaries, so computed once for the whole search).  The same
+  // per-row weights drive the work-balanced row boundaries.
+  std::vector<double> row_estimate;
+  const std::vector<double>* estimate_ptr = nullptr;
+  if (options.nnz_sample_fraction > 0.0) {
+    row_estimate =
+        sparse::EstimateRowNnz(a, b, options.nnz_sample_fraction).per_row;
+    estimate_ptr = &row_estimate;
+  }
+
+  auto row_bounds_for = [&](int nr) {
+    return estimate_ptr != nullptr
+               ? WeightBalancedBoundaries(row_estimate, nr)
+               : UniformBoundaries(a.rows(), nr);
+  };
+
+  // Row panels are preferred: they shrink the A panel, the scratch and the
+  // output chunk, and — unlike column panels — they never reduce B-panel
+  // reuse in the device panel cache (each extra column panel is another
+  // large B upload whenever the execution order crosses panels).  Column
+  // panels are the fallback for when the B panel itself no longer fits.
+  ChunkSizing last_sizing{};
+  for (int nc = 1;
+       nc <= options.max_panels_per_dim && nc <= std::max(1, b.cols());
+       nc *= 2) {
+    PanelBoundaries cb = UniformBoundaries(b.cols(), nc);
+    const int max_nr =
+        std::min<int>(options.max_panels_per_dim, std::max(1, a.rows()));
+
+    auto fits = [&](int nr, ChunkSizing* out_sizing) {
+      PanelBoundaries rb = row_bounds_for(nr);
+      ChunkSizing s =
+          SizeChunks(a, rb, b, cb, estimate_ptr, options.nnz_safety_factor);
+      if (out_sizing) *out_sizing = s;
+      // Panel cache: two slots per matrix so uploads can double-buffer.
+      return 2 * (s.max_a + s.max_b) + s.max_working_set * options.buffers <=
+             budget;
+    };
+
+    // Coarse doubling, then binary refinement to the smallest fitting nr
+    // (fewer, larger chunks amortize per-chunk overheads — the paper's
+    // "best performing chunk size" preference).
+    int nr = 1;
+    while (nr < max_nr && !fits(nr, &last_sizing)) nr *= 2;
+    nr = std::min(nr, max_nr);
+    if (!fits(nr, &last_sizing)) continue;  // B panel too big: more columns
+    int lo = nr / 2 + 1, hi = nr;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (fits(mid, nullptr)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    ChunkSizing s;
+    OOC_CHECK(fits(hi, &s));
+    PanelPlan plan;
+    plan.num_row_panels = hi;
+    plan.num_col_panels = nc;
+    plan.row_bounds = row_bounds_for(hi);
+    plan.col_bounds = cb;
+    plan.pool_bytes = s.max_working_set;
+    plan.max_a_panel_bytes = s.max_a;
+    plan.max_b_panel_bytes = s.max_b;
+    plan.max_output_bytes = s.max_out;
+    plan.row_nnz_estimate = row_estimate;
+    return plan;
+  }
+  return Status::FailedPrecondition(
+      "no panel partitioning fits device memory: worst chunk needs " +
+      std::to_string(last_sizing.max_working_set) + " bytes x" +
+      std::to_string(options.buffers) + " plus panel-cache bytes, budget " +
+      std::to_string(budget));
+}
+
+}  // namespace oocgemm::partition

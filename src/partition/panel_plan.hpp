@@ -1,0 +1,76 @@
+// Panel-count planning: pick (num_row_panels, num_col_panels) so that one
+// chunk's working set — both panels, pipeline scratch and the worst-case
+// output — fits in device memory, twice over for double buffering.
+//
+// The paper fixes chunk sizes per matrix empirically ("we select the
+// results when synchronous spECK achieves the best performance"); the
+// planner automates the same preference: the fewest panels that fit, since
+// larger chunks amortize per-chunk overheads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "partition/chunk.hpp"
+#include "partition/panels.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::partition {
+
+struct PlanOptions {
+  /// Fraction of device memory the plan may use (headroom for allocator
+  /// alignment and the baseline's transient mallocs).
+  double capacity_fraction = 0.9;
+  /// Number of concurrently live chunk working sets (2 = double buffering).
+  int buffers = 2;
+  /// Search bound per dimension.
+  int max_panels_per_dim = 256;
+  /// Output pools are sized `nnz_safety_factor` x the sampled-symbolic
+  /// chunk-nnz estimate (capped by the worst-case bound).  Executors retry
+  /// with a doubled factor if a chunk overflows its pool at run time.
+  double nnz_safety_factor = 2.0;
+  /// Row fraction for the sampled symbolic estimator; <= 0 disables the
+  /// estimator and falls back to worst-case sizing (the configuration the
+  /// paper rejects; kept for the ablation bench).
+  double nnz_sample_fraction = 0.05;
+};
+
+struct PanelPlan {
+  int num_row_panels = 1;
+  int num_col_panels = 1;
+  /// Row panels are balanced by estimated output (consecutive rows, near
+  /// equal predicted chunk payloads); column panels are uniform.
+  PanelBoundaries row_bounds;
+  PanelBoundaries col_bounds;
+  /// The sampled-symbolic per-row output prediction the plan was built
+  /// from (empty when the estimator is disabled); callers reuse it for
+  /// chunk analysis so estimated_nnz is consistent with the pool sizing.
+  std::vector<double> row_nnz_estimate;
+  /// Size of each per-chunk memory pool: pipeline scratch plus the
+  /// worst-case output.  Input panels live in the separate panel cache.
+  std::int64_t pool_bytes = 0;
+  /// Panel-cache slot sizes (worst A row panel / worst B column panel);
+  /// the cache holds two slots of each so uploads double-buffer.
+  std::int64_t max_a_panel_bytes = 0;
+  std::int64_t max_b_panel_bytes = 0;
+  std::int64_t max_output_bytes = 0;
+
+  std::string DebugString() const;
+};
+
+/// Plans panel counts for C = A * B on a device with `device_capacity`
+/// bytes.  Fails with FailedPrecondition if no partitioning within the
+/// search bound fits (device too small even for 1-row panels).
+StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
+                               std::int64_t device_capacity,
+                               const PlanOptions& options = {});
+
+/// Working-set bytes of the worst chunk under the given boundaries
+/// (exposed for tests and the planner's internals).
+std::int64_t MaxChunkWorkingSetBytes(const sparse::Csr& a,
+                                     const PanelBoundaries& row_bounds,
+                                     const sparse::Csr& b,
+                                     const PanelBoundaries& col_bounds);
+
+}  // namespace oocgemm::partition

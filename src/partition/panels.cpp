@@ -1,0 +1,266 @@
+#include "partition/panels.hpp"
+
+#include <algorithm>
+
+#include "common/prefix_sum.hpp"
+#include "sparse/ops.hpp"
+
+namespace oocgemm::partition {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+PanelBoundaries UniformBoundaries(index_t total, int num_panels) {
+  OOC_CHECK(total >= 0 && num_panels >= 1);
+  PanelBoundaries b;
+  b.begin.resize(static_cast<std::size_t>(num_panels) + 1);
+  for (int p = 0; p <= num_panels; ++p) {
+    b.begin[static_cast<std::size_t>(p)] = static_cast<index_t>(
+        static_cast<std::int64_t>(total) * p / num_panels);
+  }
+  return b;
+}
+
+PanelBoundaries WeightBalancedBoundaries(const std::vector<double>& weights,
+                                         int num_panels) {
+  OOC_CHECK(num_panels >= 1);
+  const index_t rows = static_cast<index_t>(weights.size());
+  PanelBoundaries b;
+  b.begin.resize(static_cast<std::size_t>(num_panels) + 1);
+  b.begin.front() = 0;
+  b.begin.back() = rows;
+
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return UniformBoundaries(rows, num_panels);
+
+  // Walk rows once, cutting whenever the running weight passes the next
+  // quantile — while ensuring every remaining panel can still get >= 1 row.
+  double cum = 0.0;
+  int panel = 1;
+  for (index_t r = 0; r < rows && panel < num_panels; ++r) {
+    cum += std::max(0.0, weights[static_cast<std::size_t>(r)]);
+    const double target = total * static_cast<double>(panel) /
+                          static_cast<double>(num_panels);
+    const index_t max_begin = rows - static_cast<index_t>(num_panels - panel);
+    if (cum >= target || r + 1 >= max_begin) {
+      b.begin[static_cast<std::size_t>(panel)] =
+          std::min<index_t>(r + 1, max_begin);
+      ++panel;
+    }
+  }
+  for (; panel < num_panels; ++panel) {
+    b.begin[static_cast<std::size_t>(panel)] = rows;
+  }
+  // Enforce monotonicity (possible when rows < num_panels).
+  for (int p = 1; p <= num_panels; ++p) {
+    b.begin[static_cast<std::size_t>(p)] = std::max(
+        b.begin[static_cast<std::size_t>(p)], b.begin[static_cast<std::size_t>(p - 1)]);
+  }
+  return b;
+}
+
+std::vector<Csr> PartitionRows(const Csr& a, const PanelBoundaries& bounds) {
+  OOC_CHECK(bounds.num_panels() >= 1);
+  OOC_CHECK(bounds.begin.front() == 0 && bounds.begin.back() == a.rows());
+  std::vector<Csr> panels;
+  panels.reserve(static_cast<std::size_t>(bounds.num_panels()));
+  for (int p = 0; p < bounds.num_panels(); ++p) {
+    panels.push_back(
+        sparse::SliceRows(a, bounds.panel_begin(p), bounds.panel_end(p)));
+  }
+  return panels;
+}
+
+std::vector<Csr> PartitionColsNaive(const Csr& b, const PanelBoundaries& bounds) {
+  OOC_CHECK(bounds.num_panels() >= 1);
+  OOC_CHECK(bounds.begin.front() == 0 && bounds.begin.back() == b.cols());
+  std::vector<Csr> panels;
+  panels.reserve(static_cast<std::size_t>(bounds.num_panels()));
+  for (int p = 0; p < bounds.num_panels(); ++p) {
+    // Stage 1: count nnz of this panel per row (full re-scan of each row).
+    const index_t start_col = bounds.panel_begin(p);
+    const index_t end_col = bounds.panel_end(p);
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(b.rows()), 0);
+    for (index_t r = 0; r < b.rows(); ++r) {
+      for (offset_t k = b.row_begin(r); k < b.row_end(r); ++k) {
+        const index_t c = b.col_ids()[static_cast<std::size_t>(k)];
+        if (c >= start_col && c < end_col) {
+          ++counts[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+    // Stage 2: allocate.
+    std::vector<offset_t> offsets = ExclusiveScan(counts);
+    const std::int64_t panel_nnz = offsets.back();
+    std::vector<index_t> cols(static_cast<std::size_t>(panel_nnz));
+    std::vector<value_t> vals(static_cast<std::size_t>(panel_nnz));
+    // Stage 3: fill (again a full re-scan).
+    for (index_t r = 0; r < b.rows(); ++r) {
+      offset_t w = offsets[static_cast<std::size_t>(r)];
+      for (offset_t k = b.row_begin(r); k < b.row_end(r); ++k) {
+        const index_t c = b.col_ids()[static_cast<std::size_t>(k)];
+        if (c >= start_col && c < end_col) {
+          cols[static_cast<std::size_t>(w)] = c - start_col;
+          vals[static_cast<std::size_t>(w)] =
+              b.values()[static_cast<std::size_t>(k)];
+          ++w;
+        }
+      }
+    }
+    panels.emplace_back(b.rows(), end_col - start_col, std::move(offsets),
+                        std::move(cols), std::move(vals));
+  }
+  return panels;
+}
+
+namespace {
+
+/// Shared fill routine for the optimized partitioners: processes rows
+/// [row_lo, row_hi) of `b` into the pre-allocated panel arrays, using
+/// per-row cursors that advance monotonically across panels (the paper's
+/// col_offset structure).  `offsets[p]` are the destination row offsets of
+/// panel p; writes are disjoint across row blocks by construction.
+void FillPanelsForRows(const Csr& b, const PanelBoundaries& bounds,
+                       index_t row_lo, index_t row_hi,
+                       const std::vector<std::vector<offset_t>>& offsets,
+                       std::vector<std::vector<index_t>>& cols,
+                       std::vector<std::vector<value_t>>& vals) {
+  const int num_panels = bounds.num_panels();
+  for (index_t r = row_lo; r < row_hi; ++r) {
+    // col_offset cursor: resumes where the previous panel stopped.
+    offset_t cursor = b.row_begin(r);
+    for (int p = 0; p < num_panels; ++p) {
+      const index_t start_col = bounds.panel_begin(p);
+      const index_t end_col = bounds.panel_end(p);
+      offset_t w = offsets[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+      while (cursor < b.row_end(r)) {
+        const index_t c = b.col_ids()[static_cast<std::size_t>(cursor)];
+        if (c >= end_col) break;  // belongs to a later panel
+        OOC_CHECK(c >= start_col);  // sortedness guarantees no back-tracking
+        cols[static_cast<std::size_t>(p)][static_cast<std::size_t>(w)] =
+            c - start_col;
+        vals[static_cast<std::size_t>(p)][static_cast<std::size_t>(w)] =
+            b.values()[static_cast<std::size_t>(cursor)];
+        ++w;
+        ++cursor;
+      }
+    }
+  }
+}
+
+std::vector<Csr> PartitionColsImpl(const Csr& b, const PanelBoundaries& bounds,
+                                   oocgemm::ThreadPool* pool) {
+  OOC_CHECK(bounds.num_panels() >= 1);
+  OOC_CHECK(bounds.begin.front() == 0 && bounds.begin.back() == b.cols());
+  const int num_panels = bounds.num_panels();
+  const std::size_t rows = static_cast<std::size_t>(b.rows());
+
+  // Stage 1: one sweep counts, for every row, the nnz in each panel.
+  std::vector<std::vector<std::int64_t>> counts(
+      static_cast<std::size_t>(num_panels),
+      std::vector<std::int64_t>(rows, 0));
+  auto count_rows = [&](std::size_t lo, std::size_t hi, std::size_t /*w*/) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      int p = 0;
+      for (offset_t k = b.row_begin(static_cast<index_t>(r));
+           k < b.row_end(static_cast<index_t>(r)); ++k) {
+        const index_t c = b.col_ids()[static_cast<std::size_t>(k)];
+        while (c >= bounds.panel_end(p)) ++p;  // sorted => monotone advance
+        ++counts[static_cast<std::size_t>(p)][r];
+      }
+    }
+  };
+  if (pool) {
+    pool->ParallelFor(0, rows, count_rows, 256);
+  } else {
+    count_rows(0, rows, 0);
+  }
+
+  // Stage 2: allocate each panel from its prefix sums.
+  std::vector<std::vector<offset_t>> offsets(static_cast<std::size_t>(num_panels));
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(num_panels));
+  std::vector<std::vector<value_t>> vals(static_cast<std::size_t>(num_panels));
+  for (int p = 0; p < num_panels; ++p) {
+    auto& off = offsets[static_cast<std::size_t>(p)];
+    off.resize(rows + 1);
+    std::int64_t total;
+    if (pool) {
+      total = ParallelExclusiveScan(counts[static_cast<std::size_t>(p)].data(),
+                                    rows, off.data(), *pool);
+    } else {
+      total = ExclusiveScan(counts[static_cast<std::size_t>(p)].data(), rows,
+                            off.data());
+    }
+    cols[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(total));
+    vals[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(total));
+  }
+
+  // Stage 3: fill with col_offset cursors, parallel over row blocks.
+  auto fill_rows = [&](std::size_t lo, std::size_t hi, std::size_t /*w*/) {
+    FillPanelsForRows(b, bounds, static_cast<index_t>(lo),
+                      static_cast<index_t>(hi), offsets, cols, vals);
+  };
+  if (pool) {
+    pool->ParallelFor(0, rows, fill_rows, 256);
+  } else {
+    fill_rows(0, rows, 0);
+  }
+
+  std::vector<Csr> panels;
+  panels.reserve(static_cast<std::size_t>(num_panels));
+  for (int p = 0; p < num_panels; ++p) {
+    panels.emplace_back(b.rows(), bounds.panel_width(p),
+                        std::move(offsets[static_cast<std::size_t>(p)]),
+                        std::move(cols[static_cast<std::size_t>(p)]),
+                        std::move(vals[static_cast<std::size_t>(p)]));
+  }
+  return panels;
+}
+
+}  // namespace
+
+std::vector<Csr> PartitionColsOptimized(const Csr& b,
+                                        const PanelBoundaries& bounds) {
+  return PartitionColsImpl(b, bounds, nullptr);
+}
+
+std::vector<Csr> PartitionColsParallel(const Csr& b,
+                                       const PanelBoundaries& bounds,
+                                       oocgemm::ThreadPool& pool) {
+  return PartitionColsImpl(b, bounds, &pool);
+}
+
+std::vector<std::int64_t> ColPanelNnz(const Csr& b,
+                                      const PanelBoundaries& bounds) {
+  std::vector<std::int64_t> nnz(static_cast<std::size_t>(bounds.num_panels()), 0);
+  for (index_t r = 0; r < b.rows(); ++r) {
+    int p = 0;
+    for (offset_t k = b.row_begin(r); k < b.row_end(r); ++k) {
+      const index_t c = b.col_ids()[static_cast<std::size_t>(k)];
+      while (c >= bounds.panel_end(p)) ++p;
+      ++nnz[static_cast<std::size_t>(p)];
+    }
+  }
+  return nnz;
+}
+
+std::vector<std::vector<std::int64_t>> ColPanelRowNnz(
+    const Csr& b, const PanelBoundaries& bounds) {
+  std::vector<std::vector<std::int64_t>> out(
+      static_cast<std::size_t>(bounds.num_panels()),
+      std::vector<std::int64_t>(static_cast<std::size_t>(b.rows()), 0));
+  for (index_t r = 0; r < b.rows(); ++r) {
+    int p = 0;
+    for (offset_t k = b.row_begin(r); k < b.row_end(r); ++k) {
+      const index_t c = b.col_ids()[static_cast<std::size_t>(k)];
+      while (c >= bounds.panel_end(p)) ++p;
+      ++out[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+    }
+  }
+  return out;
+}
+
+}  // namespace oocgemm::partition

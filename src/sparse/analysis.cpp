@@ -1,0 +1,169 @@
+#include "sparse/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/stats.hpp"
+
+namespace oocgemm::sparse {
+
+std::vector<std::int64_t> RowFlops(const Csr& a, const Csr& b) {
+  OOC_CHECK(a.cols() == b.rows());
+  std::vector<std::int64_t> flops(static_cast<std::size_t>(a.rows()), 0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    std::int64_t f = 0;
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t mid = a.col_ids()[static_cast<std::size_t>(k)];
+      f += b.row_nnz(mid);
+    }
+    flops[static_cast<std::size_t>(r)] = 2 * f;
+  }
+  return flops;
+}
+
+std::int64_t TotalFlops(const Csr& a, const Csr& b) {
+  // Avoids materializing the per-row vector: accumulate nnz(B row) weighted
+  // by the number of references from A.
+  OOC_CHECK(a.cols() == b.rows());
+  std::vector<std::int64_t> refs(static_cast<std::size_t>(b.rows()), 0);
+  for (index_t c : a.col_ids()) ++refs[static_cast<std::size_t>(c)];
+  std::int64_t f = 0;
+  for (index_t r = 0; r < b.rows(); ++r) {
+    f += refs[static_cast<std::size_t>(r)] * b.row_nnz(r);
+  }
+  return 2 * f;
+}
+
+std::vector<std::int64_t> SymbolicRowNnz(const Csr& a, const Csr& b) {
+  OOC_CHECK(a.cols() == b.rows());
+  std::vector<std::int64_t> nnz(static_cast<std::size_t>(a.rows()), 0);
+  std::vector<index_t> scratch;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    scratch.clear();
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t mid = a.col_ids()[static_cast<std::size_t>(k)];
+      for (offset_t j = b.row_begin(mid); j < b.row_end(mid); ++j) {
+        scratch.push_back(b.col_ids()[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    nnz[static_cast<std::size_t>(r)] = static_cast<std::int64_t>(
+        std::unique(scratch.begin(), scratch.end()) - scratch.begin());
+  }
+  return nnz;
+}
+
+std::int64_t SymbolicNnz(const Csr& a, const Csr& b) {
+  std::int64_t total = 0;
+  for (std::int64_t v : SymbolicRowNnz(a, b)) total += v;
+  return total;
+}
+
+RowNnzEstimate EstimateRowNnz(const Csr& a, const Csr& b,
+                              double sample_fraction, std::uint64_t seed) {
+  OOC_CHECK(a.cols() == b.rows());
+  OOC_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  RowNnzEstimate est;
+  est.per_row.assign(n, 0.0);
+  if (n == 0) return est;
+
+  Pcg32 rng(seed, /*stream=*/0x7);
+  std::vector<std::int64_t> row_flops = RowFlops(a, b);
+
+  // Collision behaviour varies strongly with the row's product count
+  // (heavy rows in dense regions collide far more), so the sampled
+  // collision factors are stratified into logarithmic product buckets.
+  auto bucket_of = [](std::int64_t products) {
+    int bkt = 0;
+    while (products > 1) {
+      products >>= 2;  // factor-4 buckets
+      ++bkt;
+    }
+    return bkt;
+  };
+  constexpr int kMaxBuckets = 40;
+  std::array<std::int64_t, kMaxBuckets> bucket_products{};
+  std::array<std::int64_t, kMaxBuckets> bucket_nnz{};
+
+  // Exact symbolic counts on a random row sample.
+  std::vector<index_t> scratch;
+  std::int64_t sampled_products = 0;
+  std::int64_t sampled_nnz = 0;
+  std::vector<bool> sampled(n, false);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!rng.Bernoulli(sample_fraction)) continue;
+    sampled[r] = true;
+    ++est.sampled_rows;
+    scratch.clear();
+    for (offset_t k = a.row_begin(static_cast<index_t>(r));
+         k < a.row_end(static_cast<index_t>(r)); ++k) {
+      const index_t mid = a.col_ids()[static_cast<std::size_t>(k)];
+      for (offset_t j = b.row_begin(mid); j < b.row_end(mid); ++j) {
+        scratch.push_back(b.col_ids()[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    const std::int64_t nnz = static_cast<std::int64_t>(
+        std::unique(scratch.begin(), scratch.end()) - scratch.begin());
+    est.per_row[r] = static_cast<double>(nnz);
+    const std::int64_t products = row_flops[r] / 2;
+    sampled_nnz += nnz;
+    sampled_products += products;
+    const int bkt = bucket_of(products);
+    bucket_products[static_cast<std::size_t>(bkt)] += products;
+    bucket_nnz[static_cast<std::size_t>(bkt)] += nnz;
+  }
+
+  est.collision_factor =
+      sampled_products > 0 ? static_cast<double>(sampled_nnz) /
+                                 static_cast<double>(sampled_products)
+                           : 1.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (sampled[r]) continue;
+    const std::int64_t products = row_flops[r] / 2;
+    const int bkt = bucket_of(products);
+    // Prefer the factor of the row's own bucket; fall back to neighbours,
+    // then to the global factor.
+    double factor = est.collision_factor;
+    for (int d : {0, 1, -1, 2, -2}) {
+      const int candidate = bkt + d;
+      if (candidate >= 0 && candidate < kMaxBuckets &&
+          bucket_products[static_cast<std::size_t>(candidate)] > 0) {
+        factor = static_cast<double>(
+                     bucket_nnz[static_cast<std::size_t>(candidate)]) /
+                 static_cast<double>(
+                     bucket_products[static_cast<std::size_t>(candidate)]);
+        break;
+      }
+    }
+    est.per_row[r] = static_cast<double>(products) * factor;
+  }
+  return est;
+}
+
+std::vector<std::int64_t> UpperBoundRowNnz(const Csr& a, const Csr& b) {
+  std::vector<std::int64_t> bound = RowFlops(a, b);
+  for (auto& v : bound) {
+    v = std::min<std::int64_t>(v / 2, b.cols());
+  }
+  return bound;
+}
+
+ProductStats AnalyzeProduct(const Csr& a, const Csr& b) {
+  ProductStats s;
+  std::vector<std::int64_t> row_flops = RowFlops(a, b);
+  std::vector<double> as_double(row_flops.begin(), row_flops.end());
+  for (std::int64_t f : row_flops) s.flops += f;
+  s.nnz_out = SymbolicNnz(a, b);
+  s.compression_ratio =
+      s.nnz_out > 0 ? static_cast<double>(s.flops) / static_cast<double>(s.nnz_out)
+                    : 0.0;
+  Summary sum = Summarize(as_double);
+  s.avg_row_flops = sum.mean;
+  s.max_row_flops = sum.max;
+  s.row_flops_gini = GiniCoefficient(std::move(as_double));
+  return s;
+}
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,67 @@
+// Work analysis for C = A * B (Table II columns and the "row analysis"
+// stage of the spECK-style pipeline).
+//
+// flop(C) counts a multiply-add as 2 flops, matching the paper.  The
+// compression ratio flop / nnz(C) is the paper's key predictor of SpGEMM
+// performance (Section V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::sparse {
+
+/// flops[i] = 2 * sum_{k in A_i*} nnz(B_k*); size a.rows().
+std::vector<std::int64_t> RowFlops(const Csr& a, const Csr& b);
+
+/// Total flops of the product (sum of RowFlops).
+std::int64_t TotalFlops(const Csr& a, const Csr& b);
+
+/// Exact nnz of each output row (a full symbolic pass with a sort-based
+/// distinct-count; O(flop log flop) — analysis/oracle use only).
+std::vector<std::int64_t> SymbolicRowNnz(const Csr& a, const Csr& b);
+
+/// Exact nnz of the product.
+std::int64_t SymbolicNnz(const Csr& a, const Csr& b);
+
+/// Upper bound on output-row nnz: min(flops/2, b.cols()).  The "worst case"
+/// estimator the paper considered and rejected for allocation (Section IV-B);
+/// kept as an ablation baseline and as a hash-table sizing bound.
+std::vector<std::int64_t> UpperBoundRowNnz(const Csr& a, const Csr& b);
+
+/// Sampled-symbolic prediction of output-row sizes (the "probabilistic
+/// memory requirement estimator" approach of pipelined Sparse SUMMA,
+/// ref. [33] of the paper): exact symbolic counts on a row sample give the
+/// matrix's collision factor nnz/products; unsampled rows are predicted
+/// from their product counts.  Used by the panel planner to size output
+/// pools far tighter than the worst-case bound the paper rejects.
+struct RowNnzEstimate {
+  /// Predicted nnz per output row (exact for sampled rows).
+  std::vector<double> per_row;
+  /// Measured nnz/products ratio on the sample (1.0 = no collisions).
+  double collision_factor = 1.0;
+  std::int64_t sampled_rows = 0;
+};
+
+RowNnzEstimate EstimateRowNnz(const Csr& a, const Csr& b,
+                              double sample_fraction = 0.05,
+                              std::uint64_t seed = 1);
+
+struct ProductStats {
+  std::int64_t flops = 0;           // 2 * multiply count
+  std::int64_t nnz_out = 0;         // exact nnz(C)
+  double compression_ratio = 0.0;   // flops / nnz_out
+  double avg_row_flops = 0.0;
+  double max_row_flops = 0.0;
+  double row_flops_gini = 0.0;      // skew of per-row work
+};
+
+/// One-stop analysis used by Table II and the dataset registry.
+ProductStats AnalyzeProduct(const Csr& a, const Csr& b);
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,89 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/prefix_sum.hpp"
+
+namespace oocgemm::sparse {
+
+Csr CooToCsr(const Coo& coo) {
+  OOC_CHECK(coo.row_ids.size() == coo.col_ids.size());
+  OOC_CHECK(coo.col_ids.size() == coo.values.size());
+  const std::size_t n = coo.nnz();
+
+  // Counting pass over rows.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(coo.rows), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const index_t r = coo.row_ids[i];
+    OOC_CHECK(r >= 0 && r < coo.rows);
+    OOC_CHECK(coo.col_ids[i] >= 0 && coo.col_ids[i] < coo.cols);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  std::vector<offset_t> offsets = ExclusiveScan(counts);
+
+  // Scatter into row buckets.
+  std::vector<index_t> cols(n);
+  std::vector<value_t> vals(n);
+  {
+    std::vector<offset_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const offset_t pos = cursor[static_cast<std::size_t>(coo.row_ids[i])]++;
+      cols[static_cast<std::size_t>(pos)] = coo.col_ids[i];
+      vals[static_cast<std::size_t>(pos)] = coo.values[i];
+    }
+  }
+
+  // Per-row sort + duplicate merge, compacting in place.
+  std::vector<offset_t> merged_offsets(static_cast<std::size_t>(coo.rows) + 1, 0);
+  std::vector<std::pair<index_t, value_t>> scratch;
+  offset_t write = 0;
+  for (index_t r = 0; r < coo.rows; ++r) {
+    const offset_t b = offsets[static_cast<std::size_t>(r)];
+    const offset_t e = offsets[static_cast<std::size_t>(r) + 1];
+    scratch.clear();
+    for (offset_t k = b; k < e; ++k) {
+      scratch.emplace_back(cols[static_cast<std::size_t>(k)],
+                           vals[static_cast<std::size_t>(k)]);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    merged_offsets[static_cast<std::size_t>(r)] = write;
+    std::size_t i = 0;
+    while (i < scratch.size()) {
+      index_t c = scratch[i].first;
+      value_t v = scratch[i].second;
+      std::size_t j = i + 1;
+      while (j < scratch.size() && scratch[j].first == c) {
+        v += scratch[j].second;
+        ++j;
+      }
+      cols[static_cast<std::size_t>(write)] = c;
+      vals[static_cast<std::size_t>(write)] = v;
+      ++write;
+      i = j;
+    }
+  }
+  merged_offsets[static_cast<std::size_t>(coo.rows)] = write;
+  cols.resize(static_cast<std::size_t>(write));
+  vals.resize(static_cast<std::size_t>(write));
+
+  return Csr(coo.rows, coo.cols, std::move(merged_offsets), std::move(cols),
+             std::move(vals));
+}
+
+Coo CsrToCoo(const Csr& csr) {
+  Coo coo;
+  coo.rows = csr.rows();
+  coo.cols = csr.cols();
+  coo.Reserve(static_cast<std::size_t>(csr.nnz()));
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    for (offset_t k = csr.row_begin(r); k < csr.row_end(r); ++k) {
+      coo.Add(r, csr.col_ids()[static_cast<std::size_t>(k)],
+              csr.values()[static_cast<std::size_t>(k)]);
+    }
+  }
+  return coo;
+}
+
+}  // namespace oocgemm::sparse

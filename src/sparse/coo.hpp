@@ -1,0 +1,44 @@
+// Coordinate-format staging buffer and conversion to CSR.
+//
+// Generators and the Matrix Market reader emit triplets; ToCsr sorts them,
+// merges duplicates (summing values — the SpGEMM accumulation convention)
+// and builds the CSR arrays with a counting pass + prefix sum.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::sparse {
+
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_ids;
+  std::vector<index_t> col_ids;
+  std::vector<value_t> values;
+
+  std::size_t nnz() const { return row_ids.size(); }
+
+  void Reserve(std::size_t n) {
+    row_ids.reserve(n);
+    col_ids.reserve(n);
+    values.reserve(n);
+  }
+
+  void Add(index_t r, index_t c, value_t v) {
+    row_ids.push_back(r);
+    col_ids.push_back(c);
+    values.push_back(v);
+  }
+};
+
+/// Converts triplets to CSR.  Duplicate (r, c) entries are summed.  Aborts
+/// via OOC_CHECK on out-of-range indices (generator bugs, not user input).
+Csr CooToCsr(const Coo& coo);
+
+/// Expands a CSR matrix back to row-major-ordered triplets.
+Coo CsrToCoo(const Csr& csr);
+
+}  // namespace oocgemm::sparse

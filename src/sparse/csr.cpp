@@ -1,0 +1,109 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace oocgemm::sparse {
+
+Csr::Csr(index_t rows, index_t cols, std::vector<offset_t> row_offsets,
+         std::vector<index_t> col_ids, std::vector<value_t> values)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_ids_(std::move(col_ids)),
+      values_(std::move(values)) {
+  OOC_CHECK(rows >= 0 && cols >= 0);
+  OOC_CHECK(row_offsets_.size() == static_cast<std::size_t>(rows) + 1);
+  OOC_CHECK(col_ids_.size() == values_.size());
+}
+
+std::int64_t Csr::StorageBytes() const {
+  return static_cast<std::int64_t>(row_offsets_.size() * sizeof(offset_t)) +
+         static_cast<std::int64_t>(col_ids_.size() * sizeof(index_t)) +
+         static_cast<std::int64_t>(values_.size() * sizeof(value_t));
+}
+
+Status Csr::Validate() const {
+  if (row_offsets_.size() != static_cast<std::size_t>(rows_) + 1) {
+    return Status::InvalidArgument("row_offsets size != rows + 1");
+  }
+  if (row_offsets_.front() != 0) {
+    return Status::InvalidArgument("row_offsets[0] != 0");
+  }
+  for (std::size_t i = 0; i + 1 < row_offsets_.size(); ++i) {
+    if (row_offsets_[i] > row_offsets_[i + 1]) {
+      return Status::InvalidArgument("row_offsets not monotone at row " +
+                                     std::to_string(i));
+    }
+  }
+  if (row_offsets_.back() != static_cast<offset_t>(col_ids_.size())) {
+    return Status::InvalidArgument("row_offsets back != col_ids size");
+  }
+  if (col_ids_.size() != values_.size()) {
+    return Status::InvalidArgument("col_ids size != values size");
+  }
+  for (index_t r = 0; r < rows_; ++r) {
+    index_t prev = -1;
+    for (offset_t k = row_begin(r); k < row_end(r); ++k) {
+      index_t c = col_ids_[static_cast<std::size_t>(k)];
+      if (c < 0 || c >= cols_) {
+        return Status::InvalidArgument("column id out of range in row " +
+                                       std::to_string(r));
+      }
+      if (c <= prev) {
+        return Status::InvalidArgument(
+            "column ids not strictly increasing in row " + std::to_string(r));
+      }
+      prev = c;
+    }
+  }
+  return Status::Ok();
+}
+
+void Csr::SortRowsByColumn() {
+  std::vector<std::pair<index_t, value_t>> scratch;
+  for (index_t r = 0; r < rows_; ++r) {
+    const offset_t b = row_begin(r), e = row_end(r);
+    if (e - b <= 1) continue;
+    scratch.clear();
+    scratch.reserve(static_cast<std::size_t>(e - b));
+    for (offset_t k = b; k < e; ++k) {
+      scratch.emplace_back(col_ids_[static_cast<std::size_t>(k)],
+                           values_[static_cast<std::size_t>(k)]);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (offset_t k = b; k < e; ++k) {
+      col_ids_[static_cast<std::size_t>(k)] = scratch[static_cast<std::size_t>(k - b)].first;
+      values_[static_cast<std::size_t>(k)] = scratch[static_cast<std::size_t>(k - b)].second;
+    }
+  }
+}
+
+bool Csr::operator==(const Csr& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_offsets_ == other.row_offsets_ && col_ids_ == other.col_ids_ &&
+         values_ == other.values_;
+}
+
+bool Csr::ApproxEquals(const Csr& other, double rel_tol, double abs_tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  if (row_offsets_ != other.row_offsets_) return false;
+  if (col_ids_ != other.col_ids_) return false;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double a = values_[i], b = other.values_[i];
+    if (std::abs(a - b) > abs_tol + rel_tol * std::abs(b)) return false;
+  }
+  return true;
+}
+
+std::string Csr::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Csr(%dx%d, nnz=%lld)", rows_, cols_,
+                static_cast<long long>(nnz()));
+  return buf;
+}
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,77 @@
+// Compressed Sparse Row matrix (Section II-A of the paper).
+//
+// Rows are stored contiguously; `row_offsets[i] .. row_offsets[i+1]` indexes
+// the column ids and values of row i.  Column ids are kept sorted within
+// each row (the paper sorts per-row output by column id).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::sparse {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// An empty rows x cols matrix (all zero).
+  Csr(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), row_offsets_(static_cast<std::size_t>(rows) + 1, 0) {
+    OOC_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Adopts pre-built arrays.  `row_offsets` must have rows + 1 entries.
+  Csr(index_t rows, index_t cols, std::vector<offset_t> row_offsets,
+      std::vector<index_t> col_ids, std::vector<value_t> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.back();
+  }
+  bool empty() const { return nnz() == 0; }
+
+  offset_t row_begin(index_t r) const { return row_offsets_[static_cast<std::size_t>(r)]; }
+  offset_t row_end(index_t r) const { return row_offsets_[static_cast<std::size_t>(r) + 1]; }
+  offset_t row_nnz(index_t r) const { return row_end(r) - row_begin(r); }
+
+  const std::vector<offset_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<index_t>& col_ids() const { return col_ids_; }
+  const std::vector<value_t>& values() const { return values_; }
+  std::vector<offset_t>& mutable_row_offsets() { return row_offsets_; }
+  std::vector<index_t>& mutable_col_ids() { return col_ids_; }
+  std::vector<value_t>& mutable_values() { return values_; }
+
+  /// Total bytes of the three CSR arrays; the unit of the transfer model.
+  std::int64_t StorageBytes() const;
+
+  /// Checks structural invariants: offset monotonicity, final offset == array
+  /// sizes, in-range sorted (strictly increasing) column ids per row.
+  Status Validate() const;
+
+  /// Sorts (col, value) pairs within each row by column id.  Duplicate
+  /// columns are a Validate() error and are not merged here.
+  void SortRowsByColumn();
+
+  /// Exact structural + value equality.
+  bool operator==(const Csr& other) const;
+
+  /// Structural equality with per-value |a-b| <= abs_tol + rel_tol*|b|.
+  bool ApproxEquals(const Csr& other, double rel_tol = 1e-10,
+                    double abs_tol = 1e-12) const;
+
+  /// Short description like "Csr(4096x4096, nnz=131072)".
+  std::string DebugString() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> row_offsets_{0};
+  std::vector<index_t> col_ids_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace oocgemm::sparse

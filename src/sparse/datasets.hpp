@@ -1,0 +1,43 @@
+// Registry of the 9 evaluation matrices from Table II of the paper, as
+// scaled synthetic stand-ins (see DESIGN.md "Substitutions").
+//
+// Each entry records the paper's reported features (n, nnz, flop(A^2),
+// nnz(A^2), compression ratio — all in millions except the ratio) so that
+// benchmark output can print paper-vs-measured side by side, and a builder
+// that generates the stand-in deterministically.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace oocgemm::sparse {
+
+struct PaperFeatures {
+  double n_millions = 0.0;
+  double nnz_millions = 0.0;
+  double flop_millions = 0.0;      // flop(A^2)
+  double nnz_out_millions = 0.0;   // nnz(A^2)
+  double compression_ratio = 0.0;  // flop / nnz_out
+};
+
+struct DatasetSpec {
+  std::string name;   // SuiteSparse name, e.g. "com-LiveJournal"
+  std::string abbr;   // paper abbreviation, e.g. "com-lj"
+  PaperFeatures paper;
+  /// Structural class used to pick the generator: "social", "web", "fem"...
+  std::string family;
+  std::function<Csr()> build;
+};
+
+/// The 9 matrices of Table II, in the paper's order.  `scale_shift` shrinks
+/// the default stand-in size by powers of two (for fast unit tests: a shift
+/// of 2 gives matrices ~16x smaller).
+std::vector<DatasetSpec> PaperMatrices(int scale_shift = 0);
+
+/// Looks a dataset up by abbreviation; aborts if absent (registry is fixed).
+DatasetSpec PaperMatrix(const std::string& abbr, int scale_shift = 0);
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,274 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+
+namespace oocgemm::sparse {
+
+Csr GenerateRmat(const RmatParams& p) {
+  OOC_CHECK(p.scale >= 1 && p.scale < 31);
+  OOC_CHECK(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0);
+  const index_t n = static_cast<index_t>(1) << p.scale;
+  const std::int64_t target_edges =
+      static_cast<std::int64_t>(p.edge_factor * static_cast<double>(n));
+  Pcg32 rng(p.seed, /*stream=*/0x1);
+  std::vector<index_t> relabel;
+  if (p.permute_ids) {
+    relabel.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) relabel[static_cast<std::size_t>(i)] = i;
+    for (index_t i = n - 1; i > 0; --i) {  // Fisher-Yates
+      const index_t j = static_cast<index_t>(
+          rng.Below(static_cast<std::uint32_t>(i) + 1));
+      std::swap(relabel[static_cast<std::size_t>(i)],
+                relabel[static_cast<std::size_t>(j)]);
+    }
+  }
+  Coo coo;
+  coo.rows = coo.cols = n;
+  coo.Reserve(static_cast<std::size_t>(target_edges));
+  for (std::int64_t e = 0; e < target_edges; ++e) {
+    index_t r = 0, c = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      // Slightly perturb quadrant probabilities per level (standard R-MAT
+      // "noise" that avoids exact self-similarity artifacts).
+      const double noise = 0.95 + 0.1 * rng.NextDouble();
+      const double aa = p.a * noise;
+      const double ab = p.b * noise;
+      const double ac = p.c * noise;
+      const double norm = aa + ab + ac + (1.0 - p.a - p.b - p.c);
+      const double u = rng.NextDouble() * norm;
+      int quadrant;
+      if (u < aa) {
+        quadrant = 0;
+      } else if (u < aa + ab) {
+        quadrant = 1;
+      } else if (u < aa + ab + ac) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      r = static_cast<index_t>((r << 1) | (quadrant >> 1));
+      c = static_cast<index_t>((c << 1) | (quadrant & 1));
+    }
+    if (p.remove_self_loops && r == c) continue;
+    if (p.permute_ids) {
+      r = relabel[static_cast<std::size_t>(r)];
+      c = relabel[static_cast<std::size_t>(c)];
+    }
+    coo.Add(r, c, rng.Uniform(0.1, 1.0));
+  }
+  Csr a = CooToCsr(coo);
+  if (p.symmetric) a = Symmetrize(a);
+  return a;
+}
+
+Csr GenerateCommunityGraph(const CommunityGraphParams& p) {
+  OOC_CHECK(p.scale >= 4 && p.num_communities >= 1);
+  OOC_CHECK(p.ef_min > 0 && p.ef_max >= p.ef_min);
+  const index_t n = static_cast<index_t>(1) << p.scale;
+  const index_t community = n / p.num_communities;
+  OOC_CHECK(community >= 2);
+  Pcg32 rng(p.seed, /*stream=*/0x5);
+
+  Coo merged;
+  merged.rows = merged.cols = n;
+
+  int community_scale = 0;
+  while ((static_cast<index_t>(1) << community_scale) < community) {
+    ++community_scale;
+  }
+
+  for (int k = 0; k < p.num_communities; ++k) {
+    const index_t base = static_cast<index_t>(k) * community;
+    const index_t size =
+        (k + 1 == p.num_communities) ? n - base : community;
+    // Log-uniform density per community.
+    const double ef =
+        p.ef_min * std::pow(p.ef_max / p.ef_min, rng.NextDouble());
+    RmatParams local;
+    local.scale = community_scale;
+    local.edge_factor = ef;
+    local.a = p.a;
+    local.b = p.b;
+    local.c = p.c;
+    local.symmetric = false;        // symmetrized at the end if requested
+    local.permute_ids = true;       // hubs dispersed inside the community
+    local.seed = p.seed * 131 + static_cast<std::uint64_t>(k);
+    Csr sub = GenerateRmat(local);
+    for (index_t r = 0; r < sub.rows(); ++r) {
+      if (r >= size) break;
+      for (offset_t e = sub.row_begin(r); e < sub.row_end(r); ++e) {
+        const index_t c = sub.col_ids()[static_cast<std::size_t>(e)];
+        if (c >= size) continue;
+        merged.Add(base + r, base + c,
+                   sub.values()[static_cast<std::size_t>(e)]);
+      }
+    }
+  }
+
+  // Sparse uniform background connecting communities.
+  const std::int64_t background = static_cast<std::int64_t>(
+      p.background_degree * static_cast<double>(n));
+  for (std::int64_t e = 0; e < background; ++e) {
+    const index_t r = static_cast<index_t>(rng.Below(static_cast<std::uint32_t>(n)));
+    const index_t c = static_cast<index_t>(rng.Below(static_cast<std::uint32_t>(n)));
+    if (r == c) continue;
+    merged.Add(r, c, rng.Uniform(0.1, 1.0));
+  }
+
+  Csr g = CooToCsr(merged);
+  if (p.symmetric) g = Symmetrize(g);
+  return g;
+}
+
+Csr GenerateVariableBanded(const VariableBandedParams& p) {
+  OOC_CHECK(p.n > 0 && !p.segments.empty());
+  Pcg32 rng(p.seed, /*stream=*/0x6);
+  Coo coo;
+  coo.rows = coo.cols = p.n;
+  index_t row = 0;
+  for (std::size_t s = 0; s < p.segments.size(); ++s) {
+    const auto& seg = p.segments[s];
+    OOC_CHECK(seg.half_bandwidth >= 0 && seg.stride >= 1);
+    index_t end = (s + 1 == p.segments.size())
+                      ? p.n
+                      : std::min<index_t>(
+                            p.n, row + static_cast<index_t>(
+                                           seg.fraction *
+                                           static_cast<double>(p.n)));
+    for (; row < end; ++row) {
+      for (index_t d = -seg.half_bandwidth; d <= seg.half_bandwidth;
+           d += seg.stride) {
+        const index_t c = row + d;
+        if (c < 0 || c >= p.n) continue;
+        coo.Add(row, c, d == 0 ? 4.0 : rng.Uniform(-1.0, -0.1));
+      }
+    }
+  }
+  return CooToCsr(coo);
+}
+
+Csr GenerateErdosRenyi(const ErdosRenyiParams& p) {
+  OOC_CHECK(p.rows > 0 && p.cols > 0 && p.avg_degree >= 0);
+  Pcg32 rng(p.seed, /*stream=*/0x2);
+  Coo coo;
+  coo.rows = p.rows;
+  coo.cols = p.cols;
+  coo.Reserve(static_cast<std::size_t>(p.avg_degree * p.rows));
+  for (index_t r = 0; r < p.rows; ++r) {
+    // Poisson(avg_degree) via Knuth for the small means used here.
+    const double limit = std::exp(-p.avg_degree);
+    int k = 0;
+    double prod = rng.NextDouble();
+    while (prod > limit) {
+      ++k;
+      prod *= rng.NextDouble();
+    }
+    for (int i = 0; i < k; ++i) {
+      coo.Add(r, static_cast<index_t>(rng.Below(static_cast<std::uint32_t>(p.cols))),
+              rng.Uniform(0.1, 1.0));
+    }
+  }
+  return CooToCsr(coo);
+}
+
+Csr GenerateBanded(const BandedParams& p) {
+  OOC_CHECK(p.n > 0 && p.half_bandwidth >= 0 && p.stride >= 1);
+  Pcg32 rng(p.seed, /*stream=*/0x3);
+  Coo coo;
+  coo.rows = coo.cols = p.n;
+  for (index_t r = 0; r < p.n; ++r) {
+    for (index_t d = -p.half_bandwidth; d <= p.half_bandwidth; d += p.stride) {
+      const index_t c = r + d;
+      if (c < 0 || c >= p.n) continue;
+      coo.Add(r, c, d == 0 ? 4.0 : rng.Uniform(-1.0, -0.1));
+    }
+  }
+  return CooToCsr(coo);
+}
+
+Csr GenerateBlockFem(const BlockFemParams& p) {
+  OOC_CHECK(p.num_blocks > 0 && p.block_size > 0 && p.couplings >= 0);
+  Pcg32 rng(p.seed, /*stream=*/0x4);
+  Coo coo;
+  const index_t n = p.num_blocks * p.block_size;
+  coo.rows = coo.cols = n;
+
+  auto add_block = [&](index_t bi, index_t bj) {
+    const index_t r0 = bi * p.block_size;
+    const index_t c0 = bj * p.block_size;
+    for (index_t i = 0; i < p.block_size; ++i) {
+      for (index_t j = 0; j < p.block_size; ++j) {
+        const value_t v = (bi == bj && i == j)
+                              ? 2.0 * p.block_size
+                              : rng.Uniform(-1.0, 1.0);
+        coo.Add(r0 + i, c0 + j, v);
+      }
+    }
+  };
+
+  for (index_t b = 0; b < p.num_blocks; ++b) {
+    add_block(b, b);
+    // 1-D chain coupling gives the banded FEM backbone.
+    if (b + 1 < p.num_blocks) {
+      add_block(b, b + 1);
+      add_block(b + 1, b);
+    }
+    // Extra random couplings mimic the KKT cross-terms.
+    for (index_t k = 2; k < p.couplings; ++k) {
+      const index_t other =
+          static_cast<index_t>(rng.Below(static_cast<std::uint32_t>(p.num_blocks)));
+      if (other != b) {
+        add_block(b, other);
+        add_block(other, b);
+      }
+    }
+  }
+  return CooToCsr(coo);
+}
+
+Csr KroneckerProduct(const Csr& a, const Csr& b) {
+  const std::int64_t rows =
+      static_cast<std::int64_t>(a.rows()) * static_cast<std::int64_t>(b.rows());
+  const std::int64_t cols =
+      static_cast<std::int64_t>(a.cols()) * static_cast<std::int64_t>(b.cols());
+  OOC_CHECK(rows <= INT32_MAX && cols <= INT32_MAX);
+
+  // Row (ia, ib) of the product is row ia of A expanded by row ib of B;
+  // walking ja outer and jb inner emits columns in sorted order directly.
+  std::vector<offset_t> offsets(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> out_cols;
+  std::vector<value_t> out_vals;
+  out_cols.reserve(static_cast<std::size_t>(a.nnz() * b.nnz()));
+  out_vals.reserve(static_cast<std::size_t>(a.nnz() * b.nnz()));
+  for (index_t ia = 0; ia < a.rows(); ++ia) {
+    for (index_t ib = 0; ib < b.rows(); ++ib) {
+      for (offset_t ka = a.row_begin(ia); ka < a.row_end(ia); ++ka) {
+        const index_t ja = a.col_ids()[static_cast<std::size_t>(ka)];
+        const value_t va = a.values()[static_cast<std::size_t>(ka)];
+        for (offset_t kb = b.row_begin(ib); kb < b.row_end(ib); ++kb) {
+          out_cols.push_back(ja * b.cols() +
+                             b.col_ids()[static_cast<std::size_t>(kb)]);
+          out_vals.push_back(va * b.values()[static_cast<std::size_t>(kb)]);
+        }
+      }
+      const std::int64_t row = static_cast<std::int64_t>(ia) * b.rows() + ib;
+      offsets[static_cast<std::size_t>(row) + 1] =
+          static_cast<offset_t>(out_cols.size());
+    }
+  }
+  return Csr(static_cast<index_t>(rows), static_cast<index_t>(cols),
+             std::move(offsets), std::move(out_cols), std::move(out_vals));
+}
+
+Csr KroneckerPower(const Csr& seed, int k) {
+  OOC_CHECK(k >= 1);
+  Csr result = seed;
+  for (int i = 1; i < k; ++i) result = KroneckerProduct(result, seed);
+  return result;
+}
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,120 @@
+// Synthetic matrix generators.
+//
+// The paper's evaluation uses 9 SuiteSparse matrices that are unavailable
+// offline; per the substitution plan in DESIGN.md we generate structural
+// stand-ins: R-MAT power-law graphs for the social/web matrices, banded
+// stencils and block-FEM patterns for the regular scientific matrices.
+// All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::sparse {
+
+struct RmatParams {
+  int scale = 12;            // 2^scale vertices
+  double edge_factor = 8.0;  // edges ~= edge_factor * vertices
+  // Recursive quadrant probabilities (Graph500 defaults give heavy skew).
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool symmetric = false;    // add reverse edges (undirected graph)
+  bool remove_self_loops = true;
+  /// Relabel vertices with a random permutation (Graph500 practice).
+  /// Without it, R-MAT places every hub at a low vertex id, which no
+  /// crawl-ordered real graph does — and which would concentrate all the
+  /// dense SpGEMM work in the first row panel.
+  bool permute_ids = true;
+  std::uint64_t seed = 1;
+};
+
+/// R-MAT generator (Chakrabarti et al.): power-law degree distribution like
+/// the LiveJournal / wikipedia / uk-2002 graphs in Table II.  Duplicate
+/// edges are merged (values summed), so the resulting nnz is slightly below
+/// edge_factor * n; values are uniform in [0, 1).
+Csr GenerateRmat(const RmatParams& params);
+
+struct CommunityGraphParams {
+  int scale = 13;             // 2^scale vertices
+  int num_communities = 12;   // contiguous vertex ranges (crawl order)
+  double ef_min = 3.0;        // per-community R-MAT edge factor range:
+  double ef_max = 24.0;       // log-uniform => density varies across panels
+  double background_degree = 1.0;  // sparse inter-community edges per vertex
+  double a = 0.57, b = 0.19, c = 0.19;  // within-community skew
+  bool symmetric = false;
+  std::uint64_t seed = 1;
+};
+
+/// Community-structured graph: contiguous communities of varying density
+/// (R-MAT inside each, vertices shuffled *within* the community) plus a
+/// sparse uniform background.  This matches how crawled social/web graphs
+/// look under their natural vertex order: hubs dispersed locally, but
+/// strong density variation across row panels — the variation the paper's
+/// chunk reordering (Fig. 9) and lumpy GPU chunk counts (Table III) rely
+/// on.
+Csr GenerateCommunityGraph(const CommunityGraphParams& params);
+
+struct ErdosRenyiParams {
+  index_t rows = 1024;
+  index_t cols = 1024;
+  double avg_degree = 8.0;   // expected nnz per row
+  std::uint64_t seed = 1;
+};
+
+/// Uniform random matrix: each row draws ~Poisson(avg_degree) distinct
+/// column ids.  The "no skew" control case for property tests.
+Csr GenerateErdosRenyi(const ErdosRenyiParams& params);
+
+struct BandedParams {
+  index_t n = 1024;
+  index_t half_bandwidth = 8;   // nonzeros at |i-j| <= half_bandwidth ...
+  index_t stride = 1;           // ... sampled every `stride` diagonals
+  std::uint64_t seed = 1;
+};
+
+/// Banded matrix (regular stencil): proxy for `stokes` — very regular rows,
+/// high compression ratio under squaring.
+Csr GenerateBanded(const BandedParams& params);
+
+struct VariableBandedParams {
+  index_t n = 1024;
+  /// Consecutive row segments; fractions should sum to ~1 (the last
+  /// segment absorbs rounding).  Each segment is a banded block with its
+  /// own bandwidth — modelling meshes/web hosts whose local density varies.
+  struct Segment {
+    double fraction = 1.0;
+    index_t half_bandwidth = 8;
+    index_t stride = 1;
+  };
+  std::vector<Segment> segments;
+  std::uint64_t seed = 1;
+};
+
+/// Banded matrix whose bandwidth varies across row segments; proxy for
+/// matrices with region-dependent density (uk-2002 host blocks, nlpkkt
+/// KKT blocks).
+Csr GenerateVariableBanded(const VariableBandedParams& params);
+
+struct BlockFemParams {
+  index_t num_blocks = 256;   // grid cells
+  index_t block_size = 4;     // dofs per cell
+  index_t couplings = 6;      // neighbouring blocks per block (1-D chain + random)
+  std::uint64_t seed = 1;
+};
+
+/// Block-sparse FEM/KKT-like pattern: dense small blocks on a sparse block
+/// graph; proxy for `nlpkkt200` (regular, high compression ratio).
+Csr GenerateBlockFem(const BlockFemParams& params);
+
+/// Kronecker product A (x) B: entry ((ia*rowsB + ib), (ja*colsB + jb)) =
+/// A[ia][ja] * B[ib][jb].  Kronecker powers of a small seed matrix are the
+/// Graph500 construction underlying R-MAT; also useful for building large
+/// structured test matrices from small ones.
+Csr KroneckerProduct(const Csr& a, const Csr& b);
+
+/// k-fold Kronecker power of `seed` (k >= 1).
+Csr KroneckerPower(const Csr& seed, int k);
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,215 @@
+#include "sparse/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prefix_sum.hpp"
+#include "sparse/coo.hpp"
+
+namespace oocgemm::sparse {
+
+Csr Transpose(const Csr& a) {
+  const std::size_t out_rows = static_cast<std::size_t>(a.cols());
+  std::vector<std::int64_t> counts(out_rows, 0);
+  for (index_t c : a.col_ids()) ++counts[static_cast<std::size_t>(c)];
+  std::vector<offset_t> offsets = ExclusiveScan(counts);
+
+  std::vector<index_t> cols(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<offset_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.col_ids()[static_cast<std::size_t>(k)];
+      const offset_t pos = cursor[static_cast<std::size_t>(c)]++;
+      cols[static_cast<std::size_t>(pos)] = r;
+      vals[static_cast<std::size_t>(pos)] = a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  // Row-major traversal of A writes each transposed row in increasing
+  // original-row order, so output columns are already sorted.
+  return Csr(a.cols(), a.rows(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+Csr Identity(index_t n) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> cols(static_cast<std::size_t>(n));
+  std::vector<value_t> vals(static_cast<std::size_t>(n), 1.0);
+  for (index_t i = 0; i <= n; ++i) offsets[static_cast<std::size_t>(i)] = i;
+  for (index_t i = 0; i < n; ++i) cols[static_cast<std::size_t>(i)] = i;
+  return Csr(n, n, std::move(offsets), std::move(cols), std::move(vals));
+}
+
+Csr Diagonal(const std::vector<value_t>& diag) {
+  const index_t n = static_cast<index_t>(diag.size());
+  Csr id = Identity(n);
+  id.mutable_values() = diag;
+  return id;
+}
+
+Csr SliceRows(const Csr& a, index_t row_begin, index_t row_end) {
+  OOC_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows());
+  const index_t out_rows = row_end - row_begin;
+  const offset_t base = a.row_begin(row_begin);
+  const offset_t count = a.row_begin(row_end) - base;
+
+  std::vector<offset_t> offsets(static_cast<std::size_t>(out_rows) + 1);
+  for (index_t r = 0; r <= out_rows; ++r) {
+    offsets[static_cast<std::size_t>(r)] = a.row_begin(row_begin + r) - base;
+  }
+  std::vector<index_t> cols(
+      a.col_ids().begin() + static_cast<std::ptrdiff_t>(base),
+      a.col_ids().begin() + static_cast<std::ptrdiff_t>(base + count));
+  std::vector<value_t> vals(
+      a.values().begin() + static_cast<std::ptrdiff_t>(base),
+      a.values().begin() + static_cast<std::ptrdiff_t>(base + count));
+  return Csr(out_rows, a.cols(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+Csr SliceColsReference(const Csr& a, index_t col_begin, index_t col_end) {
+  OOC_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= a.cols());
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.col_ids()[static_cast<std::size_t>(k)];
+      if (c >= col_begin && c < col_end) {
+        cols.push_back(c - col_begin);
+        vals.push_back(a.values()[static_cast<std::size_t>(k)]);
+      }
+    }
+    offsets[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(cols.size());
+  }
+  return Csr(a.rows(), col_end - col_begin, std::move(offsets),
+             std::move(cols), std::move(vals));
+}
+
+Csr ConcatCols(const Csr& a, const Csr& b) {
+  OOC_CHECK(a.rows() == b.rows());
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  cols.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      cols.push_back(a.col_ids()[static_cast<std::size_t>(k)]);
+      vals.push_back(a.values()[static_cast<std::size_t>(k)]);
+    }
+    for (offset_t k = b.row_begin(r); k < b.row_end(r); ++k) {
+      cols.push_back(b.col_ids()[static_cast<std::size_t>(k)] + a.cols());
+      vals.push_back(b.values()[static_cast<std::size_t>(k)]);
+    }
+    offsets[static_cast<std::size_t>(r) + 1] = static_cast<offset_t>(cols.size());
+  }
+  return Csr(a.rows(), a.cols() + b.cols(), std::move(offsets),
+             std::move(cols), std::move(vals));
+}
+
+Csr ConcatRows(const Csr& a, const Csr& b) {
+  OOC_CHECK(a.cols() == b.cols());
+  std::vector<offset_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(a.rows() + b.rows()) + 1);
+  offsets.insert(offsets.end(), a.row_offsets().begin(), a.row_offsets().end());
+  const offset_t base = a.nnz();
+  for (index_t r = 1; r <= b.rows(); ++r) {
+    offsets.push_back(base + b.row_offsets()[static_cast<std::size_t>(r)]);
+  }
+  std::vector<index_t> cols = a.col_ids();
+  cols.insert(cols.end(), b.col_ids().begin(), b.col_ids().end());
+  std::vector<value_t> vals = a.values();
+  vals.insert(vals.end(), b.values().begin(), b.values().end());
+  return Csr(a.rows() + b.rows(), a.cols(), std::move(offsets),
+             std::move(cols), std::move(vals));
+}
+
+Csr Add(const Csr& a, const Csr& b, value_t alpha, value_t beta) {
+  OOC_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  cols.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (index_t r = 0; r < a.rows(); ++r) {
+    offset_t ka = a.row_begin(r);
+    offset_t kb = b.row_begin(r);
+    // Two-way merge of the sorted rows.
+    while (ka < a.row_end(r) || kb < b.row_end(r)) {
+      const index_t ca = ka < a.row_end(r)
+                             ? a.col_ids()[static_cast<std::size_t>(ka)]
+                             : a.cols();
+      const index_t cb = kb < b.row_end(r)
+                             ? b.col_ids()[static_cast<std::size_t>(kb)]
+                             : b.cols();
+      if (ca < cb) {
+        cols.push_back(ca);
+        vals.push_back(alpha * a.values()[static_cast<std::size_t>(ka++)]);
+      } else if (cb < ca) {
+        cols.push_back(cb);
+        vals.push_back(beta * b.values()[static_cast<std::size_t>(kb++)]);
+      } else {
+        cols.push_back(ca);
+        vals.push_back(alpha * a.values()[static_cast<std::size_t>(ka++)] +
+                       beta * b.values()[static_cast<std::size_t>(kb++)]);
+      }
+    }
+    offsets[static_cast<std::size_t>(r) + 1] = static_cast<offset_t>(cols.size());
+  }
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+Csr Symmetrize(const Csr& a) {
+  OOC_CHECK(a.rows() == a.cols());
+  Coo coo = CsrToCoo(a);
+  Coo both = coo;
+  for (std::size_t i = 0; i < coo.nnz(); ++i) {
+    if (coo.row_ids[i] != coo.col_ids[i]) {
+      both.Add(coo.col_ids[i], coo.row_ids[i], coo.values[i]);
+    }
+  }
+  return CooToCsr(both);
+}
+
+Csr DropZeros(const Csr& a, double tol) {
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const value_t v = a.values()[static_cast<std::size_t>(k)];
+      if (std::abs(v) > tol) {
+        cols.push_back(a.col_ids()[static_cast<std::size_t>(k)]);
+        vals.push_back(v);
+      }
+    }
+    offsets[static_cast<std::size_t>(r) + 1] = static_cast<offset_t>(cols.size());
+  }
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+std::vector<value_t> Multiply(const Csr& a, const std::vector<value_t>& x) {
+  OOC_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    value_t sum = 0.0;
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      sum += a.values()[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_ids()[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+  return y;
+}
+
+double FrobeniusNorm(const Csr& a) {
+  double sum = 0.0;
+  for (value_t v : a.values()) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,56 @@
+// Structural operations on CSR matrices: transpose, slicing, constructions.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::sparse {
+
+/// B = A^T via counting sort over columns; output rows are column-sorted.
+Csr Transpose(const Csr& a);
+
+/// Identity matrix of order n.
+Csr Identity(index_t n);
+
+/// Diagonal matrix from `diag`.
+Csr Diagonal(const std::vector<value_t>& diag);
+
+/// Rows [row_begin, row_end) of `a` as a (row_end-row_begin) x a.cols()
+/// matrix; offsets are rebased.  This is the paper's (trivial) row-panel
+/// extraction for matrix A.
+Csr SliceRows(const Csr& a, index_t row_begin, index_t row_end);
+
+/// Columns [col_begin, col_end) of `a` as an a.rows() x (col_end-col_begin)
+/// matrix with *panel-local* column ids (global id - col_begin).  A simple
+/// reference implementation; the optimized panel partitioner lives in
+/// src/partition/.
+Csr SliceColsReference(const Csr& a, index_t col_begin, index_t col_end);
+
+/// Horizontal concatenation: [a | b] with a.rows() == b.rows().
+Csr ConcatCols(const Csr& a, const Csr& b);
+
+/// Vertical concatenation: [a ; b] with a.cols() == b.cols().
+Csr ConcatRows(const Csr& a, const Csr& b);
+
+/// C = alpha*A + beta*B elementwise (same shapes); coincident entries sum.
+/// Entries whose sum is exactly zero are kept (structural union), matching
+/// the usual sparse-BLAS convention; use DropZeros to prune.
+Csr Add(const Csr& a, const Csr& b, value_t alpha = 1.0, value_t beta = 1.0);
+
+/// Makes the pattern symmetric: returns A + A^T structurally, summing values
+/// on coincident entries.  Used to mimic undirected-graph adjacency.
+Csr Symmetrize(const Csr& a);
+
+/// Removes explicitly stored zero values.
+Csr DropZeros(const Csr& a, double tol = 0.0);
+
+/// y = A * x (SpMV), a convenience for example applications and as an
+/// independent check of SpGEMM results (A*(B*x) == (A*B)*x).
+std::vector<value_t> Multiply(const Csr& a, const std::vector<value_t>& x);
+
+/// Frobenius norm of the matrix values.
+double FrobeniusNorm(const Csr& a);
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,179 @@
+#include "sparse/reorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <queue>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+
+namespace oocgemm::sparse {
+
+bool IsPermutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (index_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size() ||
+        seen[static_cast<std::size_t>(p)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+Permutation InversePermutation(const Permutation& perm) {
+  OOC_CHECK(IsPermutation(perm));
+  Permutation inverse(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inverse[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  }
+  return inverse;
+}
+
+Permutation RandomPermutation(index_t n, std::uint64_t seed) {
+  OOC_CHECK(n >= 0);
+  Permutation perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Pcg32 rng(seed, /*stream=*/0x8);
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j =
+        static_cast<index_t>(rng.Below(static_cast<std::uint32_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+Permutation DegreeDescendingOrder(const Csr& a) {
+  std::vector<index_t> by_degree(static_cast<std::size_t>(a.rows()));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](index_t x, index_t y) {
+                     return a.row_nnz(x) > a.row_nnz(y);
+                   });
+  // by_degree[rank] = old row; we need perm[old] = rank.
+  Permutation perm(by_degree.size());
+  for (std::size_t rank = 0; rank < by_degree.size(); ++rank) {
+    perm[static_cast<std::size_t>(by_degree[rank])] =
+        static_cast<index_t>(rank);
+  }
+  return perm;
+}
+
+Permutation ReverseCuthillMcKee(const Csr& a) {
+  OOC_CHECK(a.rows() == a.cols());
+  const Csr sym = Symmetrize(a);
+  const index_t n = sym.rows();
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> order;  // order[rank] = old vertex
+  order.reserve(static_cast<std::size_t>(n));
+
+  auto degree = [&](index_t v) { return sym.row_nnz(v); };
+
+  for (;;) {
+    // Next start: the unvisited vertex of minimum degree.
+    index_t start = -1;
+    for (index_t v = 0; v < n; ++v) {
+      if (!visited[static_cast<std::size_t>(v)] &&
+          (start < 0 || degree(v) < degree(start))) {
+        start = v;
+      }
+    }
+    if (start < 0) break;
+
+    std::queue<index_t> frontier;
+    frontier.push(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    std::vector<index_t> neighbours;
+    while (!frontier.empty()) {
+      const index_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      neighbours.clear();
+      for (offset_t k = sym.row_begin(v); k < sym.row_end(v); ++k) {
+        const index_t u = sym.col_ids()[static_cast<std::size_t>(k)];
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          neighbours.push_back(u);
+        }
+      }
+      std::sort(neighbours.begin(), neighbours.end(),
+                [&](index_t x, index_t y) { return degree(x) < degree(y); });
+      for (index_t u : neighbours) frontier.push(u);
+    }
+  }
+
+  // Cuthill-McKee reversed, converted to perm[old] = new.
+  Permutation perm(static_cast<std::size_t>(n));
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    perm[static_cast<std::size_t>(order[rank])] =
+        static_cast<index_t>(order.size() - 1 - rank);
+  }
+  return perm;
+}
+
+Csr PermuteSymmetric(const Csr& a, const Permutation& perm) {
+  OOC_CHECK(a.rows() == a.cols());
+  OOC_CHECK(perm.size() == static_cast<std::size_t>(a.rows()));
+  OOC_CHECK(IsPermutation(perm));
+  Coo coo;
+  coo.rows = a.rows();
+  coo.cols = a.cols();
+  coo.Reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      coo.Add(perm[static_cast<std::size_t>(r)],
+              perm[static_cast<std::size_t>(
+                  a.col_ids()[static_cast<std::size_t>(k)])],
+              a.values()[static_cast<std::size_t>(k)]);
+    }
+  }
+  return CooToCsr(coo);
+}
+
+Csr PermuteRows(const Csr& a, const Permutation& perm) {
+  OOC_CHECK(perm.size() == static_cast<std::size_t>(a.rows()));
+  OOC_CHECK(IsPermutation(perm));
+  const Permutation inverse = InversePermutation(perm);
+  std::vector<offset_t> offsets(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> cols;
+  std::vector<value_t> vals;
+  cols.reserve(static_cast<std::size_t>(a.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t new_r = 0; new_r < a.rows(); ++new_r) {
+    const index_t old_r = inverse[static_cast<std::size_t>(new_r)];
+    for (offset_t k = a.row_begin(old_r); k < a.row_end(old_r); ++k) {
+      cols.push_back(a.col_ids()[static_cast<std::size_t>(k)]);
+      vals.push_back(a.values()[static_cast<std::size_t>(k)]);
+    }
+    offsets[static_cast<std::size_t>(new_r) + 1] =
+        static_cast<offset_t>(cols.size());
+  }
+  return Csr(a.rows(), a.cols(), std::move(offsets), std::move(cols),
+             std::move(vals));
+}
+
+Csr PermuteCols(const Csr& a, const Permutation& perm) {
+  OOC_CHECK(perm.size() == static_cast<std::size_t>(a.cols()));
+  OOC_CHECK(IsPermutation(perm));
+  Csr out = a;
+  for (auto& c : out.mutable_col_ids()) {
+    c = perm[static_cast<std::size_t>(c)];
+  }
+  out.SortRowsByColumn();
+  return out;
+}
+
+index_t Bandwidth(const Csr& a) {
+  index_t bw = 0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      bw = std::max(bw, std::abs(a.col_ids()[static_cast<std::size_t>(k)] - r));
+    }
+  }
+  return bw;
+}
+
+}  // namespace oocgemm::sparse

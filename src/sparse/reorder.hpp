@@ -1,0 +1,50 @@
+// Matrix reordering utilities.
+//
+// Vertex/row order determines how work distributes across the out-of-core
+// row panels (Sections III-D/V-E of the paper; see also the Fig. 9 bench):
+// a bandwidth-reducing order concentrates products near the diagonal and
+// raises panel locality, a degree-sorted order concentrates the heavy rows
+// into few chunks, and a random order evens everything out.  These
+// utilities let users study and control that effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace oocgemm::sparse {
+
+/// perm[old_index] = new_index.  All functions below use this convention.
+using Permutation = std::vector<index_t>;
+
+/// True iff `perm` is a bijection on [0, perm.size()).
+bool IsPermutation(const Permutation& perm);
+
+/// inverse[new_index] = old_index.
+Permutation InversePermutation(const Permutation& perm);
+
+/// Uniformly random permutation (deterministic in `seed`).
+Permutation RandomPermutation(index_t n, std::uint64_t seed);
+
+/// Rows sorted by decreasing nnz (hubs first).  Ties keep original order.
+Permutation DegreeDescendingOrder(const Csr& a);
+
+/// Reverse Cuthill-McKee on the symmetrized pattern of a square matrix:
+/// a classic bandwidth-reducing order (BFS from a peripheral low-degree
+/// vertex, neighbours by increasing degree, then reversed).
+Permutation ReverseCuthillMcKee(const Csr& a);
+
+/// B[perm[i]][perm[j]] = A[i][j] — the symmetric permutation P A P^T.
+Csr PermuteSymmetric(const Csr& a, const Permutation& perm);
+
+/// Permutes rows only: B[perm[i]][j] = A[i][j].
+Csr PermuteRows(const Csr& a, const Permutation& perm);
+
+/// Permutes columns only: B[i][perm[j]] = A[i][j].
+Csr PermuteCols(const Csr& a, const Permutation& perm);
+
+/// Half bandwidth: max |i - j| over stored entries (0 for empty matrices).
+index_t Bandwidth(const Csr& a);
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,22 @@
+// Fundamental scalar types for the sparse kernels.
+//
+// Column indices are 32-bit (every matrix in the paper has < 2^31 columns);
+// row offsets are 64-bit because nnz of the output matrix A^2 reaches
+// billions (Table II) — this is exactly the layout the paper needs and the
+// reason it rejects MKL, whose interface is limited to 32-bit offsets.
+#pragma once
+
+#include <cstdint>
+
+namespace oocgemm::sparse {
+
+using index_t = std::int32_t;   // row / column identifiers
+using offset_t = std::int64_t;  // positions into col_ids / values
+using value_t = double;         // the paper evaluates with double
+
+/// Bytes of payload per stored non-zero in CSR (col id + value); used by the
+/// transfer cost accounting.
+inline constexpr std::int64_t kBytesPerNnz =
+    static_cast<std::int64_t>(sizeof(index_t) + sizeof(value_t));
+
+}  // namespace oocgemm::sparse

@@ -1,0 +1,73 @@
+#include "vgpu/allocator.hpp"
+
+#include <algorithm>
+
+namespace oocgemm::vgpu {
+
+namespace {
+std::int64_t AlignUp(std::int64_t v, std::int64_t a) {
+  return (v + a - 1) / a * a;
+}
+}  // namespace
+
+FreeListAllocator::FreeListAllocator(std::int64_t capacity, std::int64_t alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  OOC_CHECK(capacity >= 0);
+  OOC_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0);
+  if (capacity > 0) free_blocks_[0] = capacity;
+}
+
+StatusOr<DevicePtr> FreeListAllocator::Allocate(std::int64_t bytes) {
+  if (bytes < 0) return Status::InvalidArgument("negative allocation size");
+  const std::int64_t need = std::max<std::int64_t>(AlignUp(bytes, alignment_), alignment_);
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second >= need) {
+      const std::int64_t offset = it->first;
+      const std::int64_t remaining = it->second - need;
+      free_blocks_.erase(it);
+      if (remaining > 0) free_blocks_[offset + need] = remaining;
+      live_[offset] = need;
+      used_ += need;
+      peak_ = std::max(peak_, used_);
+      return DevicePtr{offset, need};
+    }
+  }
+  return Status::OutOfMemory("device OOM: requested " + std::to_string(bytes) +
+                             " bytes, free " + std::to_string(free_bytes()) +
+                             " (largest block " +
+                             std::to_string(largest_free_block()) + ")");
+}
+
+void FreeListAllocator::Free(DevicePtr ptr) {
+  if (ptr.is_null()) return;
+  auto it = live_.find(ptr.offset);
+  OOC_CHECK(it != live_.end() && "free of unknown device pointer");
+  const std::int64_t size = it->second;
+  live_.erase(it);
+  used_ -= size;
+
+  // Insert and coalesce with neighbours.
+  auto inserted = free_blocks_.emplace(ptr.offset, size).first;
+  if (inserted != free_blocks_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->first + prev->second == inserted->first) {
+      prev->second += inserted->second;
+      free_blocks_.erase(inserted);
+      inserted = prev;
+    }
+  }
+  auto next = std::next(inserted);
+  if (next != free_blocks_.end() &&
+      inserted->first + inserted->second == next->first) {
+    inserted->second += next->second;
+    free_blocks_.erase(next);
+  }
+}
+
+std::int64_t FreeListAllocator::largest_free_block() const {
+  std::int64_t best = 0;
+  for (const auto& [offset, size] : free_blocks_) best = std::max(best, size);
+  return best;
+}
+
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,63 @@
+// First-fit free-list allocator over the device-memory arena.
+//
+// Provides cudaMalloc/cudaFree-like behaviour (capacity accounting, OOM on
+// exhaustion, address reuse).  The *timing* penalty of allocation — the
+// device-wide serialization that motivates the paper's pre-allocation
+// design — is applied by Device, not here; this class is pure bookkeeping
+// and is unit-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace oocgemm::vgpu {
+
+/// Handle to a device-memory range.  Trivially copyable; does not own.
+struct DevicePtr {
+  std::int64_t offset = -1;
+  std::int64_t size = 0;
+
+  bool is_null() const { return offset < 0; }
+
+  /// Sub-range view (for transferring portions of a buffer, as the paper's
+  /// divided output transfers do).
+  DevicePtr Slice(std::int64_t byte_offset, std::int64_t byte_size) const {
+    OOC_CHECK(byte_offset >= 0 && byte_size >= 0);
+    OOC_CHECK(byte_offset + byte_size <= size);
+    return DevicePtr{offset + byte_offset, byte_size};
+  }
+};
+
+class FreeListAllocator {
+ public:
+  /// Manages [0, capacity) with all allocations aligned to `alignment`.
+  explicit FreeListAllocator(std::int64_t capacity, std::int64_t alignment = 256);
+
+  /// First-fit allocation; OOM Status when no block fits.
+  StatusOr<DevicePtr> Allocate(std::int64_t bytes);
+
+  /// Frees a pointer previously returned by Allocate; coalesces neighbours.
+  /// Double free or foreign pointer aborts (programming error).
+  void Free(DevicePtr ptr);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t peak_bytes() const { return peak_; }
+  std::int64_t free_bytes() const { return capacity_ - used_; }
+  std::size_t num_allocations() const { return live_.size(); }
+  /// Size of the largest free block (fragmentation diagnostic).
+  std::int64_t largest_free_block() const;
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t alignment_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
+  std::map<std::int64_t, std::int64_t> free_blocks_;  // offset -> size
+  std::map<std::int64_t, std::int64_t> live_;         // offset -> size
+};
+
+}  // namespace oocgemm::vgpu

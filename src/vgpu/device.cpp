@@ -1,0 +1,184 @@
+#include "vgpu/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace oocgemm::vgpu {
+
+DeviceProperties V100Properties() { return DeviceProperties{}; }
+
+DeviceProperties ScaledV100Properties(int mem_shift) {
+  OOC_CHECK(mem_shift >= 0 && mem_shift < 40);
+  DeviceProperties p;
+  p.name = "Virtual Tesla V100 (1/" + std::to_string(1ll << mem_shift) +
+           " scale)";
+  p.memory_bytes >>= mem_shift;
+  const double factor = 1.0 / static_cast<double>(1ll << mem_shift);
+  p.kernel_launch_overhead *= factor;
+  p.transfer_latency *= factor;
+  p.alloc_overhead *= factor;
+  p.free_overhead *= factor;
+  return p;
+}
+
+Device::Device(DeviceProperties props)
+    : props_(std::move(props)),
+      arena_(static_cast<std::size_t>(props_.memory_bytes)),
+      allocator_(props_.memory_bytes) {
+  sync_stream_ = CreateStream("sync-copies");
+}
+
+StatusOr<DevicePtr> Device::Malloc(HostContext& host, std::int64_t bytes,
+                                   const std::string& label) {
+  auto result = allocator_.Allocate(bytes);
+  if (!result.ok()) return result.status();
+  SerializeDevice(host, props_.alloc_overhead, OpCategory::kAlloc, label);
+  return result;
+}
+
+void Device::Free(HostContext& host, DevicePtr ptr) {
+  if (ptr.is_null()) return;
+  allocator_.Free(ptr);
+  SerializeDevice(host, props_.free_overhead, OpCategory::kFree, "free");
+}
+
+std::byte* Device::Raw(DevicePtr ptr) {
+  OOC_CHECK(!ptr.is_null());
+  OOC_CHECK(ptr.offset + ptr.size <= static_cast<std::int64_t>(arena_.size()));
+  return arena_.data() + ptr.offset;
+}
+
+const std::byte* Device::Raw(DevicePtr ptr) const {
+  OOC_CHECK(!ptr.is_null());
+  OOC_CHECK(ptr.offset + ptr.size <= static_cast<std::int64_t>(arena_.size()));
+  return arena_.data() + ptr.offset;
+}
+
+Stream* Device::CreateStream(const std::string& name) {
+  streams_.emplace_back(static_cast<int>(streams_.size()), name);
+  return &streams_.back();
+}
+
+SimTime Device::QuiesceTime() const {
+  SimTime t = std::max({compute_.free_at(), h2d_.free_at(), d2h_.free_at()});
+  for (const auto& s : streams_) t = std::max(t, s.last_end());
+  return t;
+}
+
+void Device::SerializeDevice(HostContext& host, double overhead,
+                             OpCategory category, const std::string& label) {
+  const SimTime start = std::max(host.now, QuiesceTime());
+  const SimTime end = start + overhead;
+  compute_.Fence(end);
+  h2d_.Fence(end);
+  d2h_.Fence(end);
+  for (auto& s : streams_) s.AdvanceTo(end);
+  host.AdvanceTo(end);
+  trace_.Add({category, label, -1, Interval{start, end}, 0});
+}
+
+void Device::CheckHazards(const std::string& label, const Interval& interval,
+                          const std::vector<Region>& regions) {
+  if (!hazard_checking_ || regions.empty()) return;
+  for (const auto& past : hazard_history_) {
+    if (!past.interval.Overlaps(interval)) continue;
+    for (const auto& r : regions) {
+      for (const auto& p : past.regions) {
+        if (!(r.write || p.write)) continue;
+        const bool bytes_overlap =
+            r.offset < p.offset + p.size && p.offset < r.offset + r.size;
+        if (bytes_overlap) {
+          hazard_violations_.push_back(
+              "virtual-time data race: '" + label + "' [" +
+              std::to_string(interval.start) + "," +
+              std::to_string(interval.end) + ") conflicts with '" +
+              past.label + "' on device bytes [" +
+              std::to_string(std::max(r.offset, p.offset)) + "..)");
+        }
+      }
+    }
+  }
+  hazard_history_.push_back({interval, regions, label});
+}
+
+void Device::LaunchKernel(HostContext& host, Stream& stream,
+                          const std::string& label, double cost_seconds,
+                          std::vector<Region> regions,
+                          const std::function<void()>& body) {
+  OOC_CHECK(cost_seconds >= 0.0);
+  body();  // eager execution: results are real
+  host.now += props_.kernel_launch_overhead;
+  const SimTime ready = std::max(host.now, stream.last_end());
+  const Interval iv = compute_.Acquire(ready, cost_seconds);
+  stream.AdvanceTo(iv.end);
+  CheckHazards(label, iv, regions);
+  trace_.Add({OpCategory::kKernel, label, stream.id(), iv, 0});
+}
+
+void Device::LaunchKernelCosted(HostContext& host, Stream& stream,
+                                const std::string& label,
+                                std::vector<Region> regions,
+                                const std::function<double()>& body) {
+  const double cost_seconds = body();
+  OOC_CHECK(cost_seconds >= 0.0);
+  host.now += props_.kernel_launch_overhead;
+  const SimTime ready = std::max(host.now, stream.last_end());
+  const Interval iv = compute_.Acquire(ready, cost_seconds);
+  stream.AdvanceTo(iv.end);
+  CheckHazards(label, iv, regions);
+  trace_.Add({OpCategory::kKernel, label, stream.id(), iv, 0});
+}
+
+void Device::MemcpyH2DAsync(HostContext& host, Stream& stream, DevicePtr dst,
+                            const void* src, std::int64_t bytes,
+                            const std::string& label, bool pinned) {
+  OOC_CHECK(bytes >= 0 && bytes <= dst.size);
+  if (bytes > 0) std::memcpy(Raw(dst), src, static_cast<std::size_t>(bytes));
+  double bw = props_.h2d_bandwidth * (pinned ? 1.0 : props_.pageable_bandwidth_factor);
+  const double cost = props_.transfer_latency + static_cast<double>(bytes) / bw;
+  const SimTime ready = std::max(host.now, stream.last_end());
+  const Interval iv = h2d_.Acquire(ready, cost);
+  stream.AdvanceTo(iv.end);
+  CheckHazards(label, iv, {{dst.offset, bytes, /*write=*/true}});
+  trace_.Add({OpCategory::kH2D, label, stream.id(), iv, bytes});
+  if (!pinned) host.AdvanceTo(iv.end);  // pageable copies block the host
+}
+
+void Device::MemcpyD2HAsync(HostContext& host, Stream& stream, void* dst,
+                            DevicePtr src, std::int64_t bytes,
+                            const std::string& label, bool pinned) {
+  OOC_CHECK(bytes >= 0 && bytes <= src.size);
+  if (bytes > 0) std::memcpy(dst, Raw(src), static_cast<std::size_t>(bytes));
+  double bw = props_.d2h_bandwidth * (pinned ? 1.0 : props_.pageable_bandwidth_factor);
+  const double cost = props_.transfer_latency + static_cast<double>(bytes) / bw;
+  const SimTime ready = std::max(host.now, stream.last_end());
+  const Interval iv = d2h_.Acquire(ready, cost);
+  stream.AdvanceTo(iv.end);
+  CheckHazards(label, iv, {{src.offset, bytes, /*write=*/false}});
+  trace_.Add({OpCategory::kD2H, label, stream.id(), iv, bytes});
+  if (!pinned) host.AdvanceTo(iv.end);
+}
+
+void Device::MemcpyH2D(HostContext& host, DevicePtr dst, const void* src,
+                       std::int64_t bytes, const std::string& label) {
+  MemcpyH2DAsync(host, *sync_stream_, dst, src, bytes, label);
+  StreamSynchronize(host, *sync_stream_);
+}
+
+void Device::MemcpyD2H(HostContext& host, void* dst, DevicePtr src,
+                       std::int64_t bytes, const std::string& label) {
+  MemcpyD2HAsync(host, *sync_stream_, dst, src, bytes, label);
+  StreamSynchronize(host, *sync_stream_);
+}
+
+void Device::ResetTimeline() {
+  trace_.Clear();
+  hazard_history_.clear();
+  hazard_violations_.clear();
+  compute_ = Resource{"compute"};
+  h2d_ = Resource{"h2d"};
+  d2h_ = Resource{"d2h"};
+  for (auto& s : streams_) s = Stream(s.id(), s.name());
+}
+
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,45 @@
+#include "vgpu/memory_pool.hpp"
+
+#include <algorithm>
+
+namespace oocgemm::vgpu {
+
+namespace {
+constexpr std::int64_t kAlignment = 256;
+
+std::int64_t AlignUp(std::int64_t v) {
+  return (v + kAlignment - 1) / kAlignment * kAlignment;
+}
+}  // namespace
+
+MemoryPool::MemoryPool(Device& device, HostContext& host, std::int64_t bytes,
+                       const std::string& label)
+    : device_(device), host_(&host) {
+  auto alloc = device_.Malloc(host, bytes, label);
+  OOC_CHECK(alloc.ok() && "memory pool sizing exceeded device capacity");
+  base_ = alloc.value();
+}
+
+MemoryPool::~MemoryPool() {
+  // Freeing serializes the device; by destruction time the pipeline has
+  // drained, so this only affects the trace tail.
+  device_.Free(*host_, base_);
+}
+
+StatusOr<DevicePtr> MemoryPool::Allocate(std::int64_t bytes) {
+  if (bytes < 0) return Status::InvalidArgument("negative pool allocation");
+  const std::int64_t need = std::max<std::int64_t>(AlignUp(bytes), kAlignment);
+  if (cursor_ + need > base_.size) {
+    return Status::OutOfMemory(
+        "pool exhausted: requested " + std::to_string(bytes) + ", free " +
+        std::to_string(free_bytes()) + " of " + std::to_string(base_.size));
+  }
+  DevicePtr ptr = base_.Slice(cursor_, need);
+  cursor_ += need;
+  high_water_ = std::max(high_water_, cursor_);
+  return ptr;
+}
+
+void MemoryPool::Reset() { cursor_ = 0; }
+
+}  // namespace oocgemm::vgpu

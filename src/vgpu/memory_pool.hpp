@@ -1,0 +1,59 @@
+// The paper's pre-allocation scheme (Section IV-B, "Pre-Allocation to Avoid
+// Dynamic Memory Allocation").
+//
+// One large device allocation is grabbed up front; every dynamic data
+// structure of the SpGEMM pipeline then takes memory by bumping an offset.
+// Sub-allocation has *zero* virtual cost and — crucially — does not
+// serialize the device the way Device::Malloc does, which is what enables
+// the asynchronous pipeline.  Reset() recycles the arena between chunks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::vgpu {
+
+class MemoryPool {
+ public:
+  /// Grabs `bytes` from `device` (a single serializing Malloc, done once
+  /// before the pipeline starts).  Aborts on OOM at construction: sizing the
+  /// pool is the panel planner's job and failure here is a planning bug.
+  MemoryPool(Device& device, HostContext& host, std::int64_t bytes,
+             const std::string& label = "pool");
+  ~MemoryPool();
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Bump allocation, 256-byte aligned.  OOM Status if the pool is full
+  /// (the caller falls back to smaller chunks or reports a planning error).
+  StatusOr<DevicePtr> Allocate(std::int64_t bytes);
+
+  /// Typed helper: allocates count * sizeof(T) bytes.
+  template <typename T>
+  StatusOr<DevicePtr> AllocateArray(std::int64_t count) {
+    return Allocate(count * static_cast<std::int64_t>(sizeof(T)));
+  }
+
+  /// Recycles the whole pool (between chunks).  The caller is responsible
+  /// for any lifetime overlap of buffers across chunks — in the paper's
+  /// pipeline double-buffered structures live in two distinct pools.
+  void Reset();
+
+  std::int64_t capacity() const { return base_.size; }
+  std::int64_t used_bytes() const { return cursor_; }
+  std::int64_t high_water() const { return high_water_; }
+  std::int64_t free_bytes() const { return base_.size - cursor_; }
+
+ private:
+  Device& device_;
+  HostContext* host_;
+  DevicePtr base_;
+  std::int64_t cursor_ = 0;
+  std::int64_t high_water_ = 0;
+};
+
+}  // namespace oocgemm::vgpu

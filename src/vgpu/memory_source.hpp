@@ -1,0 +1,71 @@
+// Abstraction over where pipeline buffers come from.
+//
+// The paper's key asynchronous-execution enabler is replacing per-structure
+// cudaMalloc (which serializes the device) by sub-allocation from a
+// pre-allocated pool.  The SpGEMM pipeline is written against this
+// interface so the two strategies are interchangeable:
+//  * MallocMemorySource — the "synchronous spECK" baseline behaviour: every
+//    allocation is a Device::Malloc and pays the device-wide fence.
+//  * PoolMemorySource  — the paper's design: one up-front allocation, then
+//    zero-cost bump allocation.
+#pragma once
+
+#include <string>
+
+#include "vgpu/device.hpp"
+#include "vgpu/memory_pool.hpp"
+
+namespace oocgemm::vgpu {
+
+class DeviceMemorySource {
+ public:
+  virtual ~DeviceMemorySource() = default;
+
+  virtual StatusOr<DevicePtr> Allocate(HostContext& host, std::int64_t bytes,
+                                       const std::string& label) = 0;
+
+  /// Releases a buffer obtained from Allocate.  Pools release en masse via
+  /// Recycle() instead, so their Release is a no-op.
+  virtual void Release(HostContext& host, DevicePtr ptr) = 0;
+
+  /// Called by the executor between chunks.
+  virtual void Recycle() {}
+
+  /// True when Allocate serializes the device (dynamic allocation).
+  virtual bool dynamic() const = 0;
+};
+
+class MallocMemorySource final : public DeviceMemorySource {
+ public:
+  explicit MallocMemorySource(Device& device) : device_(device) {}
+
+  StatusOr<DevicePtr> Allocate(HostContext& host, std::int64_t bytes,
+                               const std::string& label) override {
+    return device_.Malloc(host, bytes, label);
+  }
+  void Release(HostContext& host, DevicePtr ptr) override {
+    device_.Free(host, ptr);
+  }
+  bool dynamic() const override { return true; }
+
+ private:
+  Device& device_;
+};
+
+class PoolMemorySource final : public DeviceMemorySource {
+ public:
+  explicit PoolMemorySource(MemoryPool& pool) : pool_(pool) {}
+
+  StatusOr<DevicePtr> Allocate(HostContext& /*host*/, std::int64_t bytes,
+                               const std::string& /*label*/) override {
+    return pool_.Allocate(bytes);
+  }
+  void Release(HostContext& /*host*/, DevicePtr /*ptr*/) override {}
+  void Recycle() override { pool_.Reset(); }
+  bool dynamic() const override { return false; }
+
+ private:
+  MemoryPool& pool_;
+};
+
+}  // namespace oocgemm::vgpu

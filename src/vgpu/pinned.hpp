@@ -1,0 +1,47 @@
+// Pinned (page-locked) host buffer analogue.
+//
+// The paper stages output chunks into CPU pinned memory so that D2H copies
+// run at full bandwidth and asynchronously.  Here a PinnedBuffer is a plain
+// aligned host vector whose `pinned()` tag the executors pass to the
+// Device's memcpy calls; un-pinned staging is available as an ablation (it
+// forces synchronous, slower transfers, matching CUDA pageable semantics).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace oocgemm::vgpu {
+
+template <typename T>
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+  explicit PinnedBuffer(std::int64_t count, bool pinned = true)
+      : data_(static_cast<std::size_t>(count)), pinned_(pinned) {
+    OOC_CHECK(count >= 0);
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t bytes() const {
+    return size() * static_cast<std::int64_t>(sizeof(T));
+  }
+  bool pinned() const { return pinned_; }
+
+  void Resize(std::int64_t count) { data_.resize(static_cast<std::size_t>(count)); }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<T> data_;
+  bool pinned_ = true;
+};
+
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,103 @@
+#include "vgpu/trace.hpp"
+
+#include <algorithm>
+
+namespace oocgemm::vgpu {
+
+const char* OpCategoryName(OpCategory c) {
+  switch (c) {
+    case OpCategory::kKernel: return "kernel";
+    case OpCategory::kH2D: return "h2d";
+    case OpCategory::kD2H: return "d2h";
+    case OpCategory::kAlloc: return "alloc";
+    case OpCategory::kFree: return "free";
+    case OpCategory::kHost: return "host";
+  }
+  return "?";
+}
+
+double Trace::BusyTime(OpCategory category) const {
+  double t = 0.0;
+  for (const auto& e : events_) {
+    if (e.category == category) t += e.interval.duration();
+  }
+  return t;
+}
+
+double Trace::BusyTimeLabeled(const std::string& substr) const {
+  double t = 0.0;
+  for (const auto& e : events_) {
+    if (e.label.find(substr) != std::string::npos) t += e.interval.duration();
+  }
+  return t;
+}
+
+SimTime Trace::SpanEnd() const {
+  SimTime end = 0.0;
+  for (const auto& e : events_) end = std::max(end, e.interval.end);
+  return end;
+}
+
+double Trace::Fraction(OpCategory category) const {
+  const SimTime span = SpanEnd();
+  if (span <= 0.0) return 0.0;
+  return CoveredTime(category) / span;
+}
+
+std::int64_t Trace::Bytes(OpCategory category) const {
+  std::int64_t b = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) b += e.bytes;
+  }
+  return b;
+}
+
+bool Trace::HasIntraCategoryOverlap(OpCategory category) const {
+  std::vector<Interval> ivs;
+  for (const auto& e : events_) {
+    if (e.category == category && e.interval.duration() > 0.0) {
+      ivs.push_back(e.interval);
+    }
+  }
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    constexpr double kEps = 1e-12;
+    if (ivs[i].start < ivs[i - 1].end - kEps) return true;
+  }
+  return false;
+}
+
+double Trace::CoveredTime(OpCategory category) const {
+  std::vector<Interval> ivs;
+  for (const auto& e : events_) {
+    if (e.category == category && e.interval.duration() > 0.0) {
+      ivs.push_back(e.interval);
+    }
+  }
+  if (ivs.empty()) return 0.0;
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  double covered = 0.0;
+  Interval cur = ivs[0];
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    if (ivs[i].start <= cur.end) {
+      cur.end = std::max(cur.end, ivs[i].end);
+    } else {
+      covered += cur.duration();
+      cur = ivs[i];
+    }
+  }
+  covered += cur.duration();
+  return covered;
+}
+
+double Trace::OverlapFactor() const {
+  const SimTime span = SpanEnd();
+  if (span <= 0.0) return 0.0;
+  return (BusyTime(OpCategory::kKernel) + BusyTime(OpCategory::kH2D) +
+          BusyTime(OpCategory::kD2H)) /
+         span;
+}
+
+}  // namespace oocgemm::vgpu

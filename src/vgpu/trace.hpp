@@ -1,0 +1,70 @@
+// Execution trace of the virtual device: one record per operation, queried
+// by benchmarks (transfer fractions for Fig. 4, overlap efficiency for
+// Fig. 8) and by property tests (engines never overlap, streams are FIFO).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgpu/vtime.hpp"
+
+namespace oocgemm::vgpu {
+
+enum class OpCategory {
+  kKernel = 0,
+  kH2D,
+  kD2H,
+  kAlloc,
+  kFree,
+  kHost,       // host-side work recorded for completeness (e.g. grouping)
+};
+
+const char* OpCategoryName(OpCategory c);
+
+struct TraceEvent {
+  OpCategory category = OpCategory::kKernel;
+  std::string label;
+  int stream_id = -1;          // -1 for stream-less ops (alloc/free/host)
+  Interval interval;
+  std::int64_t bytes = 0;      // transfer payload; 0 for kernels
+};
+
+class Trace {
+ public:
+  void Add(TraceEvent event) { events_.push_back(std::move(event)); }
+  void Clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Sum of durations of all events in `category`.
+  double BusyTime(OpCategory category) const;
+
+  /// Sum of durations of events whose label contains `substr`.
+  double BusyTimeLabeled(const std::string& substr) const;
+
+  /// End of the last event (0 when empty).
+  SimTime SpanEnd() const;
+
+  /// Fraction of the total span occupied by `category` (Fig. 4 metric).
+  double Fraction(OpCategory category) const;
+
+  /// Total bytes moved in `category` (kH2D / kD2H).
+  std::int64_t Bytes(OpCategory category) const;
+
+  /// True if any two events of `category` overlap in time — a violation of
+  /// the one-engine-per-direction rule that tests assert never happens.
+  bool HasIntraCategoryOverlap(OpCategory category) const;
+
+  /// Time covered by the union of intervals of `category` (overlap-merged).
+  double CoveredTime(OpCategory category) const;
+
+  /// Wall-parallel efficiency: (sum of busy times of kernels + transfers)
+  /// / span; > 1 means the schedule achieved real overlap.
+  double OverlapFactor() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace oocgemm::vgpu

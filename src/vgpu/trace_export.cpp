@@ -1,0 +1,100 @@
+#include "vgpu/trace_export.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace oocgemm::vgpu {
+
+namespace {
+
+const char* LaneName(OpCategory c) {
+  switch (c) {
+    case OpCategory::kKernel: return "compute engine";
+    case OpCategory::kH2D: return "H2D engine";
+    case OpCategory::kD2H: return "D2H engine";
+    case OpCategory::kAlloc:
+    case OpCategory::kFree: return "allocator";
+    case OpCategory::kHost: return "host";
+  }
+  return "?";
+}
+
+int LaneId(OpCategory c) {
+  switch (c) {
+    case OpCategory::kKernel: return 1;
+    case OpCategory::kH2D: return 2;
+    case OpCategory::kD2H: return 3;
+    case OpCategory::kAlloc:
+    case OpCategory::kFree: return 4;
+    case OpCategory::kHost: return 5;
+  }
+  return 0;
+}
+
+void AppendEscaped(const std::string& in, std::string& out) {
+  for (char ch : in) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const Trace& trace) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Lane metadata so viewers show engine names instead of thread ids.
+  for (OpCategory c : {OpCategory::kKernel, OpCategory::kH2D, OpCategory::kD2H,
+                       OpCategory::kAlloc, OpCategory::kHost}) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", LaneId(c), LaneName(c));
+    out += buf;
+    first = false;
+  }
+
+  for (const TraceEvent& e : trace.events()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"");
+    out += buf;
+    AppendEscaped(e.label, out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"stream\":%d,"
+                  "\"bytes\":%lld}}",
+                  OpCategoryName(e.category), LaneId(e.category),
+                  e.interval.start * 1e6, e.interval.duration() * 1e6,
+                  e.stream_id, static_cast<long long>(e.bytes));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Trace& trace, const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!f) return Status::IoError("cannot open " + path);
+  const std::string json = ToChromeTraceJson(trace);
+  if (std::fwrite(json.data(), 1, json.size(), f.get()) != json.size()) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,22 @@
+// Trace export in Chrome tracing format (chrome://tracing, Perfetto).
+//
+// Every virtual-device operation becomes a complete ("X") event on the lane
+// of the engine it occupied, so the overlap structure the paper's design
+// creates — payload transfers hiding symbolic/numeric kernels, H2D running
+// against D2H — is directly visible in a trace viewer.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "vgpu/trace.hpp"
+
+namespace oocgemm::vgpu {
+
+/// Serializes `trace` as a Chrome trace-event JSON string.
+std::string ToChromeTraceJson(const Trace& trace);
+
+/// Writes ToChromeTraceJson(trace) to `path`.
+Status WriteChromeTrace(const Trace& trace, const std::string& path);
+
+}  // namespace oocgemm::vgpu

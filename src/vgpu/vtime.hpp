@@ -1,0 +1,69 @@
+// Virtual-time primitives for the simulated device timeline.
+//
+// The virtual GPU executes kernel bodies eagerly on the host (so results are
+// real and testable) but *times* every operation on a discrete-event
+// timeline: each operation occupies one device resource (compute engine,
+// H2D copy engine, D2H copy engine) for a modeled duration, starting no
+// earlier than (a) its stream predecessor, (b) any awaited events, (c) the
+// issuing host thread's clock, and (d) the resource becoming free.  This
+// reproduces the two CUDA properties the paper's design revolves around:
+// a single copy engine per direction, and device-wide serialization on
+// memory (de)allocation.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace oocgemm::vgpu {
+
+/// Virtual seconds since device creation.
+using SimTime = double;
+
+/// Half-open occupancy interval on a resource.
+struct Interval {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+
+  double duration() const { return end - start; }
+  bool Overlaps(const Interval& other) const {
+    return start < other.end && other.start < end;
+  }
+};
+
+/// A serially-occupied device resource (an engine).
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  SimTime free_at() const { return free_at_; }
+
+  /// Books the resource for `duration` starting no earlier than `ready`;
+  /// returns the occupied interval.
+  Interval Acquire(SimTime ready, double duration) {
+    Interval iv;
+    iv.start = std::max(ready, free_at_);
+    iv.end = iv.start + duration;
+    free_at_ = iv.end;
+    return iv;
+  }
+
+  /// Pushes the resource's availability to at least `t` (used by the
+  /// allocation-serialization rule).
+  void Fence(SimTime t) { free_at_ = std::max(free_at_, t); }
+
+ private:
+  std::string name_;
+  SimTime free_at_ = 0.0;
+};
+
+/// The clock of one host thread issuing work to the device.  Asynchronous
+/// calls advance it only by the launch overhead; synchronous calls advance
+/// it to the operation's virtual completion.
+struct HostContext {
+  SimTime now = 0.0;
+
+  void AdvanceTo(SimTime t) { now = std::max(now, t); }
+};
+
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,58 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm {
+namespace {
+
+TEST(HumanBytes, SmallValuesAreExact) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(17), "17 B");
+  EXPECT_EQ(HumanBytes(1023), "1023 B");
+}
+
+TEST(HumanBytes, BinaryPrefixes) {
+  EXPECT_EQ(HumanBytes(1024), "1.00 KiB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(1ll << 20), "1.00 MiB");
+  EXPECT_EQ(HumanBytes(1ll << 30), "1.00 GiB");
+  EXPECT_EQ(HumanBytes(16ll << 30), "16.00 GiB");
+}
+
+TEST(HumanCount, DecimalPrefixes) {
+  EXPECT_EQ(HumanCount(500), "500.00 ");
+  EXPECT_EQ(HumanCount(1500), "1.50 K");
+  EXPECT_EQ(HumanCount(2.5e9), "2.50 G");
+}
+
+TEST(HumanSeconds, UnitSelection) {
+  EXPECT_EQ(HumanSeconds(2.0), "2.000 s");
+  EXPECT_EQ(HumanSeconds(0.0123), "12.300 ms");
+  EXPECT_EQ(HumanSeconds(4.5e-6), "4.500 us");
+}
+
+TEST(Fixed, Digits) {
+  EXPECT_EQ(Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Fixed(3.14159, 4), "3.1416");
+  EXPECT_EQ(Fixed(-1.0, 1), "-1.0");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "123456"});
+  t.AddRow({"longer-name", "7"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name         value"), std::string::npos);
+  EXPECT_NE(s.find("longer-name  7"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, HeaderOnly) {
+  TablePrinter t({"a", "b", "c"});
+  const std::string s = t.ToString();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace oocgemm

@@ -1,0 +1,83 @@
+#include "common/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace oocgemm {
+namespace {
+
+TEST(ExclusiveScan, EmptyInput) {
+  std::vector<std::int64_t> counts;
+  std::vector<std::int64_t> offsets = ExclusiveScan(counts);
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], 0);
+}
+
+TEST(ExclusiveScan, SingleElement) {
+  std::vector<std::int64_t> offsets = ExclusiveScan({7});
+  EXPECT_EQ(offsets, (std::vector<std::int64_t>{0, 7}));
+}
+
+TEST(ExclusiveScan, KnownSequence) {
+  std::vector<std::int64_t> offsets = ExclusiveScan({3, 0, 2, 5});
+  EXPECT_EQ(offsets, (std::vector<std::int64_t>{0, 3, 3, 5, 10}));
+}
+
+TEST(ExclusiveScan, ReturnsTotal) {
+  std::vector<std::int64_t> counts{1, 2, 3, 4};
+  std::vector<std::int64_t> offsets(5);
+  EXPECT_EQ(ExclusiveScan(counts.data(), counts.size(), offsets.data()), 10);
+}
+
+TEST(ExclusiveScanInPlace, MatchesOutOfPlace) {
+  std::vector<std::int64_t> v{4, 1, 0, 9, 2};
+  std::vector<std::int64_t> io = v;
+  const std::int64_t total = ExclusiveScanInPlace(io.data(), io.size());
+  EXPECT_EQ(total, 16);
+  std::vector<std::int64_t> expected(v.size() + 1);
+  ExclusiveScan(v.data(), v.size(), expected.data());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(io[i], expected[i]);
+}
+
+TEST(ParallelExclusiveScan, MatchesSerialSmall) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> counts{5, 0, 1, 2, 3};
+  std::vector<std::int64_t> serial(counts.size() + 1);
+  std::vector<std::int64_t> parallel(counts.size() + 1);
+  ExclusiveScan(counts.data(), counts.size(), serial.data());
+  ParallelExclusiveScan(counts.data(), counts.size(), parallel.data(), pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelExclusiveScan, MatchesSerialLargeRandom) {
+  ThreadPool pool(4);
+  Pcg32 rng(123);
+  std::vector<std::int64_t> counts(100000);
+  for (auto& c : counts) c = rng.Below(17);
+  std::vector<std::int64_t> serial(counts.size() + 1);
+  std::vector<std::int64_t> parallel(counts.size() + 1);
+  const std::int64_t st =
+      ExclusiveScan(counts.data(), counts.size(), serial.data());
+  const std::int64_t pt = ParallelExclusiveScan(counts.data(), counts.size(),
+                                                parallel.data(), pool);
+  EXPECT_EQ(st, pt);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelExclusiveScan, AllZeros) {
+  ThreadPool pool(3);
+  std::vector<std::int64_t> counts(50000, 0);
+  std::vector<std::int64_t> offsets(counts.size() + 1);
+  EXPECT_EQ(ParallelExclusiveScan(counts.data(), counts.size(), offsets.data(),
+                                  pool),
+            0);
+  EXPECT_EQ(offsets.back(), 0);
+  EXPECT_EQ(offsets.front(), 0);
+}
+
+}  // namespace
+}  // namespace oocgemm

@@ -1,0 +1,100 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oocgemm {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BelowIsInRange) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(37), 37u);
+  }
+}
+
+TEST(Pcg32, BelowOneAlwaysZero) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Pcg32, BelowCoversRange) {
+  Pcg32 rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32, BelowRoughlyUniform) {
+  Pcg32 rng(17);
+  constexpr int kBuckets = 10, kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  Pcg32 rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 3.5);
+  }
+}
+
+TEST(Pcg32, BernoulliExtremes) {
+  Pcg32 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Pcg32, Below64InRange) {
+  Pcg32 rng(37);
+  const std::uint64_t bound = 1ull << 40;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below64(bound), bound);
+}
+
+}  // namespace
+}  // namespace oocgemm

@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm {
+namespace {
+
+TEST(Summarize, EmptyGivesZeros) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.total, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  Summary s = Summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.p50, 5.0);
+}
+
+TEST(Summarize, KnownDistribution) {
+  Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.total, 10.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  EXPECT_NEAR(s.stddev, 1.1180, 1e-3);
+}
+
+TEST(Summarize, PercentilesOrdered) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i));
+  Summary s = Summarize(v);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_NEAR(s.p50, 499.5, 1.0);
+  EXPECT_NEAR(s.p90, 899.1, 1.5);
+}
+
+TEST(Gini, UniformIsZero) {
+  EXPECT_NEAR(GiniCoefficient({3.0, 3.0, 3.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeSkewApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v.back() = 1000.0;
+  EXPECT_GT(GiniCoefficient(v), 0.95);
+}
+
+TEST(Gini, DegenerateInputs) {
+  EXPECT_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_EQ(GiniCoefficient({1.0}), 0.0);
+  EXPECT_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+}
+
+TEST(Gini, MonotoneInSkew) {
+  const double mild = GiniCoefficient({1, 2, 3, 4});
+  const double strong = GiniCoefficient({1, 1, 1, 97});
+  EXPECT_LT(mild, strong);
+}
+
+TEST(RunningStat, MatchesBatch) {
+  RunningStat rs;
+  std::vector<double> v{1.0, 4.0, 9.0, 16.0, 25.0};
+  for (double x : v) rs.Add(x);
+  Summary s = Summarize(v);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), s.stddev * s.stddev, 1e-9);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 25.0);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace oocgemm

@@ -1,0 +1,78 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status st = Status::OutOfMemory("pool full");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(st.message(), "pool full");
+  EXPECT_EQ(st.ToString(), "OUT_OF_MEMORY: pool full");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfMemory,
+        StatusCode::kNotFound, StatusCode::kIoError,
+        StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusOrDeath, ValueOnErrorAborts) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH({ (void)v.value(); }, "StatusOr accessed without value");
+}
+
+TEST(ReturnIfError, PropagatesAndPasses) {
+  auto fails = [] { return Status::IoError("disk"); };
+  auto passes = [] { return Status::Ok(); };
+  auto wrapper = [&](bool fail) -> Status {
+    OOC_RETURN_IF_ERROR(fail ? fails() : passes());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(wrapper(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(wrapper(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckMacroDeath, FailsLoudly) {
+  EXPECT_DEATH(OOC_CHECK(1 == 2), "OOC_CHECK failed");
+}
+
+}  // namespace
+}  // namespace oocgemm

@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace oocgemm {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdleReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, NumThreadsHonoured) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.num_threads(), 5u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), [&](std::size_t lo, std::size_t hi,
+                                       std::size_t /*w*/) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, WorkerIndicesAreDistinctAndBounded) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::size_t> workers;
+  pool.ParallelFor(0, 4000,
+                   [&](std::size_t, std::size_t, std::size_t w) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     workers.push_back(w);
+                   },
+                   1);
+  for (std::size_t w : workers) EXPECT_LT(w, pool.num_threads());
+  std::sort(workers.begin(), workers.end());
+  EXPECT_EQ(std::adjacent_find(workers.begin(), workers.end()),
+            workers.end());  // distinct => scratch slots never shared
+}
+
+TEST(ParallelFor, MinGrainLimitsBlockCount) {
+  ThreadPool pool(8);
+  std::atomic<int> blocks{0};
+  pool.ParallelFor(0, 10,
+                   [&](std::size_t, std::size_t, std::size_t) {
+                     blocks.fetch_add(1);
+                   },
+                   /*min_grain=*/8);
+  EXPECT_LE(blocks.load(), 2);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(pool.num_threads(), 0);
+  pool.ParallelFor(1, 100001, [&](std::size_t lo, std::size_t hi,
+                                  std::size_t w) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      partial[w] += static_cast<long long>(i);
+    }
+  });
+  const long long total =
+      std::accumulate(partial.begin(), partial.end(), 0ll);
+  EXPECT_EQ(total, 100000ll * 100001 / 2);
+}
+
+TEST(GlobalThreadPool, IsSingleton) {
+  EXPECT_EQ(&GlobalThreadPool(), &GlobalThreadPool());
+  EXPECT_GE(GlobalThreadPool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace oocgemm

@@ -1,0 +1,92 @@
+#include "core/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "partition/panels.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::core {
+namespace {
+
+using partition::PanelBoundaries;
+using partition::UniformBoundaries;
+using sparse::Csr;
+
+ChunkPayload PayloadFrom(const Csr& chunk, int rp, int cp) {
+  ChunkPayload p;
+  p.row_panel = rp;
+  p.col_panel = cp;
+  p.row_offsets = chunk.row_offsets();
+  p.col_ids = chunk.col_ids();
+  p.values = chunk.values();
+  return p;
+}
+
+/// Splits a matrix into a chunk grid and reassembles it.
+Csr SplitAndAssemble(const Csr& m, int nr, int nc) {
+  PanelBoundaries rb = UniformBoundaries(m.rows(), nr);
+  PanelBoundaries cb = UniformBoundaries(m.cols(), nc);
+  std::vector<ChunkPayload> payloads;
+  for (int rp = 0; rp < nr; ++rp) {
+    Csr rows = sparse::SliceRows(m, rb.panel_begin(rp), rb.panel_end(rp));
+    std::vector<Csr> pieces = partition::PartitionColsOptimized(rows, cb);
+    for (int cp = 0; cp < nc; ++cp) {
+      payloads.push_back(
+          PayloadFrom(pieces[static_cast<std::size_t>(cp)], rp, cp));
+    }
+  }
+  return AssembleChunks(rb, cb, std::move(payloads));
+}
+
+TEST(AssembleChunks, RoundTripsGrid) {
+  Csr m = testutil::RandomRmat(8, 6.0, 1);
+  for (int nr : {1, 2, 5}) {
+    for (int nc : {1, 3, 4}) {
+      EXPECT_TRUE(SplitAndAssemble(m, nr, nc) == m)
+          << "grid " << nr << "x" << nc;
+    }
+  }
+}
+
+TEST(AssembleChunks, ArbitraryChunkOrder) {
+  Csr m = testutil::RandomCsr(40, 40, 5.0, 2);
+  PanelBoundaries rb = UniformBoundaries(m.rows(), 2);
+  PanelBoundaries cb = UniformBoundaries(m.cols(), 2);
+  std::vector<ChunkPayload> payloads;
+  for (int rp = 1; rp >= 0; --rp) {  // reversed delivery order
+    Csr rows = sparse::SliceRows(m, rb.panel_begin(rp), rb.panel_end(rp));
+    std::vector<Csr> pieces = partition::PartitionColsOptimized(rows, cb);
+    for (int cp = 1; cp >= 0; --cp) {
+      payloads.push_back(
+          PayloadFrom(pieces[static_cast<std::size_t>(cp)], rp, cp));
+    }
+  }
+  EXPECT_TRUE(AssembleChunks(rb, cb, std::move(payloads)) == m);
+}
+
+TEST(AssembleChunks, EmptyMatrix) {
+  Csr m(12, 9);
+  EXPECT_TRUE(SplitAndAssemble(m, 3, 3) == m);
+}
+
+TEST(AssembleChunks, ResultIsValidCsr) {
+  Csr m = testutil::RandomRmat(9, 8.0, 3);
+  Csr assembled = SplitAndAssemble(m, 4, 4);
+  EXPECT_TRUE(assembled.Validate().ok());
+}
+
+TEST(AssembleChunksDeath, MissingChunkAborts) {
+  Csr m = testutil::RandomCsr(10, 10, 2.0, 4);
+  PanelBoundaries rb = UniformBoundaries(10, 2);
+  PanelBoundaries cb = UniformBoundaries(10, 1);
+  std::vector<ChunkPayload> payloads;
+  Csr rows = sparse::SliceRows(m, 0, 5);
+  payloads.push_back(PayloadFrom(rows, 0, 0));
+  payloads.push_back(PayloadFrom(rows, 0, 0));  // duplicate, missing (1,0)
+  EXPECT_DEATH(AssembleChunks(rb, cb, std::move(payloads)), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::core

@@ -1,0 +1,131 @@
+#include "core/panel_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace oocgemm::core {
+namespace {
+
+using sparse::Csr;
+
+vgpu::DeviceProperties Props() {
+  vgpu::DeviceProperties p;
+  p.memory_bytes = 4 << 20;
+  return p;
+}
+
+Csr Panel(int seed) { return testutil::RandomCsr(128, 128, 4.0, seed); }
+
+std::int64_t SlotBytes() { return 256 << 10; }
+
+TEST(PanelCache, FirstAcquireUploads) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, SlotBytes(), SlotBytes());
+  vgpu::Stream* s = device.CreateStream("t");
+  Csr p = Panel(1);
+  auto d = cache.Acquire(host, *s, PanelCache::kA, 0, p, true);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(d->nnz, p.nnz());
+  // The data actually landed in device memory.
+  EXPECT_EQ(device.As<sparse::index_t>(d->col_ids)[0], p.col_ids()[0]);
+}
+
+TEST(PanelCache, SecondAcquireHits) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, SlotBytes(), SlotBytes());
+  vgpu::Stream* s = device.CreateStream("t");
+  Csr p = Panel(2);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 0, p, true).ok());
+  const auto h2d_before = device.trace().Bytes(vgpu::OpCategory::kH2D);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 0, p, true).ok());
+  EXPECT_EQ(cache.hits(), 1);
+  // No new transfer was issued.
+  EXPECT_EQ(device.trace().Bytes(vgpu::OpCategory::kH2D), h2d_before);
+}
+
+TEST(PanelCache, TwoSlotsHoldTwoPanels) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, SlotBytes(), SlotBytes());
+  vgpu::Stream* s = device.CreateStream("t");
+  Csr p0 = Panel(3), p1 = Panel(4);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kB, 0, p0, true).ok());
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kB, 1, p1, true).ok());
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kB, 0, p0, true).ok());
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kB, 1, p1, true).ok());
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(PanelCache, ThirdPanelEvictsLru) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, SlotBytes(), SlotBytes());
+  vgpu::Stream* s = device.CreateStream("t");
+  Csr p0 = Panel(5), p1 = Panel(6), p2 = Panel(7);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 0, p0, true).ok());
+  cache.MarkUse(*s, PanelCache::kA, 0);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 1, p1, true).ok());
+  cache.MarkUse(*s, PanelCache::kA, 1);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 2, p2, true).ok());
+  // Panel 0 (least recently used) was evicted; panel 1 still cached.
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 1, p1, true).ok());
+  EXPECT_EQ(cache.hits(), 1);
+  ASSERT_TRUE(cache.Acquire(host, *s, PanelCache::kA, 0, p0, true).ok());
+  EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(PanelCache, EvictionWaitsForReaders) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, SlotBytes(), SlotBytes());
+  vgpu::Stream* s1 = device.CreateStream("a");
+  vgpu::Stream* s2 = device.CreateStream("b");
+  Csr p0 = Panel(8), p1 = Panel(9), p2 = Panel(10);
+
+  auto d0 = cache.Acquire(host, *s1, PanelCache::kA, 0, p0, true);
+  ASSERT_TRUE(d0.ok());
+  // A long kernel on s1 reads panel 0.
+  device.LaunchKernel(host, *s1, "reader0", 50e-3,
+                      {{d0->col_ids.offset, d0->col_ids.size, false}}, [] {});
+  cache.MarkUse(*s1, PanelCache::kA, 0);
+  auto d1 = cache.Acquire(host, *s1, PanelCache::kA, 1, p1, true);
+  ASSERT_TRUE(d1.ok());
+  // An even longer kernel reads panel 1, so panel 0 is the LRU victim.
+  device.LaunchKernel(host, *s1, "reader1", 50e-3,
+                      {{d1->col_ids.offset, d1->col_ids.size, false}}, [] {});
+  cache.MarkUse(*s1, PanelCache::kA, 1);
+
+  // Evicting panel 0 (readers end at 50 ms) on stream s2 must wait for its
+  // reader before the replacing upload may start.
+  ASSERT_TRUE(cache.Acquire(host, *s2, PanelCache::kA, 2, p2, true).ok());
+  EXPECT_GE(s2->last_end(), 50e-3);
+  EXPECT_TRUE(device.hazard_violations().empty());
+}
+
+TEST(PanelCache, PanelLargerThanSlotIsOom) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, /*max_a_bytes=*/1024, SlotBytes());
+  vgpu::Stream* s = device.CreateStream("t");
+  Csr big = Panel(11);
+  auto d = cache.Acquire(host, *s, PanelCache::kA, 0, big, true);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(PanelCacheDeath, MarkUseOfUncachedPanelAborts) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  PanelCache cache(device, host, SlotBytes(), SlotBytes());
+  vgpu::Stream* s = device.CreateStream("t");
+  EXPECT_DEATH(cache.MarkUse(*s, PanelCache::kA, 42), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::core

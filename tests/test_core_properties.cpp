@@ -1,0 +1,129 @@
+// Property sweeps over matrix structure, device size and executor options:
+// every path agrees with the oracle and the virtual-time invariants hold.
+#include <gtest/gtest.h>
+
+#include "core/executors.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/datasets.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::core {
+namespace {
+
+using sparse::Csr;
+
+struct PropertyCase {
+  const char* name;
+  const char* dataset;  // abbr from the paper registry (scaled down)
+  int mem_shift;        // device memory = 16 GiB >> mem_shift
+};
+
+class ExecutorPropertySweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ExecutorPropertySweep, AllPathsAgreeAndInvariantsHold) {
+  const PropertyCase& p = GetParam();
+  Csr a = sparse::PaperMatrix(p.dataset, /*scale_shift=*/4).build();
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  ThreadPool pool(2);
+  ExecutorOptions options;
+
+  vgpu::Device d_sync(vgpu::ScaledV100Properties(p.mem_shift));
+  vgpu::Device d_async(vgpu::ScaledV100Properties(p.mem_shift));
+  vgpu::Device d_hybrid(vgpu::ScaledV100Properties(p.mem_shift));
+
+  auto sync = SyncOutOfCore(d_sync, a, a, options, pool);
+  auto async = AsyncOutOfCore(d_async, a, a, options, pool);
+  auto cpu = CpuMulticore(a, a, options, pool);
+  auto hybrid = Hybrid(d_hybrid, a, a, options, pool);
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  ASSERT_TRUE(cpu.ok());
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+
+  // Correctness: every path equals the oracle.
+  EXPECT_TRUE(testutil::CsrNear(sync->c, expected));
+  EXPECT_TRUE(testutil::CsrNear(async->c, expected));
+  EXPECT_TRUE(testutil::CsrNear(cpu->c, expected));
+  EXPECT_TRUE(testutil::CsrNear(hybrid->c, expected));
+
+  // No virtual-time data races anywhere.
+  EXPECT_TRUE(d_sync.hazard_violations().empty());
+  EXPECT_TRUE(d_async.hazard_violations().empty());
+  EXPECT_TRUE(d_hybrid.hazard_violations().empty());
+
+  // Engine exclusivity (one transfer per direction at a time).
+  for (vgpu::Device* d : {&d_sync, &d_async, &d_hybrid}) {
+    EXPECT_FALSE(d->trace().HasIntraCategoryOverlap(vgpu::OpCategory::kD2H));
+    EXPECT_FALSE(d->trace().HasIntraCategoryOverlap(vgpu::OpCategory::kH2D));
+    EXPECT_FALSE(d->trace().HasIntraCategoryOverlap(vgpu::OpCategory::kKernel));
+  }
+
+  // Performance ordering (the paper's headline relations):
+  // async <= sync; hybrid <= async (+ small tolerance for tiny inputs).
+  EXPECT_LE(async->stats.total_seconds, sync->stats.total_seconds * 1.001);
+  EXPECT_LE(hybrid->stats.total_seconds, async->stats.total_seconds * 1.05);
+
+  // Memory: peak usage within capacity.
+  EXPECT_LE(async->stats.device_peak_bytes, d_async.capacity());
+  EXPECT_LE(sync->stats.device_peak_bytes, d_sync.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, ExecutorPropertySweep,
+    ::testing::Values(PropertyCase{"social", "com-lj", 13},
+                      PropertyCase{"wiki", "wiki0206", 13},
+                      PropertyCase{"web", "uk-2002", 13},
+                      PropertyCase{"fem", "stokes", 13},
+                      PropertyCase{"kkt", "nlp", 13},
+                      PropertyCase{"social_tiny_device", "com-lj", 15},
+                      PropertyCase{"web_tiny_device", "uk-2002", 15}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+class PanelCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PanelCountSweep, AsyncCorrectUnderForcedPartitions) {
+  // Forcing ever smaller devices exercises 1..many panel configurations.
+  Csr a = testutil::RandomRmat(8, 8.0, 42);
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  ThreadPool pool(2);
+  vgpu::Device device(vgpu::ScaledV100Properties(GetParam()));
+  auto r = AsyncOutOfCore(device, a, a, ExecutorOptions{}, pool);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(r->c, expected));
+  EXPECT_TRUE(device.hazard_violations().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceSizes, PanelCountSweep,
+                         ::testing::Values(8, 10, 12, 13, 14, 15),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shift" + std::to_string(info.param);
+                         });
+
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, HybridCorrectAtAnyRatio) {
+  Csr a = testutil::RandomRmat(8, 8.0, 43);
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  ThreadPool pool(2);
+  ExecutorOptions options;
+  options.gpu_ratio = GetParam();
+  vgpu::Device device(vgpu::ScaledV100Properties(13));
+  auto r = Hybrid(device, a, a, options, pool);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(testutil::CsrNear(r->c, expected));
+  EXPECT_EQ(r->stats.num_gpu_chunks + r->stats.num_cpu_chunks,
+            r->stats.num_chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(0.0, 0.2, 0.35, 0.5, 0.65, 0.8,
+                                           0.95, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "r" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace oocgemm::core

@@ -1,0 +1,75 @@
+// The pool-overflow re-planning path: when the sampled nnz estimate is too
+// optimistic, the executors must detect the overflow, double the safety
+// factor, re-plan and still produce the correct result.
+#include <gtest/gtest.h>
+
+#include "core/executors.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::core {
+namespace {
+
+using sparse::Csr;
+
+ExecutorOptions TinySafetyOptions() {
+  ExecutorOptions options;
+  // Deliberately under-size the pools: the estimate is scaled to ~1/8 of
+  // the prediction, so the first attempt must overflow.
+  options.plan.nnz_safety_factor = 0.125;
+  return options;
+}
+
+TEST(OomRetry, AsyncRecoversFromUndersizedPools) {
+  Csr a = testutil::RandomRmat(9, 8.0, 1);
+  vgpu::Device device(vgpu::ScaledV100Properties(14));
+  ThreadPool pool(2);
+  auto r = AsyncOutOfCore(device, a, a, TinySafetyOptions(), pool);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+TEST(OomRetry, SyncRecoversFromUndersizedPools) {
+  Csr a = testutil::RandomRmat(9, 8.0, 2);
+  vgpu::Device device(vgpu::ScaledV100Properties(14));
+  ThreadPool pool(2);
+  auto r = SyncOutOfCore(device, a, a, TinySafetyOptions(), pool);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+TEST(OomRetry, HybridRecoversFromUndersizedPools) {
+  Csr a = testutil::RandomRmat(9, 8.0, 3);
+  vgpu::Device device(vgpu::ScaledV100Properties(14));
+  ThreadPool pool(2);
+  auto r = Hybrid(device, a, a, TinySafetyOptions(), pool);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+TEST(OomRetry, HopelesslySmallDeviceStillFailsCleanly) {
+  Csr a = testutil::RandomRmat(10, 10.0, 4);
+  vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
+  props.memory_bytes = 1 << 10;  // 1 KiB: nothing fits
+  vgpu::Device device(props);
+  ThreadPool pool(2);
+  auto r = AsyncOutOfCore(device, a, a, ExecutorOptions{}, pool);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OomRetry, WorstCaseSizingNeverRetries) {
+  // With the estimator disabled (paper's rejected worst-case bound), pools
+  // can never overflow, so the first attempt must succeed.
+  Csr a = testutil::RandomRmat(8, 8.0, 5);
+  ExecutorOptions options;
+  options.plan.nnz_sample_fraction = 0.0;  // worst-case sizing
+  vgpu::Device device(vgpu::ScaledV100Properties(13));
+  ThreadPool pool(2);
+  auto r = AsyncOutOfCore(device, a, a, options, pool);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+}  // namespace
+}  // namespace oocgemm::core

@@ -1,0 +1,78 @@
+#include "core/run_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm::core {
+namespace {
+
+using vgpu::Interval;
+using vgpu::OpCategory;
+using vgpu::Trace;
+using vgpu::TraceEvent;
+
+Trace MakeTrace() {
+  Trace t;
+  t.Add(TraceEvent{OpCategory::kKernel, "k", 0, Interval{0.0, 1.0}, 0});
+  t.Add(TraceEvent{OpCategory::kD2H, "d", 0, Interval{0.5, 3.0}, 3000});
+  t.Add(TraceEvent{OpCategory::kH2D, "h", 0, Interval{3.0, 3.5}, 500});
+  t.Add(TraceEvent{OpCategory::kAlloc, "a", -1, Interval{3.5, 3.6}, 0});
+  return t;
+}
+
+TEST(RunStats, FillFromTraceBusyTimes) {
+  RunStats s;
+  FillStatsFromTrace(MakeTrace(), s);
+  EXPECT_DOUBLE_EQ(s.kernel_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.d2h_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(s.h2d_seconds, 0.5);
+  EXPECT_NEAR(s.alloc_seconds, 0.1, 1e-12);
+  EXPECT_EQ(s.bytes_d2h, 3000);
+  EXPECT_EQ(s.bytes_h2d, 500);
+}
+
+TEST(RunStats, TotalIsAtLeastSpan) {
+  RunStats s;
+  s.total_seconds = 1.0;  // smaller than the trace span (3.6)
+  FillStatsFromTrace(MakeTrace(), s);
+  EXPECT_DOUBLE_EQ(s.total_seconds, 3.6);
+  s.total_seconds = 10.0;  // larger (e.g. CPU-bound hybrid)
+  FillStatsFromTrace(MakeTrace(), s);
+  EXPECT_DOUBLE_EQ(s.total_seconds, 10.0);
+}
+
+TEST(RunStats, FractionsUseCoveredTime) {
+  RunStats s;
+  FillStatsFromTrace(MakeTrace(), s);
+  EXPECT_NEAR(s.d2h_fraction, 2.5 / 3.6, 1e-12);
+  EXPECT_NEAR(s.transfer_fraction, 3.0 / 3.6, 1e-12);
+  EXPECT_NEAR(s.overlap_factor, (1.0 + 2.5 + 0.5) / 3.6, 1e-12);
+}
+
+TEST(RunStats, GflopsArithmetic) {
+  RunStats s;
+  s.flops = 2'000'000'000;
+  s.total_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.gflops(), 1.0);
+  s.total_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(s.gflops(), 0.0);
+}
+
+TEST(RunStats, DebugStringMentionsKeyFields) {
+  RunStats s;
+  s.total_seconds = 0.5;
+  s.flops = 1'000'000;
+  s.num_chunks = 7;
+  const std::string d = s.DebugString();
+  EXPECT_NE(d.find("chunks=7"), std::string::npos);
+  EXPECT_NE(d.find("GFLOPS"), std::string::npos);
+}
+
+TEST(RunStats, EmptyTraceIsSafe) {
+  RunStats s;
+  FillStatsFromTrace(vgpu::Trace{}, s);
+  EXPECT_EQ(s.total_seconds, 0.0);
+  EXPECT_EQ(s.d2h_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace oocgemm::core

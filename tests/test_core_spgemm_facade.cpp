@@ -1,0 +1,71 @@
+#include "core/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::core {
+namespace {
+
+using sparse::Csr;
+
+TEST(MultiplyFacade, AutoPicksGpuForSingleChunkProblems) {
+  Csr a = testutil::RandomCsr(64, 64, 3.0, 1);
+  vgpu::Device device(vgpu::ScaledV100Properties(8));  // plenty of memory
+  ThreadPool pool(2);
+  auto r = Multiply(device, a, a, MultiplyOptions{}, pool);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.num_chunks, 1);
+  EXPECT_EQ(r->stats.num_cpu_chunks, 0);  // in-core: GPU only
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+TEST(MultiplyFacade, AutoPicksHybridForMultiChunkProblems) {
+  Csr a = testutil::RandomRmat(9, 8.0, 2);
+  vgpu::Device device(vgpu::ScaledV100Properties(14));  // tiny: many chunks
+  ThreadPool pool(2);
+  MultiplyOptions options;
+  options.gpu_ratio = 0.5;  // guarantee the CPU a visible share
+  auto r = Multiply(device, a, a, options, pool);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.num_chunks, 1);
+  EXPECT_GT(r->stats.num_cpu_chunks, 0);  // the CPU participated
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+TEST(MultiplyFacade, ExplicitModesAgree) {
+  Csr a = testutil::RandomRmat(8, 6.0, 3);
+  ThreadPool pool(2);
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  for (ExecutionMode mode :
+       {ExecutionMode::kGpuOutOfCore, ExecutionMode::kGpuSynchronous,
+        ExecutionMode::kHybrid, ExecutionMode::kCpuOnly}) {
+    MultiplyOptions options;
+    options.mode = mode;
+    vgpu::Device device(vgpu::ScaledV100Properties(14));
+    auto r = Multiply(device, a, a, options, pool);
+    ASSERT_TRUE(r.ok()) << static_cast<int>(mode);
+    EXPECT_TRUE(testutil::CsrNear(r->c, expected))
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(MultiplyFacade, ConvenienceOverloadWorks) {
+  Csr a = testutil::RandomCsr(48, 48, 3.0, 4);
+  vgpu::Device device(vgpu::ScaledV100Properties(10));
+  auto r = Multiply(device, a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(testutil::CsrNear(r->c, kernels::ReferenceSpgemm(a, a)));
+}
+
+TEST(MultiplyFacade, PropagatesDimensionErrors) {
+  Csr a = testutil::RandomCsr(10, 20, 2.0, 5);
+  Csr b = testutil::RandomCsr(30, 10, 2.0, 6);
+  vgpu::Device device(vgpu::ScaledV100Properties(10));
+  ThreadPool pool(2);
+  EXPECT_FALSE(Multiply(device, a, b, MultiplyOptions{}, pool).ok());
+}
+
+}  // namespace
+}  // namespace oocgemm::core

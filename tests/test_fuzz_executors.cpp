@@ -1,0 +1,105 @@
+// Randomized cross-executor fuzzing: random structures, shapes, device
+// sizes and option combinations; every path must agree with the oracle and
+// every virtual-time invariant must hold.  Seeds are fixed, so failures
+// reproduce.
+#include <gtest/gtest.h>
+
+#include "core/executors.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/coo.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::core {
+namespace {
+
+using sparse::Csr;
+
+Csr RandomMatrix(Pcg32& rng) {
+  switch (rng.Below(4)) {
+    case 0: {
+      // Uniform rectangular.
+      const sparse::index_t rows = 32 + static_cast<sparse::index_t>(rng.Below(300));
+      const sparse::index_t cols = 32 + static_cast<sparse::index_t>(rng.Below(300));
+      return testutil::RandomCsr(rows, cols, 1.0 + rng.NextDouble() * 8.0,
+                                 rng.NextU64());
+    }
+    case 1:
+      // Skewed square graph.
+      return testutil::RandomRmat(7 + static_cast<int>(rng.Below(3)),
+                                  2.0 + rng.NextDouble() * 10.0, rng.NextU64());
+    case 2: {
+      // Banded.
+      sparse::BandedParams p;
+      p.n = 64 + static_cast<sparse::index_t>(rng.Below(400));
+      p.half_bandwidth = static_cast<sparse::index_t>(rng.Below(12));
+      p.seed = rng.NextU64();
+      return sparse::GenerateBanded(p);
+    }
+    default: {
+      // Very sparse with empty rows.
+      sparse::Coo coo;
+      coo.rows = coo.cols = 64 + static_cast<sparse::index_t>(rng.Below(200));
+      const int entries = static_cast<int>(rng.Below(300));
+      for (int i = 0; i < entries; ++i) {
+        coo.Add(static_cast<sparse::index_t>(rng.Below(
+                    static_cast<std::uint32_t>(coo.rows))),
+                static_cast<sparse::index_t>(rng.Below(
+                    static_cast<std::uint32_t>(coo.cols))),
+                rng.Uniform(-1, 1));
+      }
+      return sparse::CooToCsr(coo);
+    }
+  }
+}
+
+class ExecutorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorFuzz, AllPathsAgreeUnderRandomConfigurations) {
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  ThreadPool pool(2);
+
+  Csr a = RandomMatrix(rng);
+  Csr b = RandomMatrix(rng);
+  // Make the shapes compatible: multiply A by a matrix with matching rows.
+  if (a.cols() != b.rows()) {
+    b = testutil::RandomCsr(a.cols(), 32 + static_cast<sparse::index_t>(rng.Below(300)),
+                            1.0 + rng.NextDouble() * 6.0, rng.NextU64());
+  }
+  Csr expected = kernels::ReferenceSpgemm(a, b);
+
+  ExecutorOptions options;
+  options.reorder_chunks = rng.Bernoulli(0.5);
+  options.transfer_schedule = rng.Bernoulli(0.5) ? TransferSchedule::kScheduled
+                                                 : TransferSchedule::kNaive;
+  options.split_fraction = rng.NextDouble();
+  options.pinned_host = rng.Bernoulli(0.8);
+  options.gpu_ratio = rng.NextDouble();
+  options.plan.nnz_safety_factor = 0.5 + rng.NextDouble() * 3.0;
+
+  vgpu::DeviceProperties props =
+      vgpu::ScaledV100Properties(12 + static_cast<int>(rng.Below(4)));
+  vgpu::Device d_async(props);
+  vgpu::Device d_hybrid(props);
+
+  auto async = AsyncOutOfCore(d_async, a, b, options, pool);
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(async->c, expected));
+  EXPECT_TRUE(d_async.hazard_violations().empty());
+  EXPECT_FALSE(
+      d_async.trace().HasIntraCategoryOverlap(vgpu::OpCategory::kD2H));
+  EXPECT_FALSE(
+      d_async.trace().HasIntraCategoryOverlap(vgpu::OpCategory::kKernel));
+  EXPECT_LE(async->stats.device_peak_bytes, d_async.capacity());
+
+  auto hybrid = Hybrid(d_hybrid, a, b, options, pool);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(hybrid->c, expected));
+  EXPECT_TRUE(d_hybrid.hazard_violations().empty());
+  EXPECT_EQ(hybrid->stats.num_gpu_chunks + hybrid->stats.num_cpu_chunks,
+            hybrid->stats.num_chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzz, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace oocgemm::core

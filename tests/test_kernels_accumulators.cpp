@@ -1,0 +1,168 @@
+#include "kernels/accumulators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+template <typename Acc>
+std::map<index_t, value_t> Extract(Acc& acc) {
+  std::vector<index_t> cols(static_cast<std::size_t>(acc.size()));
+  std::vector<value_t> vals(static_cast<std::size_t>(acc.size()));
+  acc.ExtractSorted(cols.data(), vals.data());
+  std::map<index_t, value_t> m;
+  for (std::size_t i = 0; i < cols.size(); ++i) m[cols[i]] = vals[i];
+  return m;
+}
+
+template <typename T>
+class AccumulatorTest : public ::testing::Test {};
+
+using AccumulatorTypes = ::testing::Types<HashAccumulator, DenseAccumulator>;
+TYPED_TEST_SUITE(AccumulatorTest, AccumulatorTypes);
+
+template <typename Acc>
+void Prepare(Acc& acc, index_t cols_or_entries);
+
+template <>
+void Prepare(HashAccumulator& acc, index_t entries) {
+  acc.Reserve(entries);
+}
+template <>
+void Prepare(DenseAccumulator& acc, index_t cols) {
+  acc.Reserve(cols);
+}
+
+TYPED_TEST(AccumulatorTest, StartsEmpty) {
+  TypeParam acc;
+  Prepare(acc, 64);
+  EXPECT_EQ(acc.size(), 0);
+}
+
+TYPED_TEST(AccumulatorTest, AccumulatesCollisions) {
+  TypeParam acc;
+  Prepare(acc, 64);
+  acc.Add(5, 1.0);
+  acc.Add(5, 2.5);
+  acc.Add(3, 1.0);
+  EXPECT_EQ(acc.size(), 2);
+  auto m = Extract(acc);
+  EXPECT_DOUBLE_EQ(m[5], 3.5);
+  EXPECT_DOUBLE_EQ(m[3], 1.0);
+}
+
+TYPED_TEST(AccumulatorTest, ExtractIsSortedByColumn) {
+  TypeParam acc;
+  Prepare(acc, 64);
+  for (index_t c : {50, 3, 27, 9, 41}) acc.Add(c, 1.0);
+  std::vector<index_t> cols(5);
+  std::vector<value_t> vals(5);
+  acc.ExtractSorted(cols.data(), vals.data());
+  EXPECT_EQ(cols, (std::vector<index_t>{3, 9, 27, 41, 50}));
+}
+
+TYPED_TEST(AccumulatorTest, ClearForgetsEntries) {
+  TypeParam acc;
+  Prepare(acc, 64);
+  acc.Add(1, 1.0);
+  acc.Add(2, 2.0);
+  acc.Clear();
+  EXPECT_EQ(acc.size(), 0);
+  acc.Add(1, 5.0);
+  auto m = Extract(acc);
+  EXPECT_DOUBLE_EQ(m[1], 5.0);  // previous 1.0 must not leak through
+}
+
+TYPED_TEST(AccumulatorTest, SymbolicCountsDistinct) {
+  TypeParam acc;
+  Prepare(acc, 64);
+  for (index_t c : {7, 7, 2, 7, 2, 9}) acc.AddSymbolic(c);
+  EXPECT_EQ(acc.size(), 3);
+}
+
+TYPED_TEST(AccumulatorTest, ManyRowsReusedMatchesMap) {
+  TypeParam acc;
+  Prepare(acc, 500);
+  Pcg32 rng(77);
+  for (int row = 0; row < 200; ++row) {
+    acc.Clear();
+    std::map<index_t, value_t> expected;
+    const int inserts = 1 + static_cast<int>(rng.Below(60));
+    for (int i = 0; i < inserts; ++i) {
+      const index_t c = static_cast<index_t>(rng.Below(500));
+      const value_t v = rng.Uniform(-1, 1);
+      acc.Add(c, v);
+      expected[c] += v;
+    }
+    ASSERT_EQ(acc.size(), static_cast<std::int64_t>(expected.size()));
+    auto got = Extract(acc);
+    for (const auto& [c, v] : expected) {
+      ASSERT_NEAR(got[c], v, 1e-12);
+    }
+  }
+}
+
+TEST(HashAccumulator, GrowsBeyondInitialReserve) {
+  HashAccumulator acc;
+  acc.Reserve(4);
+  for (index_t c = 0; c < 1000; ++c) acc.Add(c, 1.0);
+  EXPECT_EQ(acc.size(), 1000);
+  std::vector<index_t> cols(1000);
+  std::vector<value_t> vals(1000);
+  acc.ExtractSorted(cols.data(), vals.data());
+  for (index_t c = 0; c < 1000; ++c) EXPECT_EQ(cols[static_cast<std::size_t>(c)], c);
+}
+
+TEST(HashAccumulator, WorksWithoutReserve) {
+  HashAccumulator acc;
+  acc.Add(3, 1.0);
+  acc.Add(1, 2.0);
+  EXPECT_EQ(acc.size(), 2);
+}
+
+TEST(HashAccumulator, AdversarialKeysSameBucket) {
+  // Keys differing only in high bits stress linear probing.
+  HashAccumulator acc;
+  acc.Reserve(16);
+  for (int i = 0; i < 64; ++i) acc.Add(static_cast<index_t>(i << 20), 1.0);
+  EXPECT_EQ(acc.size(), 64);
+}
+
+TEST(DenseAccumulator, GenerationWrapIsSafe) {
+  DenseAccumulator acc;
+  acc.Reserve(8);
+  // Clear enough times to approach wrap quickly is impractical for a
+  // uint32 generation; instead verify many clears keep correctness.
+  for (int i = 0; i < 10000; ++i) {
+    acc.Clear();
+    acc.Add(static_cast<index_t>(i % 8), 1.0);
+    ASSERT_EQ(acc.size(), 1);
+  }
+}
+
+TEST(DenseAccumulator, ReserveGrowsMonotonically) {
+  DenseAccumulator acc;
+  acc.Reserve(4);
+  acc.Add(3, 1.0);
+  acc.Clear();
+  acc.Reserve(16);  // bigger panel later
+  acc.Add(15, 2.0);
+  EXPECT_EQ(acc.size(), 1);
+}
+
+TEST(ChooseAccumulator, DenseForHeavyRows) {
+  EXPECT_EQ(ChooseAccumulator(/*row_flops=*/10000, /*panel_cols=*/256),
+            AccumulatorKind::kDense);
+}
+
+TEST(ChooseAccumulator, HashForSparseRows) {
+  EXPECT_EQ(ChooseAccumulator(/*row_flops=*/4, /*panel_cols=*/100000),
+            AccumulatorKind::kHash);
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

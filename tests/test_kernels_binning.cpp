@@ -1,0 +1,64 @@
+#include "kernels/binning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm::kernels {
+namespace {
+
+TEST(GroupRowsByWork, EmptyInput) {
+  RowGroups rg = GroupRowsByWork(nullptr, 0);
+  EXPECT_EQ(rg.total_rows(), 0u);
+}
+
+TEST(GroupRowsByWork, ZeroWorkRowsInGroupZero) {
+  std::int64_t flops[] = {0, 0, 5};
+  RowGroups rg = GroupRowsByWork(flops, 3);
+  EXPECT_EQ(rg.groups[0].size(), 2u);
+  EXPECT_EQ(rg.groups[1].size(), 1u);
+}
+
+TEST(GroupRowsByWork, BoundaryValues) {
+  // Exactly at the limits: 128 stays in group 1, 129 moves to group 2.
+  std::int64_t flops[] = {128, 129, 2048, 2049, 32768, 32769};
+  RowGroups rg = GroupRowsByWork(flops, 6);
+  EXPECT_EQ(rg.groups[1], (std::vector<sparse::index_t>{0}));
+  EXPECT_EQ(rg.groups[2], (std::vector<sparse::index_t>{1, 2}));
+  EXPECT_EQ(rg.groups[3], (std::vector<sparse::index_t>{3, 4}));
+  EXPECT_EQ(rg.groups[4], (std::vector<sparse::index_t>{5}));
+}
+
+TEST(GroupRowsByWork, PartitionIsCompleteAndDisjoint) {
+  std::vector<std::int64_t> flops;
+  for (int i = 0; i < 1000; ++i) flops.push_back((i * 37) % 100000);
+  RowGroups rg = GroupRowsByWork(flops.data(), flops.size());
+  EXPECT_EQ(rg.total_rows(), 1000u);
+  std::vector<bool> seen(1000, false);
+  for (const auto& g : rg.groups) {
+    for (sparse::index_t r : g) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(r)]);
+      seen[static_cast<std::size_t>(r)] = true;
+    }
+  }
+}
+
+TEST(GroupRowsByWork, PreservesRowOrderWithinGroup) {
+  std::int64_t flops[] = {5, 500, 6, 7, 600};
+  RowGroups rg = GroupRowsByWork(flops, 5);
+  EXPECT_EQ(rg.groups[1], (std::vector<sparse::index_t>{0, 2, 3}));
+  EXPECT_EQ(rg.groups[2], (std::vector<sparse::index_t>{1, 4}));
+}
+
+TEST(GroupRowsByWork, HugeValuesLandInLastGroup) {
+  std::int64_t flops[] = {INT64_MAX / 2};
+  RowGroups rg = GroupRowsByWork(flops, 1);
+  EXPECT_EQ(rg.groups[kNumRowGroups - 1].size(), 1u);
+}
+
+TEST(RowGroups, DebugStringListsCounts) {
+  std::int64_t flops[] = {0, 5, 500};
+  RowGroups rg = GroupRowsByWork(flops, 3);
+  EXPECT_EQ(rg.DebugString(), "RowGroups(1, 1, 1, 0, 0)");
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

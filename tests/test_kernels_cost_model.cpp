@@ -1,0 +1,98 @@
+#include "kernels/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vgpu/device.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+TEST(CostModel, NumericRateGrowsWithCompressionRatio) {
+  CostModel cm;
+  EXPECT_LT(cm.NumericRate(1.8), cm.NumericRate(4.5));
+  EXPECT_LT(cm.NumericRate(4.5), cm.NumericRate(10.0));
+}
+
+TEST(CostModel, NumericRateClamped) {
+  CostModel cm;
+  EXPECT_GE(cm.NumericRate(0.1), cm.numeric_min);
+  EXPECT_LE(cm.NumericRate(1e9), cm.numeric_max);
+}
+
+TEST(CostModel, TimesScaleLinearlyInFlops) {
+  CostModel cm;
+  EXPECT_NEAR(cm.GpuNumericSeconds(2000, 2.0),
+              2.0 * cm.GpuNumericSeconds(1000, 2.0), 1e-15);
+  EXPECT_NEAR(cm.GpuAnalysisSeconds(500), 0.5 * cm.GpuAnalysisSeconds(1000),
+              1e-15);
+}
+
+TEST(CostModel, SymbolicIsFractionOfNumeric) {
+  CostModel cm;
+  EXPECT_NEAR(cm.GpuSymbolicSeconds(1000, 3.0),
+              cm.symbolic_fraction * cm.GpuNumericSeconds(1000, 3.0), 1e-15);
+}
+
+TEST(CostModel, EndToEndIncludesTransfer) {
+  CostModel cm;
+  const double bw = 4e9;
+  const double kernels_only =
+      cm.GpuSymbolicSeconds(1000, 2.0) + cm.GpuNumericSeconds(1000, 2.0);
+  EXPECT_GT(cm.GpuEndToEndSeconds(1000, 2.0, bw), kernels_only);
+}
+
+TEST(CostModel, CpuSlowerThanGpuEndToEndAcrossCrRange) {
+  // The paper's Fig. 7 band: the GPU (including its transfers) beats the
+  // multicore CPU by roughly 2-3x at the matrix level, across the whole
+  // compression-ratio range of the evaluation set.
+  CostModel cm;
+  const double bw = vgpu::DeviceProperties{}.d2h_bandwidth;
+  for (double cr : {3.5, 5.0, 7.0, 9.0, 12.0}) {
+    const double s = cm.CpuChunkSeconds(1'000'000'000, cr) /
+                     cm.GpuEndToEndSeconds(1'000'000'000, cr, bw);
+    EXPECT_GT(s, 1.5) << "cr=" << cr;
+    EXPECT_LT(s, 3.5) << "cr=" << cr;
+  }
+}
+
+TEST(CostModel, CpuPenaltyOnSparseChunksIsMilder) {
+  // Per flop, the CPU degrades less than the GPU when the compression
+  // ratio drops (no PCIe transfer) — the reason Algorithm 4 sends sparse
+  // chunks to the CPU.
+  CostModel cm;
+  const double bw = vgpu::DeviceProperties{}.d2h_bandwidth;
+  const double cpu_penalty =
+      cm.CpuChunkSeconds(1'000'000'000, 2.0) /
+      cm.CpuChunkSeconds(1'000'000'000, 10.0);
+  const double gpu_penalty =
+      cm.GpuEndToEndSeconds(1'000'000'000, 2.0, bw) /
+      cm.GpuEndToEndSeconds(1'000'000'000, 10.0, bw);
+  EXPECT_LT(cpu_penalty, gpu_penalty);
+}
+
+TEST(CostModel, HighCompressionChunksAreCheaperPerFlop) {
+  CostModel cm;
+  const double bw = 4e9;
+  const double low_cr = cm.GpuEndToEndSeconds(1'000'000, 1.8, bw);
+  const double high_cr = cm.GpuEndToEndSeconds(1'000'000, 10.0, bw);
+  EXPECT_LT(high_cr, low_cr);  // the paper's Fig. 7 correlation
+}
+
+TEST(CostModel, TransferDominatesComputeAtDefaultCalibration) {
+  // The calibration target: for typical chunks the D2H share of the
+  // end-to-end cost sits in the paper's 70-90% band (Fig. 4).
+  CostModel cm;
+  const double bw = 4e9;
+  for (double cr : {1.8, 2.7, 4.5, 9.0, 10.3}) {
+    const std::int64_t flops = 100'000'000;
+    const double total = cm.GpuEndToEndSeconds(flops, cr, bw);
+    const double kernels =
+        cm.GpuSymbolicSeconds(flops, cr) + cm.GpuNumericSeconds(flops, cr);
+    const double transfer_share = (total - kernels) / total;
+    EXPECT_GT(transfer_share, 0.60) << "cr=" << cr;
+    EXPECT_LT(transfer_share, 0.95) << "cr=" << cr;
+  }
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

@@ -1,0 +1,100 @@
+#include "kernels/device_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "vgpu/memory_pool.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+using sparse::Csr;
+
+vgpu::DeviceProperties Props() {
+  vgpu::DeviceProperties p;
+  p.memory_bytes = 8 << 20;
+  return p;
+}
+
+TEST(DeviceCsr, UploadDownloadRoundTrip) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  vgpu::Stream* s = device.CreateStream("t");
+  vgpu::MallocMemorySource source(device);
+  Csr m = testutil::RandomRmat(8, 6.0, 1);
+  auto d = UploadCsr(device, host, *s, source, m, "m");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rows, m.rows());
+  EXPECT_EQ(d->cols, m.cols());
+  EXPECT_EQ(d->nnz, m.nnz());
+  Csr back = DownloadCsr(device, host, d.value());
+  EXPECT_TRUE(back == m);
+  ReleaseCsr(host, source, d.value());
+  EXPECT_EQ(device.used_bytes(), 0);
+}
+
+TEST(DeviceCsr, EmptyMatrixUploads) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  vgpu::Stream* s = device.CreateStream("t");
+  vgpu::MallocMemorySource source(device);
+  Csr m(16, 16);
+  auto d = UploadCsr(device, host, *s, source, m, "empty");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->nnz, 0);
+  EXPECT_TRUE(DownloadCsr(device, host, d.value()) == m);
+  ReleaseCsr(host, source, d.value());
+}
+
+TEST(DeviceCsr, UploadOomPropagates) {
+  vgpu::DeviceProperties props;
+  props.memory_bytes = 4096;
+  vgpu::Device device(props);
+  vgpu::HostContext host;
+  vgpu::Stream* s = device.CreateStream("t");
+  vgpu::MallocMemorySource source(device);
+  Csr m = testutil::RandomCsr(256, 256, 8.0, 2);
+  auto d = UploadCsr(device, host, *s, source, m, "big");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(DeviceCsr, StorageBytesMatchesPieces) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  vgpu::Stream* s = device.CreateStream("t");
+  vgpu::MallocMemorySource source(device);
+  Csr m = testutil::RandomCsr(64, 64, 4.0, 3);
+  auto d = UploadCsr(device, host, *s, source, m, "m");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->StorageBytes(),
+            d->row_offsets.size + d->col_ids.size + d->values.size);
+  ReleaseCsr(host, source, d.value());
+}
+
+TEST(DeviceCsr, BytesBoundIsSufficient) {
+  Csr m = testutil::RandomRmat(7, 8.0, 4);
+  const std::int64_t bound = DeviceCsrBytes(m);
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  vgpu::MemoryPool pool(device, host, bound);
+  vgpu::PoolMemorySource source(pool);
+  vgpu::Stream* s = device.CreateStream("t");
+  EXPECT_TRUE(UploadCsr(device, host, *s, source, m, "m").ok());
+}
+
+TEST(DeviceCsr, UploadUsesH2DEngine) {
+  vgpu::Device device(Props());
+  vgpu::HostContext host;
+  vgpu::Stream* s = device.CreateStream("t");
+  vgpu::MallocMemorySource source(device);
+  Csr m = testutil::RandomCsr(32, 32, 4.0, 5);
+  auto d = UploadCsr(device, host, *s, source, m, "m");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(device.trace().Bytes(vgpu::OpCategory::kH2D),
+            static_cast<std::int64_t>(m.row_offsets().size() * 8) +
+                m.nnz() * 4 + m.nnz() * 8);
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

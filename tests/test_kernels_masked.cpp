@@ -1,0 +1,147 @@
+#include "kernels/masked_spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+using sparse::Csr;
+using sparse::index_t;
+
+/// Reference semantics: full product filtered to the mask's pattern, with
+/// exact zeros dropped (matching MaskedCpuSpgemm's documented behaviour).
+Csr FilterByMask(const Csr& full, const Csr& mask) {
+  sparse::Coo coo;
+  coo.rows = full.rows();
+  coo.cols = full.cols();
+  for (index_t r = 0; r < full.rows(); ++r) {
+    auto mk = mask.row_begin(r);
+    for (auto k = full.row_begin(r); k < full.row_end(r); ++k) {
+      const index_t c = full.col_ids()[static_cast<std::size_t>(k)];
+      while (mk < mask.row_end(r) &&
+             mask.col_ids()[static_cast<std::size_t>(mk)] < c) {
+        ++mk;
+      }
+      if (mk < mask.row_end(r) &&
+          mask.col_ids()[static_cast<std::size_t>(mk)] == c &&
+          full.values()[static_cast<std::size_t>(k)] != 0.0) {
+        coo.Add(r, c, full.values()[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  return sparse::CooToCsr(coo);
+}
+
+TEST(MaskedSpgemm, MatchesFilteredFullProduct) {
+  ThreadPool pool(3);
+  Csr a = testutil::RandomCsr(80, 60, 4.0, 1);
+  Csr b = testutil::RandomCsr(60, 90, 4.0, 2);
+  Csr mask = testutil::RandomCsr(80, 90, 6.0, 3);
+  Csr masked = MaskedCpuSpgemm(a, b, mask, pool);
+  Csr expected = FilterByMask(ReferenceSpgemm(a, b), mask);
+  EXPECT_TRUE(testutil::CsrNear(masked, expected));
+}
+
+TEST(MaskedSpgemm, SelfMaskOnGraph) {
+  ThreadPool pool(2);
+  Csr a = testutil::RandomRmat(8, 6.0, 4);
+  Csr masked = MaskedCpuSpgemm(a, a, a, pool);
+  Csr expected = FilterByMask(ReferenceSpgemm(a, a), a);
+  EXPECT_TRUE(testutil::CsrNear(masked, expected));
+}
+
+TEST(MaskedSpgemm, EmptyMaskGivesEmptyResult) {
+  ThreadPool pool(2);
+  Csr a = testutil::RandomCsr(32, 32, 4.0, 5);
+  Csr empty(32, 32);
+  EXPECT_EQ(MaskedCpuSpgemm(a, a, empty, pool).nnz(), 0);
+}
+
+TEST(MaskedSpgemm, FullMaskEqualsFullProduct) {
+  ThreadPool pool(2);
+  Csr a = testutil::RandomCsr(24, 24, 3.0, 6);
+  // Dense mask: every position allowed.
+  sparse::Coo coo;
+  coo.rows = coo.cols = 24;
+  for (index_t r = 0; r < 24; ++r) {
+    for (index_t c = 0; c < 24; ++c) coo.Add(r, c, 1.0);
+  }
+  Csr mask = sparse::CooToCsr(coo);
+  Csr masked = MaskedCpuSpgemm(a, a, mask, pool);
+  EXPECT_TRUE(testutil::CsrNear(masked, ReferenceSpgemm(a, a)));
+}
+
+TEST(CountTriangles, KnownSmallGraphs) {
+  ThreadPool pool(2);
+  // K4: 4 triangles.
+  sparse::Coo k4;
+  k4.rows = k4.cols = 4;
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      if (i != j) k4.Add(i, j, 1.0);
+    }
+  }
+  EXPECT_EQ(CountTriangles(sparse::CooToCsr(k4), pool), 4);
+
+  // A 5-cycle: no triangles.
+  sparse::Coo c5;
+  c5.rows = c5.cols = 5;
+  for (index_t i = 0; i < 5; ++i) {
+    c5.Add(i, (i + 1) % 5, 1.0);
+    c5.Add((i + 1) % 5, i, 1.0);
+  }
+  EXPECT_EQ(CountTriangles(sparse::CooToCsr(c5), pool), 0);
+
+  // Two disjoint triangles.
+  sparse::Coo two;
+  two.rows = two.cols = 6;
+  const int tri[2][3] = {{0, 1, 2}, {3, 4, 5}};
+  for (const auto& t : tri) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) two.Add(t[i], t[j], 1.0);
+      }
+    }
+  }
+  EXPECT_EQ(CountTriangles(sparse::CooToCsr(two), pool), 2);
+}
+
+TEST(CountTriangles, AgreesWithFullProductMethod) {
+  ThreadPool pool(2);
+  sparse::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 6.0;
+  p.symmetric = true;
+  p.seed = 77;
+  Csr g = sparse::GenerateRmat(p);
+  for (auto& v : g.mutable_values()) v = 1.0;
+
+  // Independent method: sum over edges of (A^2) entries.
+  Csr paths = ReferenceSpgemm(g, g);
+  double wedge_sum = 0.0;
+  for (index_t r = 0; r < g.rows(); ++r) {
+    auto pk = paths.row_begin(r);
+    for (auto k = g.row_begin(r); k < g.row_end(r); ++k) {
+      const index_t c = g.col_ids()[static_cast<std::size_t>(k)];
+      while (pk < paths.row_end(r) &&
+             paths.col_ids()[static_cast<std::size_t>(pk)] < c) {
+        ++pk;
+      }
+      if (pk < paths.row_end(r) &&
+          paths.col_ids()[static_cast<std::size_t>(pk)] == c) {
+        wedge_sum += paths.values()[static_cast<std::size_t>(pk)];
+      }
+    }
+  }
+  EXPECT_EQ(CountTriangles(g, pool),
+            static_cast<std::int64_t>(wedge_sum + 0.5) / 6);
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

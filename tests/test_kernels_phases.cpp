@@ -1,0 +1,152 @@
+// Direct tests of the symbolic/numeric phase kernels on hand-built data
+// (the executor tests cover them end-to-end; these pin the low-level
+// contracts: row subsets, per-row offsets, accumulator selection).
+#include "kernels/spgemm_phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+using sparse::value_t;
+
+struct PhaseFixture {
+  Csr a;
+  Csr b;
+  Csr expected;
+  std::vector<std::int64_t> row_flops;
+
+  explicit PhaseFixture(int seed) {
+    a = testutil::RandomCsr(40, 30, 4.0, seed);
+    b = testutil::RandomCsr(30, 25, 4.0, seed + 1);
+    expected = ReferenceSpgemm(a, b);
+    row_flops.assign(static_cast<std::size_t>(a.rows()), 0);
+    for (index_t r = 0; r < a.rows(); ++r) {
+      std::int64_t f = 0;
+      for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+        f += b.row_nnz(a.col_ids()[static_cast<std::size_t>(k)]);
+      }
+      row_flops[static_cast<std::size_t>(r)] = 2 * f;
+    }
+  }
+};
+
+std::vector<index_t> AllRows(index_t n) {
+  std::vector<index_t> rows(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) rows[static_cast<std::size_t>(i)] = i;
+  return rows;
+}
+
+TEST(SymbolicRows, CountsMatchReferenceForEveryAccumulator) {
+  PhaseFixture f(1);
+  for (AccumulatorKind kind :
+       {AccumulatorKind::kAuto, AccumulatorKind::kHash,
+        AccumulatorKind::kDense}) {
+    AccumulatorScratch scratch;
+    std::vector<std::int64_t> nnz(static_cast<std::size_t>(f.a.rows()), -1);
+    SymbolicRows(f.a.row_offsets().data(), f.a.col_ids().data(),
+                 f.b.row_offsets().data(), f.b.col_ids().data(), f.b.cols(),
+                 AllRows(f.a.rows()), f.row_flops.data(), kind, scratch,
+                 nnz.data());
+    for (index_t r = 0; r < f.a.rows(); ++r) {
+      EXPECT_EQ(nnz[static_cast<std::size_t>(r)], f.expected.row_nnz(r))
+          << "row " << r << " kind " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(SymbolicRows, OnlyTouchesListedRows) {
+  PhaseFixture f(2);
+  AccumulatorScratch scratch;
+  std::vector<std::int64_t> nnz(static_cast<std::size_t>(f.a.rows()), -99);
+  std::vector<index_t> subset = {3, 7, 11};
+  SymbolicRows(f.a.row_offsets().data(), f.a.col_ids().data(),
+               f.b.row_offsets().data(), f.b.col_ids().data(), f.b.cols(),
+               subset, f.row_flops.data(), AccumulatorKind::kAuto, scratch,
+               nnz.data());
+  for (index_t r = 0; r < f.a.rows(); ++r) {
+    const bool listed = r == 3 || r == 7 || r == 11;
+    if (listed) {
+      EXPECT_EQ(nnz[static_cast<std::size_t>(r)], f.expected.row_nnz(r));
+    } else {
+      EXPECT_EQ(nnz[static_cast<std::size_t>(r)], -99);  // untouched
+    }
+  }
+}
+
+TEST(NumericRows, FillsAtGivenOffsetsSorted) {
+  PhaseFixture f(3);
+  AccumulatorScratch scratch;
+  std::vector<index_t> cols(static_cast<std::size_t>(f.expected.nnz()), -1);
+  std::vector<value_t> vals(static_cast<std::size_t>(f.expected.nnz()), 0.0);
+  NumericRows(f.a.row_offsets().data(), f.a.col_ids().data(),
+              f.a.values().data(), f.b.row_offsets().data(),
+              f.b.col_ids().data(), f.b.values().data(), f.b.cols(),
+              AllRows(f.a.rows()), f.row_flops.data(), AccumulatorKind::kAuto,
+              scratch, f.expected.row_offsets().data(), cols.data(),
+              vals.data());
+  EXPECT_EQ(cols, f.expected.col_ids());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_NEAR(vals[i], f.expected.values()[i], 1e-10);
+  }
+}
+
+TEST(NumericRows, HashAndDenseProduceIdenticalStructure) {
+  PhaseFixture f(4);
+  auto run = [&](AccumulatorKind kind) {
+    AccumulatorScratch scratch;
+    std::vector<index_t> cols(static_cast<std::size_t>(f.expected.nnz()));
+    std::vector<value_t> vals(static_cast<std::size_t>(f.expected.nnz()));
+    NumericRows(f.a.row_offsets().data(), f.a.col_ids().data(),
+                f.a.values().data(), f.b.row_offsets().data(),
+                f.b.col_ids().data(), f.b.values().data(), f.b.cols(),
+                AllRows(f.a.rows()), f.row_flops.data(), kind, scratch,
+                f.expected.row_offsets().data(), cols.data(), vals.data());
+    return std::make_pair(cols, vals);
+  };
+  auto [hc, hv] = run(AccumulatorKind::kHash);
+  auto [dc, dv] = run(AccumulatorKind::kDense);
+  EXPECT_EQ(hc, dc);
+  for (std::size_t i = 0; i < hv.size(); ++i) EXPECT_NEAR(hv[i], dv[i], 1e-10);
+}
+
+TEST(SparseAdd, MergesSortedRows) {
+  Csr a(2, 4, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  Csr b(2, 4, {0, 2, 4}, {2, 3, 0, 1}, {10.0, 20.0, 30.0, 40.0});
+  Csr c = sparse::Add(a, b);
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.col_ids(), (std::vector<index_t>{0, 2, 3, 0, 1}));
+  EXPECT_EQ(c.values(), (std::vector<value_t>{1.0, 12.0, 20.0, 30.0, 43.0}));
+}
+
+TEST(SparseAdd, ScalarsAndSubtraction) {
+  Csr a = testutil::RandomCsr(20, 20, 3.0, 5);
+  Csr zero = sparse::DropZeros(sparse::Add(a, a, 1.0, -1.0));
+  EXPECT_EQ(zero.nnz(), 0);
+  Csr twice = sparse::Add(a, a, 1.5, 0.5);
+  for (std::size_t i = 0; i < twice.values().size(); ++i) {
+    EXPECT_NEAR(twice.values()[i], 2.0 * a.values()[i], 1e-12);
+  }
+}
+
+TEST(SparseAdd, DistributesOverMultiplication) {
+  // (A + B) C == AC + BC.
+  Csr a = testutil::RandomCsr(15, 12, 3.0, 6);
+  Csr b = testutil::RandomCsr(15, 12, 3.0, 7);
+  Csr c = testutil::RandomCsr(12, 18, 3.0, 8);
+  Csr lhs = ReferenceSpgemm(sparse::Add(a, b), c);
+  Csr rhs = sparse::Add(ReferenceSpgemm(a, c), ReferenceSpgemm(b, c));
+  // Patterns can differ by explicit zeros; compare after pruning.
+  EXPECT_TRUE(testutil::CsrNear(sparse::DropZeros(lhs, 1e-12),
+                                sparse::DropZeros(rhs, 1e-12), 1e-9));
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

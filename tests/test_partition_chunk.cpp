@@ -1,0 +1,155 @@
+#include "partition/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/analysis.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::partition {
+namespace {
+
+using sparse::Csr;
+
+TEST(AnalyzeChunks, FlopsSumToTotal) {
+  Csr a = testutil::RandomRmat(8, 6.0, 1);
+  for (int nr : {1, 3}) {
+    for (int nc : {1, 4}) {
+      PanelBoundaries rb = UniformBoundaries(a.rows(), nr);
+      PanelBoundaries cb = UniformBoundaries(a.cols(), nc);
+      std::vector<ChunkDesc> chunks = AnalyzeChunks(a, rb, a, cb);
+      ASSERT_EQ(chunks.size(), static_cast<std::size_t>(nr * nc));
+      std::int64_t total = 0;
+      for (const auto& c : chunks) total += c.flops;
+      EXPECT_EQ(total, sparse::TotalFlops(a, a));
+    }
+  }
+}
+
+TEST(AnalyzeChunks, ChunkFlopsMatchPanelProducts) {
+  Csr a = testutil::RandomCsr(50, 50, 5.0, 2);
+  PanelBoundaries rb = UniformBoundaries(a.rows(), 2);
+  PanelBoundaries cb = UniformBoundaries(a.cols(), 3);
+  std::vector<ChunkDesc> chunks = AnalyzeChunks(a, rb, a, cb);
+  std::vector<Csr> a_panels = PartitionRows(a, rb);
+  std::vector<Csr> b_panels = PartitionColsOptimized(a, cb);
+  for (const ChunkDesc& c : chunks) {
+    EXPECT_EQ(c.flops,
+              sparse::TotalFlops(a_panels[static_cast<std::size_t>(c.row_panel)],
+                                 b_panels[static_cast<std::size_t>(c.col_panel)]))
+        << "chunk (" << c.row_panel << "," << c.col_panel << ")";
+  }
+}
+
+TEST(AnalyzeChunks, UpperBoundHoldsPerChunk) {
+  Csr a = testutil::RandomRmat(8, 8.0, 3);
+  PanelBoundaries rb = UniformBoundaries(a.rows(), 2);
+  PanelBoundaries cb = UniformBoundaries(a.cols(), 2);
+  std::vector<ChunkDesc> chunks = AnalyzeChunks(a, rb, a, cb);
+  std::vector<Csr> a_panels = PartitionRows(a, rb);
+  std::vector<Csr> b_panels = PartitionColsOptimized(a, cb);
+  for (const ChunkDesc& c : chunks) {
+    Csr prod = kernels::ReferenceSpgemm(
+        a_panels[static_cast<std::size_t>(c.row_panel)],
+        b_panels[static_cast<std::size_t>(c.col_panel)]);
+    EXPECT_GE(c.upper_bound_nnz, prod.nnz());
+  }
+}
+
+TEST(AnalyzeChunks, RowMajorIds) {
+  Csr a = testutil::RandomCsr(30, 30, 3.0, 4);
+  PanelBoundaries rb = UniformBoundaries(a.rows(), 2);
+  PanelBoundaries cb = UniformBoundaries(a.cols(), 3);
+  std::vector<ChunkDesc> chunks = AnalyzeChunks(a, rb, a, cb);
+  for (int rp = 0; rp < 2; ++rp) {
+    for (int cp = 0; cp < 3; ++cp) {
+      const ChunkDesc& c = chunks[static_cast<std::size_t>(rp * 3 + cp)];
+      EXPECT_EQ(c.row_panel, rp);
+      EXPECT_EQ(c.col_panel, cp);
+    }
+  }
+}
+
+TEST(OrderByFlopsDecreasing, HeavyClassesFirst) {
+  // Work classes are ~30% apart, so 40 > 30 > 20 > 10 land in distinct
+  // classes and sort strictly by decreasing work.
+  std::vector<ChunkDesc> chunks(4);
+  chunks[0].flops = 10;
+  chunks[1].flops = 40;
+  chunks[2].flops = 20;
+  chunks[3].flops = 30;
+  std::vector<int> order = OrderByFlopsDecreasing(chunks);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(OrderByFlopsDecreasing, NearEqualChunksKeepLocalityOrder) {
+  // Chunks within ~30% of each other stay in column-major panel order
+  // (panel-cache locality) rather than being scrambled by exact flops.
+  std::vector<ChunkDesc> chunks(3);
+  for (int i = 0; i < 3; ++i) {
+    chunks[static_cast<std::size_t>(i)].flops = 1000 + i;  // same class
+    chunks[static_cast<std::size_t>(i)].row_panel = 2 - i;
+    chunks[static_cast<std::size_t>(i)].col_panel = 0;
+  }
+  EXPECT_EQ(OrderByFlopsDecreasing(chunks), (std::vector<int>{2, 1, 0}));
+}
+
+TEST(OrderByFlopsDecreasing, CumulativeFlopsDominatesAnyPrefix) {
+  // The class ordering must still front-load the work: every prefix holds
+  // at least as many flops as the same-length prefix of the natural order.
+  std::vector<ChunkDesc> chunks(8);
+  std::int64_t flops[] = {5, 900, 33, 6000, 12, 450, 7000, 60};
+  for (int i = 0; i < 8; ++i) chunks[static_cast<std::size_t>(i)].flops = flops[i];
+  std::vector<int> order = OrderByFlopsDecreasing(chunks);
+  std::int64_t sorted_prefix = 0, natural_prefix = 0;
+  for (int i = 0; i < 8; ++i) {
+    sorted_prefix += chunks[static_cast<std::size_t>(order[i])].flops;
+    natural_prefix += chunks[static_cast<std::size_t>(i)].flops;
+    EXPECT_GE(sorted_prefix, natural_prefix) << "prefix " << i;
+  }
+}
+
+TEST(OrderByFlopsDecreasing, ColumnMajorWithinClass) {
+  // Equal-class chunks are ordered column-panel-major so consecutive
+  // chunks reuse the cached B panel.
+  std::vector<ChunkDesc> chunks(4);
+  for (int i = 0; i < 4; ++i) {
+    chunks[static_cast<std::size_t>(i)].flops = 100;
+    chunks[static_cast<std::size_t>(i)].row_panel = i / 2;
+    chunks[static_cast<std::size_t>(i)].col_panel = i % 2;
+  }
+  std::vector<int> order = OrderByFlopsDecreasing(chunks);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(CountGpuChunks, Algorithm4Semantics) {
+  std::vector<ChunkDesc> chunks(4);
+  chunks[0].flops = 50;
+  chunks[1].flops = 30;
+  chunks[2].flops = 15;
+  chunks[3].flops = 5;
+  std::vector<int> order{0, 1, 2, 3};
+  EXPECT_EQ(CountGpuChunks(chunks, order, 0.50), 1);   // 50 >= 50%
+  EXPECT_EQ(CountGpuChunks(chunks, order, 0.65), 2);   // 80 >= 65%
+  EXPECT_EQ(CountGpuChunks(chunks, order, 0.81), 3);   // 95 >= 81%
+  EXPECT_EQ(CountGpuChunks(chunks, order, 1.0), 4);
+  EXPECT_EQ(CountGpuChunks(chunks, order, 0.0), 0);
+  EXPECT_EQ(CountGpuChunks(chunks, order, -1.0), 0);
+}
+
+TEST(CountGpuChunks, RespectsGivenOrder) {
+  std::vector<ChunkDesc> chunks(2);
+  chunks[0].flops = 10;
+  chunks[1].flops = 90;
+  EXPECT_EQ(CountGpuChunks(chunks, {1, 0}, 0.65), 1);
+  EXPECT_EQ(CountGpuChunks(chunks, {0, 1}, 0.65), 2);
+}
+
+TEST(CountGpuChunks, ZeroTotalFlops) {
+  std::vector<ChunkDesc> chunks(3);
+  EXPECT_EQ(CountGpuChunks(chunks, {0, 1, 2}, 0.65), 3);
+}
+
+}  // namespace
+}  // namespace oocgemm::partition

@@ -1,0 +1,149 @@
+#include "partition/panels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::partition {
+namespace {
+
+using sparse::Csr;
+using sparse::index_t;
+
+TEST(UniformBoundaries, CoversRangeExactly) {
+  PanelBoundaries b = UniformBoundaries(100, 3);
+  EXPECT_EQ(b.num_panels(), 3);
+  EXPECT_EQ(b.begin.front(), 0);
+  EXPECT_EQ(b.begin.back(), 100);
+  index_t total = 0;
+  for (int p = 0; p < 3; ++p) total += b.panel_width(p);
+  EXPECT_EQ(total, 100);
+}
+
+TEST(UniformBoundaries, NearEqualWidths) {
+  PanelBoundaries b = UniformBoundaries(10, 3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_GE(b.panel_width(p), 3);
+    EXPECT_LE(b.panel_width(p), 4);
+  }
+}
+
+TEST(UniformBoundaries, MorePanelsThanElements) {
+  PanelBoundaries b = UniformBoundaries(2, 5);
+  EXPECT_EQ(b.begin.back(), 2);
+  // Some panels are empty, which is legal.
+  int nonempty = 0;
+  for (int p = 0; p < 5; ++p) {
+    if (b.panel_width(p) > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(PartitionRows, ConcatenationRecoversMatrix) {
+  Csr a = testutil::RandomRmat(8, 6.0, 1);
+  PanelBoundaries bounds = UniformBoundaries(a.rows(), 4);
+  std::vector<Csr> panels = PartitionRows(a, bounds);
+  ASSERT_EQ(panels.size(), 4u);
+  Csr rebuilt = panels[0];
+  for (std::size_t p = 1; p < panels.size(); ++p) {
+    rebuilt = sparse::ConcatRows(rebuilt, panels[p]);
+  }
+  EXPECT_TRUE(rebuilt == a);
+}
+
+TEST(PartitionRows, SinglePanelIsIdentityCopy) {
+  Csr a = testutil::RandomCsr(50, 40, 4.0, 2);
+  std::vector<Csr> panels = PartitionRows(a, UniformBoundaries(a.rows(), 1));
+  ASSERT_EQ(panels.size(), 1u);
+  EXPECT_TRUE(panels[0] == a);
+}
+
+TEST(PartitionColsNaive, MatchesReferenceSlices) {
+  Csr b = testutil::RandomCsr(60, 90, 5.0, 3);
+  PanelBoundaries bounds = UniformBoundaries(b.cols(), 3);
+  std::vector<Csr> panels = PartitionColsNaive(b, bounds);
+  for (int p = 0; p < 3; ++p) {
+    Csr expected = sparse::SliceColsReference(b, bounds.panel_begin(p),
+                                              bounds.panel_end(p));
+    EXPECT_TRUE(panels[static_cast<std::size_t>(p)] == expected);
+  }
+}
+
+TEST(PartitionColsOptimized, MatchesNaive) {
+  Csr b = testutil::RandomRmat(9, 8.0, 4);
+  for (int num_panels : {1, 2, 3, 7, 16}) {
+    PanelBoundaries bounds = UniformBoundaries(b.cols(), num_panels);
+    std::vector<Csr> naive = PartitionColsNaive(b, bounds);
+    std::vector<Csr> opt = PartitionColsOptimized(b, bounds);
+    ASSERT_EQ(naive.size(), opt.size());
+    for (std::size_t p = 0; p < naive.size(); ++p) {
+      EXPECT_TRUE(naive[p] == opt[p]) << "panels=" << num_panels << " p=" << p;
+    }
+  }
+}
+
+TEST(PartitionColsParallel, MatchesSerialOptimized) {
+  ThreadPool pool(4);
+  Csr b = testutil::RandomRmat(10, 8.0, 5);
+  PanelBoundaries bounds = UniformBoundaries(b.cols(), 5);
+  std::vector<Csr> serial = PartitionColsOptimized(b, bounds);
+  std::vector<Csr> parallel = PartitionColsParallel(b, bounds, pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_TRUE(serial[p] == parallel[p]);
+  }
+}
+
+TEST(PartitionCols, PanelsAreValidCsr) {
+  Csr b = testutil::RandomCsr(80, 100, 6.0, 6);
+  PanelBoundaries bounds = UniformBoundaries(b.cols(), 4);
+  for (const Csr& panel : PartitionColsOptimized(b, bounds)) {
+    EXPECT_TRUE(panel.Validate().ok());
+    EXPECT_EQ(panel.rows(), b.rows());
+  }
+}
+
+TEST(PartitionCols, NnzConserved) {
+  Csr b = testutil::RandomRmat(9, 6.0, 7);
+  PanelBoundaries bounds = UniformBoundaries(b.cols(), 6);
+  std::int64_t total = 0;
+  for (const Csr& panel : PartitionColsOptimized(b, bounds)) {
+    total += panel.nnz();
+  }
+  EXPECT_EQ(total, b.nnz());
+}
+
+TEST(PartitionCols, EmptyMatrix) {
+  Csr b(10, 10);
+  PanelBoundaries bounds = UniformBoundaries(10, 3);
+  for (const Csr& panel : PartitionColsOptimized(b, bounds)) {
+    EXPECT_EQ(panel.nnz(), 0);
+  }
+}
+
+TEST(ColPanelNnz, MatchesPartition) {
+  Csr b = testutil::RandomRmat(8, 6.0, 8);
+  PanelBoundaries bounds = UniformBoundaries(b.cols(), 4);
+  std::vector<std::int64_t> counts = ColPanelNnz(b, bounds);
+  std::vector<Csr> panels = PartitionColsOptimized(b, bounds);
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    EXPECT_EQ(counts[p], panels[p].nnz());
+  }
+}
+
+TEST(ColPanelRowNnz, MatchesPanelRows) {
+  Csr b = testutil::RandomCsr(40, 60, 5.0, 9);
+  PanelBoundaries bounds = UniformBoundaries(b.cols(), 3);
+  auto per_row = ColPanelRowNnz(b, bounds);
+  std::vector<Csr> panels = PartitionColsOptimized(b, bounds);
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    for (index_t r = 0; r < b.rows(); ++r) {
+      EXPECT_EQ(per_row[p][static_cast<std::size_t>(r)],
+                panels[p].row_nnz(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oocgemm::partition

@@ -1,0 +1,92 @@
+#include "sparse/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(RowFlops, HandComputedExample) {
+  // A = [x x; . x], B row nnz = {2, 3}
+  Csr a(2, 2, {0, 2, 3}, {0, 1, 1}, {1, 1, 1});
+  Csr b(2, 4, {0, 2, 5}, {0, 1, 1, 2, 3}, {1, 1, 1, 1, 1});
+  std::vector<std::int64_t> flops = RowFlops(a, b);
+  EXPECT_EQ(flops[0], 2 * (2 + 3));
+  EXPECT_EQ(flops[1], 2 * 3);
+}
+
+TEST(TotalFlops, MatchesRowFlopsSum) {
+  Csr a = testutil::RandomCsr(60, 40, 5.0, 21);
+  Csr b = testutil::RandomCsr(40, 50, 4.0, 22);
+  std::int64_t sum = 0;
+  for (std::int64_t f : RowFlops(a, b)) sum += f;
+  EXPECT_EQ(TotalFlops(a, b), sum);
+}
+
+TEST(TotalFlops, ZeroForEmptyA) {
+  Csr a(10, 10);
+  Csr b = testutil::RandomCsr(10, 10, 3.0, 23);
+  EXPECT_EQ(TotalFlops(a, b), 0);
+}
+
+TEST(SymbolicRowNnz, MatchesReferenceProduct) {
+  Csr a = testutil::RandomCsr(50, 30, 4.0, 24);
+  Csr b = testutil::RandomCsr(30, 45, 4.0, 25);
+  Csr c = kernels::ReferenceSpgemm(a, b);
+  std::vector<std::int64_t> nnz = SymbolicRowNnz(a, b);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(nnz[static_cast<std::size_t>(r)], c.row_nnz(r));
+  }
+}
+
+TEST(SymbolicNnz, MatchesReferenceProduct) {
+  Csr a = testutil::RandomRmat(7, 6.0, 26);
+  EXPECT_EQ(SymbolicNnz(a, a), kernels::ReferenceSpgemm(a, a).nnz());
+}
+
+TEST(UpperBoundRowNnz, IsAnUpperBound) {
+  Csr a = testutil::RandomRmat(7, 8.0, 27);
+  std::vector<std::int64_t> bound = UpperBoundRowNnz(a, a);
+  std::vector<std::int64_t> actual = SymbolicRowNnz(a, a);
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    EXPECT_GE(bound[i], actual[i]);
+  }
+}
+
+TEST(UpperBoundRowNnz, CappedByColumns) {
+  // A dense-ish row can't exceed b.cols() outputs.
+  Csr a = testutil::RandomCsr(10, 10, 9.0, 28);
+  for (std::int64_t b : UpperBoundRowNnz(a, a)) EXPECT_LE(b, 10);
+}
+
+TEST(AnalyzeProduct, ConsistentFields) {
+  Csr a = testutil::RandomRmat(8, 8.0, 29);
+  ProductStats s = AnalyzeProduct(a, a);
+  EXPECT_EQ(s.flops, TotalFlops(a, a));
+  EXPECT_EQ(s.nnz_out, SymbolicNnz(a, a));
+  EXPECT_GT(s.compression_ratio, 1.0);
+  EXPECT_NEAR(s.compression_ratio,
+              static_cast<double>(s.flops) / static_cast<double>(s.nnz_out),
+              1e-12);
+  EXPECT_GE(s.max_row_flops, s.avg_row_flops);
+  EXPECT_GE(s.row_flops_gini, 0.0);
+  EXPECT_LE(s.row_flops_gini, 1.0);
+}
+
+TEST(AnalyzeProduct, SkewDetectsRmatVsUniform) {
+  Csr skewed = testutil::RandomRmat(9, 8.0, 30);
+  Csr uniform = testutil::RandomCsr(512, 512, 8.0, 31);
+  EXPECT_GT(AnalyzeProduct(skewed, skewed).row_flops_gini,
+            AnalyzeProduct(uniform, uniform).row_flops_gini);
+}
+
+TEST(RowFlopsDeath, DimensionMismatchAborts) {
+  Csr a = testutil::RandomCsr(4, 5, 2.0, 32);
+  Csr b = testutil::RandomCsr(6, 4, 2.0, 33);
+  EXPECT_DEATH(RowFlops(a, b), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

@@ -1,0 +1,81 @@
+#include "sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(CooToCsr, EmptyMatrix) {
+  Coo coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  Csr m = CooToCsr(coo);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(CooToCsr, SortsWithinRows) {
+  Coo coo;
+  coo.rows = coo.cols = 3;
+  coo.Add(0, 2, 1.0);
+  coo.Add(0, 0, 2.0);
+  coo.Add(2, 1, 3.0);
+  Csr m = CooToCsr(coo);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.col_ids(), (std::vector<index_t>{0, 2, 1}));
+  EXPECT_EQ(m.values(), (std::vector<value_t>{2.0, 1.0, 3.0}));
+}
+
+TEST(CooToCsr, MergesDuplicatesBySumming) {
+  Coo coo;
+  coo.rows = coo.cols = 2;
+  coo.Add(1, 1, 1.5);
+  coo.Add(1, 1, 2.5);
+  coo.Add(1, 0, 1.0);
+  Csr m = CooToCsr(coo);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.col_ids(), (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(m.values(), (std::vector<value_t>{1.0, 4.0}));
+}
+
+TEST(CooToCsr, UnorderedRowsLand) {
+  Coo coo;
+  coo.rows = coo.cols = 4;
+  coo.Add(3, 0, 1.0);
+  coo.Add(0, 3, 2.0);
+  coo.Add(2, 2, 3.0);
+  Csr m = CooToCsr(coo);
+  EXPECT_EQ(m.row_nnz(0), 1);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_EQ(m.row_nnz(2), 1);
+  EXPECT_EQ(m.row_nnz(3), 1);
+}
+
+TEST(CooToCsr, RoundTripsThroughCsrToCoo) {
+  Csr original = testutil::RandomCsr(64, 48, 5.0, 99);
+  Coo coo = CsrToCoo(original);
+  Csr again = CooToCsr(coo);
+  EXPECT_TRUE(original == again);
+}
+
+TEST(CsrToCoo, EmitsRowMajorOrder) {
+  Csr m = testutil::RandomCsr(32, 32, 4.0, 7);
+  Coo coo = CsrToCoo(m);
+  for (std::size_t i = 1; i < coo.nnz(); ++i) {
+    EXPECT_LE(coo.row_ids[i - 1], coo.row_ids[i]);
+  }
+}
+
+TEST(CooToCsrDeath, OutOfRangeAborts) {
+  Coo coo;
+  coo.rows = coo.cols = 2;
+  coo.Add(0, 5, 1.0);
+  EXPECT_DEATH(CooToCsr(coo), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

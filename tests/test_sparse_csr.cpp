@@ -1,0 +1,125 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+Csr SmallMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return Csr(3, 3, {0, 2, 2, 4}, {0, 2, 0, 1}, {1.0, 2.0, 3.0, 4.0});
+}
+
+TEST(Csr, DefaultIsEmpty) {
+  Csr m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(Csr, EmptyShapeConstructor) {
+  Csr m(5, 7);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 7);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.Validate().ok());
+  for (index_t r = 0; r < 5; ++r) EXPECT_EQ(m.row_nnz(r), 0);
+}
+
+TEST(Csr, RowAccessors) {
+  Csr m = SmallMatrix();
+  EXPECT_EQ(m.row_nnz(0), 2);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_EQ(m.row_nnz(2), 2);
+  EXPECT_EQ(m.row_begin(2), 2);
+  EXPECT_EQ(m.row_end(2), 4);
+}
+
+TEST(Csr, StorageBytes) {
+  Csr m = SmallMatrix();
+  EXPECT_EQ(m.StorageBytes(),
+            static_cast<std::int64_t>(4 * sizeof(offset_t) +
+                                      4 * sizeof(index_t) +
+                                      4 * sizeof(value_t)));
+}
+
+TEST(Csr, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(SmallMatrix().Validate().ok());
+}
+
+TEST(Csr, ValidateRejectsNonMonotoneOffsets) {
+  Csr m(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0});
+  Status st = m.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Csr, ValidateRejectsOutOfRangeColumn) {
+  Csr m(2, 2, {0, 1, 2}, {0, 5}, {1.0, 1.0});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(Csr, ValidateRejectsNegativeColumn) {
+  Csr m(1, 3, {0, 1}, {-1}, {1.0});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(Csr, ValidateRejectsUnsortedRow) {
+  Csr m(1, 3, {0, 2}, {2, 0}, {1.0, 1.0});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(Csr, ValidateRejectsDuplicateColumn) {
+  Csr m(1, 3, {0, 2}, {1, 1}, {1.0, 1.0});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(Csr, SortRowsByColumnFixesOrder) {
+  Csr m(2, 4, {0, 3, 4}, {3, 0, 2, 1}, {30.0, 0.5, 20.0, 7.0});
+  EXPECT_FALSE(m.Validate().ok());
+  m.SortRowsByColumn();
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.col_ids(), (std::vector<index_t>{0, 2, 3, 1}));
+  EXPECT_EQ(m.values(), (std::vector<value_t>{0.5, 20.0, 30.0, 7.0}));
+}
+
+TEST(Csr, EqualityOperator) {
+  EXPECT_TRUE(SmallMatrix() == SmallMatrix());
+  Csr other = SmallMatrix();
+  other.mutable_values()[0] = 99.0;
+  EXPECT_FALSE(SmallMatrix() == other);
+}
+
+TEST(Csr, ApproxEqualsTolerance) {
+  Csr a = SmallMatrix();
+  Csr b = SmallMatrix();
+  b.mutable_values()[0] += 1e-13;
+  EXPECT_TRUE(a.ApproxEquals(b));
+  b.mutable_values()[0] += 1.0;
+  EXPECT_FALSE(a.ApproxEquals(b));
+}
+
+TEST(Csr, ApproxEqualsRejectsStructureMismatch) {
+  Csr a = SmallMatrix();
+  Csr b(3, 3, {0, 2, 2, 4}, {0, 1, 0, 1}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_FALSE(a.ApproxEquals(b));
+}
+
+TEST(Csr, DebugStringMentionsShapeAndNnz) {
+  const std::string s = SmallMatrix().DebugString();
+  EXPECT_NE(s.find("3x3"), std::string::npos);
+  EXPECT_NE(s.find("nnz=4"), std::string::npos);
+}
+
+TEST(CsrDeath, MismatchedArraySizesAbort) {
+  EXPECT_DEATH(Csr(2, 2, {0, 1}, {0}, {1.0}), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

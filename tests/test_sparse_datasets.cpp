@@ -1,0 +1,86 @@
+#include "sparse/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sparse/analysis.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(Datasets, HasNineMatricesInPaperOrder) {
+  auto v = PaperMatrices();
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_EQ(v[0].abbr, "lj2008");
+  EXPECT_EQ(v[3].abbr, "stokes");
+  EXPECT_EQ(v[4].abbr, "uk-2002");
+  EXPECT_EQ(v[6].abbr, "nlp");
+  EXPECT_EQ(v[8].abbr, "wiki0925");
+}
+
+TEST(Datasets, AbbreviationsUnique) {
+  std::set<std::string> abbrs;
+  for (const auto& d : PaperMatrices()) abbrs.insert(d.abbr);
+  EXPECT_EQ(abbrs.size(), 9u);
+}
+
+TEST(Datasets, PaperFeaturesRecorded) {
+  for (const auto& d : PaperMatrices()) {
+    EXPECT_GT(d.paper.n_millions, 0.0) << d.abbr;
+    EXPECT_GT(d.paper.nnz_millions, 0.0) << d.abbr;
+    EXPECT_GT(d.paper.compression_ratio, 1.0) << d.abbr;
+  }
+}
+
+TEST(Datasets, LookupByAbbrAndName) {
+  EXPECT_EQ(PaperMatrix("com-lj").name, "com-LiveJournal");
+  EXPECT_EQ(PaperMatrix("nlpkkt200").abbr, "nlp");
+}
+
+TEST(DatasetsDeath, UnknownAbbrAborts) {
+  EXPECT_DEATH(PaperMatrix("not-a-matrix"), "OOC_CHECK");
+}
+
+TEST(Datasets, BuildersProduceValidSquareMatrices) {
+  for (const auto& d : PaperMatrices(/*scale_shift=*/3)) {
+    Csr m = d.build();
+    EXPECT_TRUE(m.Validate().ok()) << d.abbr;
+    EXPECT_EQ(m.rows(), m.cols()) << d.abbr;
+    EXPECT_GT(m.nnz(), 0) << d.abbr;
+  }
+}
+
+TEST(Datasets, ScaleShiftShrinks) {
+  DatasetSpec big = PaperMatrix("com-lj", 2);
+  DatasetSpec small = PaperMatrix("com-lj", 4);
+  EXPECT_GT(big.build().rows(), small.build().rows());
+}
+
+TEST(Datasets, BuildersDeterministic) {
+  DatasetSpec d1 = PaperMatrix("wiki0206", 3);
+  DatasetSpec d2 = PaperMatrix("wiki0206", 3);
+  EXPECT_TRUE(d1.build() == d2.build());
+}
+
+TEST(Datasets, CompressionRatioClassesPreserved) {
+  // The substitution promise (DESIGN.md): high-cr originals map to high-cr
+  // stand-ins.  At shift 2 the ratios are smaller than full scale but the
+  // ordering of classes must hold: nlp/uk/stokes above the social graphs.
+  auto cr = [&](const char* abbr) {
+    DatasetSpec d = PaperMatrix(abbr, 2);
+    Csr m = d.build();
+    ProductStats s = AnalyzeProduct(m, m);
+    return s.compression_ratio;
+  };
+  const double nlp = cr("nlp");
+  const double uk = cr("uk-2002");
+  const double stokes = cr("stokes");
+  const double comlj = cr("com-lj");
+  EXPECT_GT(nlp, comlj);
+  EXPECT_GT(uk, comlj);
+  EXPECT_GT(stokes, comlj);
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

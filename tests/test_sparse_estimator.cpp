@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sparse/analysis.hpp"
+#include "sparse/generators.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(EstimateRowNnz, FullSampleIsExact) {
+  Csr a = testutil::RandomRmat(8, 6.0, 1);
+  RowNnzEstimate est = EstimateRowNnz(a, a, /*sample_fraction=*/1.0);
+  std::vector<std::int64_t> exact = SymbolicRowNnz(a, a);
+  ASSERT_EQ(est.per_row.size(), exact.size());
+  for (std::size_t r = 0; r < exact.size(); ++r) {
+    EXPECT_DOUBLE_EQ(est.per_row[r], static_cast<double>(exact[r]));
+  }
+  EXPECT_EQ(est.sampled_rows, a.rows());
+}
+
+TEST(EstimateRowNnz, TotalWithinFactorOfTruth) {
+  Csr a = testutil::RandomRmat(10, 8.0, 2);
+  RowNnzEstimate est = EstimateRowNnz(a, a, 0.05);
+  double est_total = 0.0;
+  for (double v : est.per_row) est_total += v;
+  const double truth = static_cast<double>(SymbolicNnz(a, a));
+  EXPECT_GT(est_total, 0.5 * truth);
+  EXPECT_LT(est_total, 2.0 * truth);
+}
+
+TEST(EstimateRowNnz, CollisionFactorInUnitRange) {
+  Csr a = testutil::RandomRmat(9, 8.0, 3);
+  RowNnzEstimate est = EstimateRowNnz(a, a, 0.1);
+  EXPECT_GT(est.collision_factor, 0.0);
+  EXPECT_LE(est.collision_factor, 1.0);  // nnz <= products always
+}
+
+TEST(EstimateRowNnz, DeterministicInSeed) {
+  Csr a = testutil::RandomRmat(8, 6.0, 4);
+  RowNnzEstimate e1 = EstimateRowNnz(a, a, 0.1, 77);
+  RowNnzEstimate e2 = EstimateRowNnz(a, a, 0.1, 77);
+  EXPECT_EQ(e1.per_row, e2.per_row);
+}
+
+TEST(EstimateRowNnz, StratificationSeparatesDenseAndSparseRegions) {
+  // A matrix whose head region collides heavily and whose tail does not:
+  // the stratified estimator must predict clearly lower per-product output
+  // for the (heavy-product) head rows than a single global factor would.
+  VariableBandedParams p;
+  p.n = 4096;
+  p.segments = {{0.25, 24, 1}, {0.75, 3, 1}};
+  Csr a = GenerateVariableBanded(p);
+  RowNnzEstimate est = EstimateRowNnz(a, a, 0.10, 5);
+  std::vector<std::int64_t> flops = RowFlops(a, a);
+
+  auto region_factor = [&](index_t lo, index_t hi) {
+    double nnz = 0.0, products = 0.0;
+    for (index_t r = lo; r < hi; ++r) {
+      nnz += est.per_row[static_cast<std::size_t>(r)];
+      products += static_cast<double>(flops[static_cast<std::size_t>(r)] / 2);
+    }
+    return nnz / products;
+  };
+  const double head = region_factor(64, 960);        // interior dense rows
+  const double tail = region_factor(1536, 4032);     // interior sparse rows
+  // Banded head: ~49 products per output column vs tail ~7: the head's
+  // collision factor must be several times smaller.
+  EXPECT_LT(head * 3.0, tail);
+}
+
+TEST(EstimateRowNnz, EmptyMatrix) {
+  Csr a(8, 8);
+  RowNnzEstimate est = EstimateRowNnz(a, a, 0.5);
+  for (double v : est.per_row) EXPECT_EQ(v, 0.0);
+}
+
+TEST(EstimateRowNnz, PredictionsNeverExceedProducts) {
+  Csr a = testutil::RandomRmat(9, 8.0, 6);
+  RowNnzEstimate est = EstimateRowNnz(a, a, 0.05);
+  std::vector<std::int64_t> flops = RowFlops(a, a);
+  for (std::size_t r = 0; r < est.per_row.size(); ++r) {
+    EXPECT_LE(est.per_row[r],
+              static_cast<double>(flops[r] / 2) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

@@ -1,0 +1,160 @@
+#include "sparse/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(GenerateRmat, DeterministicInSeed) {
+  RmatParams p;
+  p.scale = 8;
+  p.seed = 5;
+  EXPECT_TRUE(GenerateRmat(p) == GenerateRmat(p));
+}
+
+TEST(GenerateRmat, SeedChangesOutput) {
+  RmatParams p;
+  p.scale = 8;
+  p.seed = 5;
+  Csr a = GenerateRmat(p);
+  p.seed = 6;
+  EXPECT_FALSE(a == GenerateRmat(p));
+}
+
+TEST(GenerateRmat, ShapeAndValidity) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8.0;
+  Csr a = GenerateRmat(p);
+  EXPECT_EQ(a.rows(), 512);
+  EXPECT_EQ(a.cols(), 512);
+  EXPECT_TRUE(a.Validate().ok());
+  // Duplicate merging only removes a minority of edges.
+  EXPECT_GT(a.nnz(), 512 * 8 / 2);
+  EXPECT_LE(a.nnz(), 512 * 8);
+}
+
+TEST(GenerateRmat, NoSelfLoopsWhenRequested) {
+  RmatParams p;
+  p.scale = 8;
+  p.remove_self_loops = true;
+  Csr a = GenerateRmat(p);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      EXPECT_NE(a.col_ids()[static_cast<std::size_t>(k)], r);
+    }
+  }
+}
+
+TEST(GenerateRmat, SymmetricOptionProducesSymmetry) {
+  RmatParams p;
+  p.scale = 8;
+  p.symmetric = true;
+  Csr a = GenerateRmat(p);
+  EXPECT_TRUE(a == Transpose(a));
+}
+
+TEST(GenerateRmat, PowerLawSkewExceedsUniform) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8.0;
+  Csr skewed = GenerateRmat(p);
+  Csr uniform = testutil::RandomCsr(1024, 1024, 8.0, 44);
+  auto degrees = [](const Csr& m) {
+    std::vector<double> d;
+    for (index_t r = 0; r < m.rows(); ++r) {
+      d.push_back(static_cast<double>(m.row_nnz(r)));
+    }
+    return d;
+  };
+  EXPECT_GT(GiniCoefficient(degrees(skewed)),
+            GiniCoefficient(degrees(uniform)) + 0.1);
+}
+
+TEST(GenerateErdosRenyi, ShapeAndDegree) {
+  ErdosRenyiParams p;
+  p.rows = 2000;
+  p.cols = 500;
+  p.avg_degree = 6.0;
+  Csr a = GenerateErdosRenyi(p);
+  EXPECT_EQ(a.rows(), 2000);
+  EXPECT_EQ(a.cols(), 500);
+  EXPECT_TRUE(a.Validate().ok());
+  const double avg = static_cast<double>(a.nnz()) / 2000.0;
+  EXPECT_NEAR(avg, 6.0, 0.5);
+}
+
+TEST(GenerateErdosRenyi, ZeroDegreeGivesEmpty) {
+  ErdosRenyiParams p;
+  p.rows = p.cols = 100;
+  p.avg_degree = 0.0;
+  EXPECT_EQ(GenerateErdosRenyi(p).nnz(), 0);
+}
+
+TEST(GenerateBanded, BandStructure) {
+  BandedParams p;
+  p.n = 100;
+  p.half_bandwidth = 3;
+  Csr a = GenerateBanded(p);
+  EXPECT_TRUE(a.Validate().ok());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      EXPECT_LE(std::abs(a.col_ids()[static_cast<std::size_t>(k)] - r), 3);
+    }
+  }
+  // Interior rows carry the full band.
+  EXPECT_EQ(a.row_nnz(50), 7);
+}
+
+TEST(GenerateBanded, StrideSkipsDiagonals) {
+  BandedParams p;
+  p.n = 64;
+  p.half_bandwidth = 8;
+  p.stride = 4;
+  Csr a = GenerateBanded(p);
+  EXPECT_EQ(a.row_nnz(32), 5);  // offsets -8,-4,0,4,8
+}
+
+TEST(GenerateBanded, DiagonallyDominant) {
+  BandedParams p;
+  p.n = 32;
+  p.half_bandwidth = 2;
+  Csr a = GenerateBanded(p);
+  for (index_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0, off = 0.0;
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.col_ids()[static_cast<std::size_t>(k)];
+      const double v = a.values()[static_cast<std::size_t>(k)];
+      if (c == r) {
+        diag = v;
+      } else {
+        off += std::abs(v);
+      }
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(GenerateBlockFem, ShapeAndBlocks) {
+  BlockFemParams p;
+  p.num_blocks = 16;
+  p.block_size = 4;
+  Csr a = GenerateBlockFem(p);
+  EXPECT_EQ(a.rows(), 64);
+  EXPECT_TRUE(a.Validate().ok());
+  // The diagonal block is dense: row 0 has at least block_size entries.
+  EXPECT_GE(a.row_nnz(0), 4);
+}
+
+TEST(GenerateBlockFem, Deterministic) {
+  BlockFemParams p;
+  p.seed = 77;
+  EXPECT_TRUE(GenerateBlockFem(p) == GenerateBlockFem(p));
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

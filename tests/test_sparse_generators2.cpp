@@ -1,0 +1,115 @@
+// Tests for the structured generators added for the dataset stand-ins:
+// community graphs and variable-bandwidth banded matrices.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(GenerateCommunityGraph, ValidAndDeterministic) {
+  CommunityGraphParams p;
+  p.scale = 10;
+  p.seed = 3;
+  Csr g1 = GenerateCommunityGraph(p);
+  Csr g2 = GenerateCommunityGraph(p);
+  EXPECT_TRUE(g1.Validate().ok());
+  EXPECT_TRUE(g1 == g2);
+  EXPECT_EQ(g1.rows(), 1024);
+}
+
+TEST(GenerateCommunityGraph, SymmetricOption) {
+  CommunityGraphParams p;
+  p.scale = 9;
+  p.symmetric = true;
+  Csr g = GenerateCommunityGraph(p);
+  EXPECT_TRUE(g == Transpose(g));
+}
+
+TEST(GenerateCommunityGraph, DensityVariesAcrossCommunities) {
+  CommunityGraphParams p;
+  p.scale = 12;
+  p.num_communities = 8;
+  p.ef_min = 2.0;
+  p.ef_max = 32.0;
+  p.background_degree = 0.5;
+  p.seed = 9;
+  Csr g = GenerateCommunityGraph(p);
+  const index_t community = g.rows() / 8;
+  std::vector<double> density;
+  for (int c = 0; c < 8; ++c) {
+    const offset_t nnz = g.row_begin((c + 1) * community) -
+                         g.row_begin(c * community);
+    density.push_back(static_cast<double>(nnz));
+  }
+  const Summary s = Summarize(density);
+  EXPECT_GT(s.max, 3.0 * s.min);  // genuinely mixed densities
+}
+
+TEST(GenerateCommunityGraph, MostEdgesStayLocal) {
+  CommunityGraphParams p;
+  p.scale = 11;
+  p.num_communities = 8;
+  p.background_degree = 0.5;
+  p.seed = 4;
+  Csr g = GenerateCommunityGraph(p);
+  const index_t community = g.rows() / 8;
+  std::int64_t local = 0;
+  for (index_t r = 0; r < g.rows(); ++r) {
+    for (offset_t k = g.row_begin(r); k < g.row_end(r); ++k) {
+      const index_t c = g.col_ids()[static_cast<std::size_t>(k)];
+      if (r / community == c / community) ++local;
+    }
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(g.nnz()), 0.7);
+}
+
+TEST(GenerateVariableBanded, SegmentsGetTheirBandwidth) {
+  VariableBandedParams p;
+  p.n = 1000;
+  p.segments = {{0.3, 10, 1}, {0.7, 2, 1}};
+  Csr m = GenerateVariableBanded(p);
+  EXPECT_TRUE(m.Validate().ok());
+  // Interior rows of each segment carry the segment's full band.
+  EXPECT_EQ(m.row_nnz(150), 21);
+  EXPECT_EQ(m.row_nnz(700), 5);
+}
+
+TEST(GenerateVariableBanded, LastSegmentAbsorbsRounding) {
+  VariableBandedParams p;
+  p.n = 97;  // awkward size
+  p.segments = {{0.5, 3, 1}, {0.5, 1, 1}};
+  Csr m = GenerateVariableBanded(p);
+  EXPECT_EQ(m.rows(), 97);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.row_nnz(96), 2);  // boundary row of the final segment
+}
+
+TEST(GenerateVariableBanded, SingleSegmentEqualsBanded) {
+  VariableBandedParams vp;
+  vp.n = 256;
+  vp.segments = {{1.0, 5, 1}};
+  vp.seed = 7;
+  BandedParams bp;
+  bp.n = 256;
+  bp.half_bandwidth = 5;
+  bp.seed = 7;
+  // Same structure (values differ by RNG stream).
+  Csr v = GenerateVariableBanded(vp);
+  Csr b = GenerateBanded(bp);
+  EXPECT_EQ(v.row_offsets(), b.row_offsets());
+  EXPECT_EQ(v.col_ids(), b.col_ids());
+}
+
+TEST(GenerateVariableBanded, StrideRespected) {
+  VariableBandedParams p;
+  p.n = 64;
+  p.segments = {{1.0, 8, 4}};
+  Csr m = GenerateVariableBanded(p);
+  EXPECT_EQ(m.row_nnz(32), 5);  // offsets -8, -4, 0, 4, 8
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

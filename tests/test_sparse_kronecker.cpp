@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(Kronecker, HandComputed2x2) {
+  // A = [1 2; 0 3], B = [0 1; 1 0]
+  Csr a(2, 2, {0, 2, 3}, {0, 1, 1}, {1, 2, 3});
+  Csr b(2, 2, {0, 1, 2}, {1, 0}, {1, 1});
+  Csr k = KroneckerProduct(a, b);
+  EXPECT_EQ(k.rows(), 4);
+  EXPECT_EQ(k.nnz(), 6);
+  EXPECT_TRUE(k.Validate().ok());
+  // Row 0 = A[0] (x) B[0] = entries at (0*2+1)=1 from A00 and (1*2+1)=3.
+  EXPECT_EQ(k.col_ids()[0], 1);
+  EXPECT_DOUBLE_EQ(k.values()[0], 1.0);
+  EXPECT_EQ(k.col_ids()[1], 3);
+  EXPECT_DOUBLE_EQ(k.values()[1], 2.0);
+}
+
+TEST(Kronecker, DimensionsAndNnzMultiply) {
+  Csr a = testutil::RandomCsr(6, 8, 2.0, 1);
+  Csr b = testutil::RandomCsr(5, 4, 2.0, 2);
+  Csr k = KroneckerProduct(a, b);
+  EXPECT_EQ(k.rows(), 30);
+  EXPECT_EQ(k.cols(), 32);
+  EXPECT_EQ(k.nnz(), a.nnz() * b.nnz());
+  EXPECT_TRUE(k.Validate().ok());
+}
+
+TEST(Kronecker, IdentityIsNeutralUpToBlocks) {
+  Csr a = testutil::RandomCsr(5, 5, 2.0, 3);
+  Csr k = KroneckerProduct(Identity(3), a);
+  // Block diagonal with three copies of a.
+  EXPECT_EQ(k.nnz(), 3 * a.nnz());
+  EXPECT_TRUE(SliceRows(SliceColsReference(k, 0, 5), 0, 5) == a);
+  EXPECT_TRUE(SliceRows(SliceColsReference(k, 5, 10), 5, 10) == a);
+}
+
+TEST(Kronecker, MixedProductProperty) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD)
+  Csr a = testutil::RandomCsr(4, 5, 2.0, 4);
+  Csr b = testutil::RandomCsr(3, 4, 2.0, 5);
+  Csr c = testutil::RandomCsr(5, 4, 2.0, 6);
+  Csr d = testutil::RandomCsr(4, 3, 2.0, 7);
+  Csr lhs = kernels::ReferenceSpgemm(KroneckerProduct(a, b),
+                                     KroneckerProduct(c, d));
+  Csr rhs = KroneckerProduct(kernels::ReferenceSpgemm(a, c),
+                             kernels::ReferenceSpgemm(b, d));
+  EXPECT_TRUE(testutil::CsrNear(sparse::DropZeros(lhs),
+                                sparse::DropZeros(rhs)));
+}
+
+TEST(Kronecker, PowerGrowsGeometrically) {
+  Csr seed(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 1.0, 1.0});
+  Csr k3 = KroneckerPower(seed, 3);
+  EXPECT_EQ(k3.rows(), 8);
+  EXPECT_EQ(k3.nnz(), 27);  // 3^3
+  EXPECT_TRUE(KroneckerPower(seed, 1) == seed);
+}
+
+TEST(KroneckerDeath, OverflowAborts) {
+  Csr big = testutil::RandomCsr(1 << 16, 1 << 16, 1.0, 8);
+  EXPECT_DEATH(KroneckerProduct(big, big), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

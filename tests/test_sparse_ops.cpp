@@ -1,0 +1,148 @@
+#include "sparse/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  Csr m = testutil::RandomCsr(40, 60, 6.0, 1);
+  EXPECT_TRUE(Transpose(Transpose(m)) == m);
+}
+
+TEST(Transpose, ShapeSwaps) {
+  Csr m = testutil::RandomCsr(10, 20, 3.0, 2);
+  Csr t = Transpose(m);
+  EXPECT_EQ(t.rows(), 20);
+  EXPECT_EQ(t.cols(), 10);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(Transpose, ElementwiseCorrect) {
+  Csr m(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  Csr t = Transpose(m);
+  // t = [1 0; 0 3; 2 0]
+  EXPECT_EQ(t.row_nnz(0), 1);
+  EXPECT_EQ(t.col_ids()[static_cast<std::size_t>(t.row_begin(1))], 1);
+  EXPECT_EQ(t.values()[static_cast<std::size_t>(t.row_begin(2))], 2.0);
+}
+
+TEST(Identity, MultiplicationNeutral) {
+  Csr a = testutil::RandomCsr(32, 32, 4.0, 3);
+  Csr i = Identity(32);
+  EXPECT_TRUE(kernels::ReferenceSpgemm(a, i) == a);
+  EXPECT_TRUE(kernels::ReferenceSpgemm(i, a) == a);
+}
+
+TEST(Diagonal, ScalesRows) {
+  Csr a = testutil::RandomCsr(8, 8, 3.0, 4);
+  std::vector<value_t> d(8);
+  for (int i = 0; i < 8; ++i) d[static_cast<std::size_t>(i)] = i + 1.0;
+  Csr scaled = kernels::ReferenceSpgemm(Diagonal(d), a);
+  for (index_t r = 0; r < 8; ++r) {
+    for (offset_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      EXPECT_DOUBLE_EQ(scaled.values()[static_cast<std::size_t>(k)],
+                       a.values()[static_cast<std::size_t>(k)] * (r + 1.0));
+    }
+  }
+}
+
+TEST(SliceRows, ExtractsRange) {
+  Csr m = testutil::RandomCsr(50, 30, 5.0, 5);
+  Csr s = SliceRows(m, 10, 20);
+  EXPECT_EQ(s.rows(), 10);
+  EXPECT_EQ(s.cols(), 30);
+  EXPECT_TRUE(s.Validate().ok());
+  for (index_t r = 0; r < 10; ++r) {
+    ASSERT_EQ(s.row_nnz(r), m.row_nnz(r + 10));
+    for (offset_t k = 0; k < s.row_nnz(r); ++k) {
+      EXPECT_EQ(s.col_ids()[static_cast<std::size_t>(s.row_begin(r) + k)],
+                m.col_ids()[static_cast<std::size_t>(m.row_begin(r + 10) + k)]);
+    }
+  }
+}
+
+TEST(SliceRows, FullAndEmptyRanges) {
+  Csr m = testutil::RandomCsr(20, 20, 4.0, 6);
+  EXPECT_TRUE(SliceRows(m, 0, 20) == m);
+  Csr empty = SliceRows(m, 7, 7);
+  EXPECT_EQ(empty.rows(), 0);
+  EXPECT_EQ(empty.nnz(), 0);
+}
+
+TEST(SliceColsReference, ColumnsRebased) {
+  Csr m(2, 6, {0, 3, 5}, {0, 2, 5, 1, 4}, {1, 2, 3, 4, 5});
+  Csr s = SliceColsReference(m, 2, 5);
+  EXPECT_EQ(s.cols(), 3);
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_EQ(s.col_ids(), (std::vector<index_t>{0, 2}));
+  EXPECT_EQ(s.values(), (std::vector<value_t>{2.0, 5.0}));
+}
+
+TEST(Concat, ColsThenSliceRecoversParts) {
+  Csr a = testutil::RandomCsr(12, 7, 3.0, 7);
+  Csr b = testutil::RandomCsr(12, 9, 3.0, 8);
+  Csr ab = ConcatCols(a, b);
+  EXPECT_EQ(ab.cols(), 16);
+  EXPECT_TRUE(ab.Validate().ok());
+  EXPECT_TRUE(SliceColsReference(ab, 0, 7) == a);
+  EXPECT_TRUE(SliceColsReference(ab, 7, 16) == b);
+}
+
+TEST(Concat, RowsThenSliceRecoversParts) {
+  Csr a = testutil::RandomCsr(5, 11, 3.0, 9);
+  Csr b = testutil::RandomCsr(8, 11, 3.0, 10);
+  Csr ab = ConcatRows(a, b);
+  EXPECT_EQ(ab.rows(), 13);
+  EXPECT_TRUE(ab.Validate().ok());
+  EXPECT_TRUE(SliceRows(ab, 0, 5) == a);
+  EXPECT_TRUE(SliceRows(ab, 5, 13) == b);
+}
+
+TEST(Symmetrize, ResultIsSymmetric) {
+  Csr m = testutil::RandomCsr(30, 30, 4.0, 11);
+  Csr s = Symmetrize(m);
+  EXPECT_TRUE(s == Transpose(s));
+}
+
+TEST(DropZeros, RemovesExplicitZeros) {
+  Csr m(2, 3, {0, 2, 4}, {0, 1, 0, 2}, {1.0, 0.0, 0.0, 2.0});
+  Csr d = DropZeros(m);
+  EXPECT_EQ(d.nnz(), 2);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(Multiply, SpmvMatchesDense) {
+  Csr m(2, 2, {0, 2, 3}, {0, 1, 1}, {2.0, 3.0, 4.0});
+  std::vector<value_t> x{1.0, 10.0};
+  std::vector<value_t> y = Multiply(m, x);
+  EXPECT_DOUBLE_EQ(y[0], 32.0);
+  EXPECT_DOUBLE_EQ(y[1], 40.0);
+}
+
+TEST(Multiply, AssociativityWithSpgemm) {
+  // (A*B)*x == A*(B*x): an independent cross-check of SpGEMM.
+  Csr a = testutil::RandomCsr(24, 18, 4.0, 12);
+  Csr b = testutil::RandomCsr(18, 24, 4.0, 13);
+  Csr ab = kernels::ReferenceSpgemm(a, b);
+  std::vector<value_t> x(24);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.1 * (i + 1);
+  std::vector<value_t> left = Multiply(ab, x);
+  std::vector<value_t> right = Multiply(a, Multiply(b, x));
+  ASSERT_EQ(left.size(), right.size());
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    EXPECT_NEAR(left[i], right[i], 1e-9);
+  }
+}
+
+TEST(FrobeniusNorm, KnownValue) {
+  Csr m(1, 2, {0, 2}, {0, 1}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(m), 5.0);
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

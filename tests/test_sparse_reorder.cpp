@@ -1,0 +1,138 @@
+#include "sparse/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::sparse {
+namespace {
+
+TEST(Permutations, IsPermutationDetectsDefects) {
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+  EXPECT_TRUE(IsPermutation({}));
+  EXPECT_FALSE(IsPermutation({0, 0, 1}));   // duplicate
+  EXPECT_FALSE(IsPermutation({0, 3, 1}));   // out of range
+  EXPECT_FALSE(IsPermutation({0, -1, 1}));  // negative
+}
+
+TEST(Permutations, InverseComposesToIdentity) {
+  Permutation perm = RandomPermutation(100, 7);
+  Permutation inv = InversePermutation(perm);
+  for (index_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])],
+              i);
+  }
+}
+
+TEST(Permutations, RandomIsValidAndSeedDependent) {
+  EXPECT_TRUE(IsPermutation(RandomPermutation(500, 1)));
+  EXPECT_NE(RandomPermutation(500, 1), RandomPermutation(500, 2));
+  EXPECT_EQ(RandomPermutation(500, 3), RandomPermutation(500, 3));
+}
+
+TEST(PermuteSymmetric, PreservesSpectrumProxy) {
+  // P A P^T preserves values multiset, nnz and symmetry of the pattern.
+  Csr a = Symmetrize(testutil::RandomCsr(40, 40, 3.0, 1));
+  Permutation perm = RandomPermutation(a.rows(), 5);
+  Csr p = PermuteSymmetric(a, perm);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  EXPECT_TRUE(p == Transpose(p));
+  std::vector<value_t> va = a.values(), vp = p.values();
+  std::sort(va.begin(), va.end());
+  std::sort(vp.begin(), vp.end());
+  EXPECT_EQ(va, vp);
+}
+
+TEST(PermuteSymmetric, InverseRestoresOriginal) {
+  Csr a = testutil::RandomCsr(32, 32, 4.0, 2);
+  Permutation perm = RandomPermutation(32, 9);
+  Csr back = PermuteSymmetric(PermuteSymmetric(a, perm),
+                              InversePermutation(perm));
+  EXPECT_TRUE(back == a);
+}
+
+TEST(PermuteRowsCols, ComposeToSymmetricPermutation) {
+  Csr a = testutil::RandomCsr(24, 24, 3.0, 3);
+  Permutation perm = RandomPermutation(24, 11);
+  Csr via_parts = PermuteCols(PermuteRows(a, perm), perm);
+  Csr direct = PermuteSymmetric(a, perm);
+  EXPECT_TRUE(via_parts == direct);
+}
+
+TEST(PermuteRows, MovesRowsIntact) {
+  Csr a = testutil::RandomCsr(10, 16, 3.0, 4);
+  Permutation perm = RandomPermutation(10, 13);
+  Csr p = PermuteRows(a, perm);
+  for (index_t r = 0; r < 10; ++r) {
+    const index_t nr = perm[static_cast<std::size_t>(r)];
+    ASSERT_EQ(p.row_nnz(nr), a.row_nnz(r));
+    for (offset_t k = 0; k < a.row_nnz(r); ++k) {
+      EXPECT_EQ(p.col_ids()[static_cast<std::size_t>(p.row_begin(nr) + k)],
+                a.col_ids()[static_cast<std::size_t>(a.row_begin(r) + k)]);
+    }
+  }
+}
+
+TEST(DegreeDescendingOrder, SortsRowsByNnz) {
+  Csr a = testutil::RandomRmat(8, 8.0, 5);
+  Permutation perm = DegreeDescendingOrder(a);
+  ASSERT_TRUE(IsPermutation(perm));
+  Csr sorted = PermuteRows(a, perm);
+  for (index_t r = 1; r < sorted.rows(); ++r) {
+    EXPECT_LE(sorted.row_nnz(r), sorted.row_nnz(r - 1));
+  }
+}
+
+TEST(ReverseCuthillMcKee, ReducesBandwidthOfShuffledBand) {
+  BandedParams params;
+  params.n = 512;
+  params.half_bandwidth = 4;
+  Csr band = GenerateBanded(params);
+  // Scramble, then ask RCM to recover locality.
+  Csr shuffled = PermuteSymmetric(band, RandomPermutation(512, 17));
+  const index_t before = Bandwidth(shuffled);
+  Permutation rcm = ReverseCuthillMcKee(shuffled);
+  ASSERT_TRUE(IsPermutation(rcm));
+  const index_t after = Bandwidth(PermuteSymmetric(shuffled, rcm));
+  EXPECT_LT(after * 5, before);  // dramatic reduction
+  EXPECT_LE(after, 4 * params.half_bandwidth);  // near the original band
+}
+
+TEST(ReverseCuthillMcKee, HandlesDisconnectedGraphs) {
+  // Two components + isolated vertices.
+  Coo coo;
+  coo.rows = coo.cols = 10;
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 0, 1.0);
+  coo.Add(5, 6, 1.0);
+  coo.Add(6, 5, 1.0);
+  Permutation rcm = ReverseCuthillMcKee(CooToCsr(coo));
+  EXPECT_TRUE(IsPermutation(rcm));
+}
+
+TEST(Bandwidth, KnownValues) {
+  EXPECT_EQ(Bandwidth(Identity(5)), 0);
+  BandedParams p;
+  p.n = 64;
+  p.half_bandwidth = 3;
+  EXPECT_EQ(Bandwidth(GenerateBanded(p)), 3);
+  EXPECT_EQ(Bandwidth(Csr(4, 4)), 0);
+}
+
+TEST(PermuteSymmetric, ProductCommutesWithPermutation) {
+  // P(AB)P^T == (PAP^T)(PBP^T): the SpGEMM ordering study's foundation.
+  Csr a = testutil::RandomCsr(30, 30, 3.0, 6);
+  Csr b = testutil::RandomCsr(30, 30, 3.0, 7);
+  Permutation perm = RandomPermutation(30, 19);
+  Csr lhs = PermuteSymmetric(kernels::ReferenceSpgemm(a, b), perm);
+  Csr rhs = kernels::ReferenceSpgemm(PermuteSymmetric(a, perm),
+                                     PermuteSymmetric(b, perm));
+  EXPECT_TRUE(testutil::CsrNear(rhs, lhs));
+}
+
+}  // namespace
+}  // namespace oocgemm::sparse

@@ -1,0 +1,55 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+
+namespace oocgemm::testutil {
+
+/// Random sparse matrix with uniform structure.
+inline sparse::Csr RandomCsr(sparse::index_t rows, sparse::index_t cols,
+                             double avg_degree, std::uint64_t seed) {
+  sparse::ErdosRenyiParams p;
+  p.rows = rows;
+  p.cols = cols;
+  p.avg_degree = avg_degree;
+  p.seed = seed;
+  return sparse::GenerateErdosRenyi(p);
+}
+
+/// Random skewed square matrix (power-law rows).
+inline sparse::Csr RandomRmat(int scale, double edge_factor,
+                              std::uint64_t seed) {
+  sparse::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  return sparse::GenerateRmat(p);
+}
+
+/// gtest assertion: structural and (approximate) value equality.
+inline ::testing::AssertionResult CsrNear(const sparse::Csr& actual,
+                                          const sparse::Csr& expected,
+                                          double rel_tol = 1e-10) {
+  if (actual.rows() != expected.rows() || actual.cols() != expected.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << actual.DebugString() << " vs "
+           << expected.DebugString();
+  }
+  if (actual.row_offsets() != expected.row_offsets()) {
+    return ::testing::AssertionFailure()
+           << "row_offsets mismatch (" << actual.DebugString() << " vs "
+           << expected.DebugString() << ")";
+  }
+  if (actual.col_ids() != expected.col_ids()) {
+    return ::testing::AssertionFailure() << "col_ids mismatch";
+  }
+  if (!actual.ApproxEquals(expected, rel_tol, 1e-12)) {
+    return ::testing::AssertionFailure() << "values mismatch";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace oocgemm::testutil

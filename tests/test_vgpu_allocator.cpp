@@ -1,0 +1,119 @@
+#include "vgpu/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm::vgpu {
+namespace {
+
+TEST(FreeListAllocator, AllocatesAlignedBlocks) {
+  FreeListAllocator alloc(1 << 20);
+  auto p = alloc.Allocate(100);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->offset % 256, 0);
+  EXPECT_GE(p->size, 100);
+  EXPECT_EQ(p->size % 256, 0);
+}
+
+TEST(FreeListAllocator, ZeroByteAllocationStillDistinct) {
+  FreeListAllocator alloc(1 << 16);
+  auto a = alloc.Allocate(0);
+  auto b = alloc.Allocate(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->offset, b->offset);
+}
+
+TEST(FreeListAllocator, NegativeSizeRejected) {
+  FreeListAllocator alloc(1 << 16);
+  EXPECT_FALSE(alloc.Allocate(-1).ok());
+}
+
+TEST(FreeListAllocator, TracksUsageAndPeak) {
+  FreeListAllocator alloc(1 << 16);
+  auto a = alloc.Allocate(1000);
+  auto b = alloc.Allocate(2000);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::int64_t at_peak = alloc.used_bytes();
+  alloc.Free(a.value());
+  EXPECT_LT(alloc.used_bytes(), at_peak);
+  EXPECT_EQ(alloc.peak_bytes(), at_peak);
+  alloc.Free(b.value());
+  EXPECT_EQ(alloc.used_bytes(), 0);
+  EXPECT_EQ(alloc.num_allocations(), 0u);
+}
+
+TEST(FreeListAllocator, OutOfMemoryReported) {
+  FreeListAllocator alloc(1024);
+  auto a = alloc.Allocate(512);
+  ASSERT_TRUE(a.ok());
+  auto b = alloc.Allocate(1024);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(FreeListAllocator, CoalescesNeighbours) {
+  FreeListAllocator alloc(4096);
+  auto a = alloc.Allocate(1024);
+  auto b = alloc.Allocate(1024);
+  auto c = alloc.Allocate(1024);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  alloc.Free(a.value());
+  alloc.Free(c.value());
+  alloc.Free(b.value());  // merges with both neighbours
+  EXPECT_EQ(alloc.largest_free_block(), 4096);
+  auto whole = alloc.Allocate(4096);
+  EXPECT_TRUE(whole.ok());
+}
+
+TEST(FreeListAllocator, ReusesFreedSpace) {
+  FreeListAllocator alloc(2048);
+  auto a = alloc.Allocate(2048);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(alloc.Allocate(256).ok());
+  alloc.Free(a.value());
+  EXPECT_TRUE(alloc.Allocate(2048).ok());
+}
+
+TEST(FreeListAllocator, FragmentationBlocksLargeAllocation) {
+  FreeListAllocator alloc(4096);
+  auto a = alloc.Allocate(1024);
+  auto b = alloc.Allocate(1024);
+  auto c = alloc.Allocate(1024);
+  auto d = alloc.Allocate(1024);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  alloc.Free(a.value());
+  alloc.Free(c.value());
+  // 2048 bytes free but in two non-adjacent 1024 blocks.
+  EXPECT_EQ(alloc.free_bytes(), 2048);
+  EXPECT_EQ(alloc.largest_free_block(), 1024);
+  EXPECT_FALSE(alloc.Allocate(2048).ok());
+}
+
+TEST(FreeListAllocator, FreeOfNullIsNoop) {
+  FreeListAllocator alloc(1024);
+  alloc.Free(DevicePtr{});
+  EXPECT_EQ(alloc.used_bytes(), 0);
+}
+
+TEST(FreeListAllocatorDeath, DoubleFreeAborts) {
+  FreeListAllocator alloc(1024);
+  auto a = alloc.Allocate(128);
+  ASSERT_TRUE(a.ok());
+  alloc.Free(a.value());
+  EXPECT_DEATH(alloc.Free(a.value()), "OOC_CHECK");
+}
+
+TEST(DevicePtr, SliceWithinBounds) {
+  DevicePtr p{1024, 512};
+  DevicePtr s = p.Slice(128, 256);
+  EXPECT_EQ(s.offset, 1152);
+  EXPECT_EQ(s.size, 256);
+}
+
+TEST(DevicePtrDeath, SliceOutOfBoundsAborts) {
+  DevicePtr p{0, 100};
+  EXPECT_DEATH(p.Slice(50, 100), "OOC_CHECK");
+}
+
+}  // namespace
+}  // namespace oocgemm::vgpu

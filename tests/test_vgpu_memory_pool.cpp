@@ -1,0 +1,115 @@
+#include "vgpu/memory_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vgpu/memory_source.hpp"
+
+namespace oocgemm::vgpu {
+namespace {
+
+DeviceProperties SmallProps() {
+  DeviceProperties p;
+  p.memory_bytes = 1 << 20;
+  return p;
+}
+
+TEST(MemoryPool, SingleUpfrontDeviceAllocation) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 1 << 18);
+  const std::size_t allocs_before = d.trace().events().size();
+  auto a = pool.Allocate(1000);
+  auto b = pool.Allocate(2000);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Bump allocation adds no device operations (the paper's point: no
+  // cudaMalloc inside the pipeline).
+  EXPECT_EQ(d.trace().events().size(), allocs_before);
+}
+
+TEST(MemoryPool, SubAllocationsAreDisjointAndAligned) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 1 << 18);
+  auto a = pool.Allocate(100);
+  auto b = pool.Allocate(100);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->offset % 256, 0);
+  EXPECT_EQ(b->offset % 256, 0);
+  EXPECT_GE(b->offset, a->offset + a->size);
+}
+
+TEST(MemoryPool, ExhaustionReturnsOom) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 4096);
+  EXPECT_TRUE(pool.Allocate(2048).ok());
+  auto big = pool.Allocate(4096);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(MemoryPool, ResetRecycles) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 4096);
+  ASSERT_TRUE(pool.Allocate(4096 - 256).ok());
+  pool.Reset();
+  EXPECT_EQ(pool.used_bytes(), 0);
+  EXPECT_TRUE(pool.Allocate(4096 - 256).ok());
+}
+
+TEST(MemoryPool, HighWaterPersistsAcrossReset) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 1 << 16);
+  ASSERT_TRUE(pool.Allocate(30000).ok());
+  pool.Reset();
+  ASSERT_TRUE(pool.Allocate(100).ok());
+  EXPECT_GE(pool.high_water(), 30000);
+}
+
+TEST(MemoryPool, NegativeAllocationRejected) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 4096);
+  EXPECT_FALSE(pool.Allocate(-5).ok());
+}
+
+TEST(MemorySource, MallocSourceSerializesDevice) {
+  Device d(SmallProps());
+  HostContext host;
+  MallocMemorySource source(d);
+  Stream* s = d.CreateStream("t");
+  d.LaunchKernel(host, *s, "k", 10e-3, {}, [] {});
+  auto p = source.Allocate(host, 1024, "x");
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(host.now, 10e-3);  // waited for the kernel
+  EXPECT_TRUE(source.dynamic());
+}
+
+TEST(MemorySource, PoolSourceDoesNotSerialize) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 1 << 16);
+  PoolMemorySource source(pool);
+  Stream* s = d.CreateStream("t");
+  d.LaunchKernel(host, *s, "k", 10e-3, {}, [] {});
+  const double host_before = host.now;
+  auto p = source.Allocate(host, 1024, "x");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(host.now, host_before);  // no waiting
+  EXPECT_FALSE(source.dynamic());
+}
+
+TEST(MemorySource, PoolRecycleResets) {
+  Device d(SmallProps());
+  HostContext host;
+  MemoryPool pool(d, host, 4096);
+  PoolMemorySource source(pool);
+  ASSERT_TRUE(source.Allocate(host, 2048, "x").ok());
+  source.Recycle();
+  EXPECT_EQ(pool.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace oocgemm::vgpu

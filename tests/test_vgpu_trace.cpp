@@ -1,0 +1,108 @@
+#include "vgpu/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oocgemm::vgpu {
+namespace {
+
+TraceEvent Ev(OpCategory cat, double start, double end,
+              std::int64_t bytes = 0, const std::string& label = "x") {
+  return TraceEvent{cat, label, 0, Interval{start, end}, bytes};
+}
+
+TEST(Interval, OverlapSemantics) {
+  Interval a{0.0, 1.0};
+  EXPECT_TRUE(a.Overlaps({0.5, 1.5}));
+  EXPECT_FALSE(a.Overlaps({1.0, 2.0}));  // half-open: touching is fine
+  EXPECT_FALSE(a.Overlaps({-1.0, 0.0}));
+  EXPECT_TRUE(a.Overlaps({-1.0, 0.1}));
+}
+
+TEST(Trace, EmptyIsZero) {
+  Trace t;
+  EXPECT_EQ(t.BusyTime(OpCategory::kKernel), 0.0);
+  EXPECT_EQ(t.SpanEnd(), 0.0);
+  EXPECT_EQ(t.Fraction(OpCategory::kD2H), 0.0);
+  EXPECT_FALSE(t.HasIntraCategoryOverlap(OpCategory::kD2H));
+}
+
+TEST(Trace, BusyTimeSumsPerCategory) {
+  Trace t;
+  t.Add(Ev(OpCategory::kKernel, 0.0, 1.0));
+  t.Add(Ev(OpCategory::kKernel, 2.0, 2.5));
+  t.Add(Ev(OpCategory::kD2H, 1.0, 2.0));
+  EXPECT_DOUBLE_EQ(t.BusyTime(OpCategory::kKernel), 1.5);
+  EXPECT_DOUBLE_EQ(t.BusyTime(OpCategory::kD2H), 1.0);
+}
+
+TEST(Trace, BusyTimeLabeledMatchesSubstring) {
+  Trace t;
+  t.Add(Ev(OpCategory::kKernel, 0.0, 1.0, 0, "chunk[0,1].numeric.g2"));
+  t.Add(Ev(OpCategory::kKernel, 1.0, 3.0, 0, "chunk[0,1].symbolic.g1"));
+  EXPECT_DOUBLE_EQ(t.BusyTimeLabeled("numeric"), 1.0);
+  EXPECT_DOUBLE_EQ(t.BusyTimeLabeled("chunk[0,1]"), 3.0);
+}
+
+TEST(Trace, SpanEndIsMaxEnd) {
+  Trace t;
+  t.Add(Ev(OpCategory::kKernel, 0.0, 5.0));
+  t.Add(Ev(OpCategory::kD2H, 1.0, 3.0));
+  EXPECT_DOUBLE_EQ(t.SpanEnd(), 5.0);
+}
+
+TEST(Trace, BytesSummedPerDirection) {
+  Trace t;
+  t.Add(Ev(OpCategory::kH2D, 0, 1, 100));
+  t.Add(Ev(OpCategory::kH2D, 1, 2, 200));
+  t.Add(Ev(OpCategory::kD2H, 2, 3, 1000));
+  EXPECT_EQ(t.Bytes(OpCategory::kH2D), 300);
+  EXPECT_EQ(t.Bytes(OpCategory::kD2H), 1000);
+}
+
+TEST(Trace, OverlapDetection) {
+  Trace t;
+  t.Add(Ev(OpCategory::kD2H, 0.0, 2.0));
+  t.Add(Ev(OpCategory::kD2H, 2.0, 3.0));
+  EXPECT_FALSE(t.HasIntraCategoryOverlap(OpCategory::kD2H));
+  t.Add(Ev(OpCategory::kD2H, 2.5, 4.0));
+  EXPECT_TRUE(t.HasIntraCategoryOverlap(OpCategory::kD2H));
+}
+
+TEST(Trace, CoveredTimeMergesOverlaps) {
+  Trace t;
+  t.Add(Ev(OpCategory::kKernel, 0.0, 2.0));
+  t.Add(Ev(OpCategory::kKernel, 1.0, 3.0));
+  t.Add(Ev(OpCategory::kKernel, 5.0, 6.0));
+  EXPECT_DOUBLE_EQ(t.CoveredTime(OpCategory::kKernel), 4.0);
+}
+
+TEST(Trace, FractionUsesCoveredTime) {
+  Trace t;
+  t.Add(Ev(OpCategory::kD2H, 0.0, 3.0));
+  t.Add(Ev(OpCategory::kKernel, 0.0, 4.0));
+  EXPECT_DOUBLE_EQ(t.Fraction(OpCategory::kD2H), 0.75);
+}
+
+TEST(Trace, OverlapFactorAboveOneMeansConcurrency) {
+  Trace t;
+  t.Add(Ev(OpCategory::kKernel, 0.0, 1.0));
+  t.Add(Ev(OpCategory::kD2H, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(t.OverlapFactor(), 2.0);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.Add(Ev(OpCategory::kKernel, 0.0, 1.0));
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(OpCategoryNames, AllDistinct) {
+  EXPECT_STREQ(OpCategoryName(OpCategory::kKernel), "kernel");
+  EXPECT_STREQ(OpCategoryName(OpCategory::kH2D), "h2d");
+  EXPECT_STREQ(OpCategoryName(OpCategory::kD2H), "d2h");
+  EXPECT_STREQ(OpCategoryName(OpCategory::kAlloc), "alloc");
+}
+
+}  // namespace
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,81 @@
+#include "vgpu/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace oocgemm::vgpu {
+namespace {
+
+Trace MakeTrace() {
+  Trace t;
+  t.Add({OpCategory::kKernel, "chunk[0,0].numeric", 1, Interval{1e-3, 2e-3}, 0});
+  t.Add({OpCategory::kD2H, "payload \"half\"", 0, Interval{1.5e-3, 4e-3}, 4096});
+  return t;
+}
+
+TEST(TraceExport, ContainsLaneMetadata) {
+  const std::string json = ToChromeTraceJson(MakeTrace());
+  EXPECT_NE(json.find("\"compute engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"D2H engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"H2D engine\""), std::string::npos);
+}
+
+TEST(TraceExport, EmitsCompleteEventsInMicroseconds) {
+  const std::string json = ToChromeTraceJson(MakeTrace());
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);   // 1 ms
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);  // 1 ms
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesLabelQuotes) {
+  const std::string json = ToChromeTraceJson(MakeTrace());
+  EXPECT_NE(json.find("payload \\\"half\\\""), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValidJsonSkeleton) {
+  Trace t;
+  const std::string json = ToChromeTraceJson(t);
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+}
+
+TEST(TraceExport, BalancedBracesAndBrackets) {
+  const std::string json = ToChromeTraceJson(MakeTrace());
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceExport, WritesFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "oocgemm_trace_test.json")
+          .string();
+  ASSERT_TRUE(WriteChromeTrace(MakeTrace(), path).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), ToChromeTraceJson(MakeTrace()));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceExport, UnwritablePathFails) {
+  EXPECT_FALSE(
+      WriteChromeTrace(MakeTrace(), "/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace oocgemm::vgpu

@@ -1,0 +1,234 @@
+// Command-line front end for the library.
+//
+//   oocgemm_cli generate --kind=rmat --scale=13 --edge-factor=8 --out=a.mtx
+//   oocgemm_cli analyze a.mtx [b.mtx]
+//   oocgemm_cli multiply a.mtx [b.mtx] --executor=hybrid --device-mem=16
+//               [--ratio=0.67] [--out=c.mtx] [--trace=run.json] [--verify]
+//
+// `multiply` squares `a.mtx` when no second matrix is given (the paper's
+// C = A x A convention).  --device-mem is the virtual device memory in MiB.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/thread_pool.hpp"
+#include "core/executors.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "sparse/analysis.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/io.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/trace_export.hpp"
+
+namespace {
+
+using namespace oocgemm;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string Flag(const std::string& name, const std::string& dflt) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? dflt : it->second;
+  }
+  double FlagD(const std::string& name, double dflt) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? dflt : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      const auto eq = s.find('=');
+      if (eq == std::string::npos) {
+        args.flags[s.substr(2)] = "1";
+      } else {
+        args.flags[s.substr(2, eq - 2)] = s.substr(eq + 1);
+      }
+    } else {
+      args.positional.push_back(s);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  oocgemm_cli generate --kind=rmat|er|banded --scale=N "
+      "[--edge-factor=F] [--seed=S] --out=FILE\n"
+      "  oocgemm_cli analyze A.mtx [B.mtx]\n"
+      "  oocgemm_cli multiply A.mtx [B.mtx] [--executor=async|sync|hybrid|"
+      "cpu] [--device-mem=MiB] [--ratio=R] [--out=C.mtx] [--trace=T.json] "
+      "[--verify]\n");
+  return 2;
+}
+
+StatusOr<sparse::Csr> Load(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return sparse::ReadBinary(path);
+  }
+  return sparse::ReadMatrixMarket(path);
+}
+
+int Generate(const Args& args) {
+  const std::string kind = args.Flag("kind", "rmat");
+  const int scale = static_cast<int>(args.FlagD("scale", 12));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.FlagD("seed", 1));
+  const std::string out = args.Flag("out", "");
+  if (out.empty()) return Usage();
+
+  sparse::Csr m;
+  if (kind == "rmat") {
+    sparse::RmatParams p;
+    p.scale = scale;
+    p.edge_factor = args.FlagD("edge-factor", 8.0);
+    p.seed = seed;
+    m = sparse::GenerateRmat(p);
+  } else if (kind == "er") {
+    sparse::ErdosRenyiParams p;
+    p.rows = p.cols = static_cast<sparse::index_t>(1) << scale;
+    p.avg_degree = args.FlagD("edge-factor", 8.0);
+    p.seed = seed;
+    m = sparse::GenerateErdosRenyi(p);
+  } else if (kind == "banded") {
+    sparse::BandedParams p;
+    p.n = static_cast<sparse::index_t>(1) << scale;
+    p.half_bandwidth =
+        static_cast<sparse::index_t>(args.FlagD("half-bandwidth", 8));
+    p.seed = seed;
+    m = sparse::GenerateBanded(p);
+  } else {
+    return Usage();
+  }
+  Status st = out.size() > 4 && out.substr(out.size() - 4) == ".bin"
+                  ? sparse::WriteBinary(m, out)
+                  : sparse::WriteMatrixMarket(m, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s\n", out.c_str(), m.DebugString().c_str());
+  return 0;
+}
+
+int Analyze(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto a = Load(args.positional[1]);
+  if (!a.ok()) {
+    std::fprintf(stderr, "%s\n", a.status().ToString().c_str());
+    return 1;
+  }
+  sparse::Csr b =
+      args.positional.size() > 2 ? Load(args.positional[2]).value() : a.value();
+  sparse::ProductStats s = sparse::AnalyzeProduct(a.value(), b);
+  TablePrinter t({"property", "value"});
+  t.AddRow({"A", a->DebugString()});
+  t.AddRow({"B", b.DebugString()});
+  t.AddRow({"flop(A*B)", HumanCount(static_cast<double>(s.flops))});
+  t.AddRow({"nnz(A*B)", HumanCount(static_cast<double>(s.nnz_out))});
+  t.AddRow({"compression ratio", Fixed(s.compression_ratio, 2)});
+  t.AddRow({"row-work gini", Fixed(s.row_flops_gini, 3)});
+  t.AddRow({"max row flops", HumanCount(s.max_row_flops)});
+  t.Print();
+  return 0;
+}
+
+int Multiply(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto a_or = Load(args.positional[1]);
+  if (!a_or.ok()) {
+    std::fprintf(stderr, "%s\n", a_or.status().ToString().c_str());
+    return 1;
+  }
+  sparse::Csr a = std::move(a_or.value());
+  sparse::Csr b = a;
+  if (args.positional.size() > 2) {
+    auto b_or = Load(args.positional[2]);
+    if (!b_or.ok()) {
+      std::fprintf(stderr, "%s\n", b_or.status().ToString().c_str());
+      return 1;
+    }
+    b = std::move(b_or.value());
+  }
+
+  const double mem_mib = args.FlagD("device-mem", 16.0);
+  vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
+  props.memory_bytes = static_cast<std::int64_t>(mem_mib * (1 << 20));
+  vgpu::Device device(props);
+
+  ThreadPool pool;
+  core::ExecutorOptions options;
+  options.gpu_ratio = args.FlagD("ratio", options.gpu_ratio);
+
+  const std::string executor = args.Flag("executor", "async");
+  StatusOr<core::RunResult> r = Status::Internal("unreachable");
+  if (executor == "async") {
+    r = core::AsyncOutOfCore(device, a, b, options, pool);
+  } else if (executor == "sync") {
+    r = core::SyncOutOfCore(device, a, b, options, pool);
+  } else if (executor == "hybrid") {
+    r = core::Hybrid(device, a, b, options, pool);
+  } else if (executor == "cpu") {
+    r = core::CpuMulticore(a, b, options, pool);
+  } else {
+    return Usage();
+  }
+  if (!r.ok()) {
+    std::fprintf(stderr, "multiply failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", r->stats.DebugString().c_str());
+
+  if (args.Has("verify")) {
+    sparse::Csr expected = kernels::ReferenceSpgemm(a, b);
+    if (!r->c.ApproxEquals(expected)) {
+      std::fprintf(stderr, "VERIFY FAILED: result differs from reference\n");
+      return 1;
+    }
+    std::printf("verify: OK\n");
+  }
+  if (args.Has("trace") && executor != "cpu") {
+    Status st = vgpu::WriteChromeTrace(device.trace(), args.Flag("trace", ""));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s\n", args.Flag("trace", "").c_str());
+  }
+  if (args.Has("out")) {
+    const std::string out = args.Flag("out", "");
+    Status st = out.size() > 4 && out.substr(out.size() - 4) == ".bin"
+                    ? sparse::WriteBinary(r->c, out)
+                    : sparse::WriteMatrixMarket(r->c, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.positional.empty()) return Usage();
+  const std::string& cmd = args.positional[0];
+  if (cmd == "generate") return Generate(args);
+  if (cmd == "analyze") return Analyze(args);
+  if (cmd == "multiply") return Multiply(args);
+  return Usage();
+}
