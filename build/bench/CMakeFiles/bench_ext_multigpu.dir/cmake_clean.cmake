@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multigpu.dir/bench_ext_multigpu.cpp.o"
+  "CMakeFiles/bench_ext_multigpu.dir/bench_ext_multigpu.cpp.o.d"
+  "bench_ext_multigpu"
+  "bench_ext_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

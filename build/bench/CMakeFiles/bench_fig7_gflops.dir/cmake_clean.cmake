@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gflops.dir/bench_fig7_gflops.cpp.o"
+  "CMakeFiles/bench_fig7_gflops.dir/bench_fig7_gflops.cpp.o.d"
+  "bench_fig7_gflops"
+  "bench_fig7_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

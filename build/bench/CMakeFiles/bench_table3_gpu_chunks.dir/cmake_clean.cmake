@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gpu_chunks.dir/bench_table3_gpu_chunks.cpp.o"
+  "CMakeFiles/bench_table3_gpu_chunks.dir/bench_table3_gpu_chunks.cpp.o.d"
+  "bench_table3_gpu_chunks"
+  "bench_table3_gpu_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gpu_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

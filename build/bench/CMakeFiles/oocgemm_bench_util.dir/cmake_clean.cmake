@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/oocgemm_bench_util.dir/bench_util.cpp.o.d"
+  "liboocgemm_bench_util.a"
+  "liboocgemm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

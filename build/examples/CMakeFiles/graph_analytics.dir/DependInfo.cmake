@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_analytics.cpp" "examples/CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o" "gcc" "examples/CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oocgemm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/oocgemm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/oocgemm_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/oocgemm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/oocgemm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

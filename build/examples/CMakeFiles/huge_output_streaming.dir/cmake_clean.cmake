@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_output_streaming.dir/huge_output_streaming.cpp.o"
+  "CMakeFiles/huge_output_streaming.dir/huge_output_streaming.cpp.o.d"
+  "huge_output_streaming"
+  "huge_output_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_output_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

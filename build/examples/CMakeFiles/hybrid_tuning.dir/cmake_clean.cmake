@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_tuning.dir/hybrid_tuning.cpp.o"
+  "CMakeFiles/hybrid_tuning.dir/hybrid_tuning.cpp.o.d"
+  "hybrid_tuning"
+  "hybrid_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

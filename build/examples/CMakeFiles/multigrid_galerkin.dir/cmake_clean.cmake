@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigrid_galerkin.dir/multigrid_galerkin.cpp.o"
+  "CMakeFiles/multigrid_galerkin.dir/multigrid_galerkin.cpp.o.d"
+  "multigrid_galerkin"
+  "multigrid_galerkin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigrid_galerkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multigrid_galerkin.
+# This may be replaced when dependencies are built.

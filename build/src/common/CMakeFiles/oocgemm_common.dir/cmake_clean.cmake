@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_common.dir/format.cpp.o"
+  "CMakeFiles/oocgemm_common.dir/format.cpp.o.d"
+  "CMakeFiles/oocgemm_common.dir/log.cpp.o"
+  "CMakeFiles/oocgemm_common.dir/log.cpp.o.d"
+  "CMakeFiles/oocgemm_common.dir/prefix_sum.cpp.o"
+  "CMakeFiles/oocgemm_common.dir/prefix_sum.cpp.o.d"
+  "CMakeFiles/oocgemm_common.dir/stats.cpp.o"
+  "CMakeFiles/oocgemm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/oocgemm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/oocgemm_common.dir/thread_pool.cpp.o.d"
+  "liboocgemm_common.a"
+  "liboocgemm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

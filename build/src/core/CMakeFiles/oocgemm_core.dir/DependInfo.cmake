@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assembler.cpp" "src/core/CMakeFiles/oocgemm_core.dir/assembler.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/assembler.cpp.o.d"
+  "/root/repo/src/core/chunk_sink.cpp" "src/core/CMakeFiles/oocgemm_core.dir/chunk_sink.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/chunk_sink.cpp.o.d"
+  "/root/repo/src/core/cpu_runner.cpp" "src/core/CMakeFiles/oocgemm_core.dir/cpu_runner.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/cpu_runner.cpp.o.d"
+  "/root/repo/src/core/executors.cpp" "src/core/CMakeFiles/oocgemm_core.dir/executors.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/executors.cpp.o.d"
+  "/root/repo/src/core/gpu_runner.cpp" "src/core/CMakeFiles/oocgemm_core.dir/gpu_runner.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/gpu_runner.cpp.o.d"
+  "/root/repo/src/core/multi_gpu.cpp" "src/core/CMakeFiles/oocgemm_core.dir/multi_gpu.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/multi_gpu.cpp.o.d"
+  "/root/repo/src/core/panel_cache.cpp" "src/core/CMakeFiles/oocgemm_core.dir/panel_cache.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/panel_cache.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/oocgemm_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/run_stats.cpp" "src/core/CMakeFiles/oocgemm_core.dir/run_stats.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/run_stats.cpp.o.d"
+  "/root/repo/src/core/spgemm.cpp" "src/core/CMakeFiles/oocgemm_core.dir/spgemm.cpp.o" "gcc" "src/core/CMakeFiles/oocgemm_core.dir/spgemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/oocgemm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/oocgemm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/oocgemm_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/oocgemm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

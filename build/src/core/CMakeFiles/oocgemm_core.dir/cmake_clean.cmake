@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_core.dir/assembler.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/assembler.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/chunk_sink.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/chunk_sink.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/cpu_runner.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/cpu_runner.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/executors.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/executors.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/gpu_runner.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/gpu_runner.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/multi_gpu.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/panel_cache.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/panel_cache.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/problem.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/problem.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/run_stats.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/run_stats.cpp.o.d"
+  "CMakeFiles/oocgemm_core.dir/spgemm.cpp.o"
+  "CMakeFiles/oocgemm_core.dir/spgemm.cpp.o.d"
+  "liboocgemm_core.a"
+  "liboocgemm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/accumulators.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/accumulators.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/accumulators.cpp.o.d"
+  "/root/repo/src/kernels/binning.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/binning.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/binning.cpp.o.d"
+  "/root/repo/src/kernels/cost_model.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/cost_model.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/cost_model.cpp.o.d"
+  "/root/repo/src/kernels/cpu_spgemm.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/cpu_spgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/cpu_spgemm.cpp.o.d"
+  "/root/repo/src/kernels/device_csr.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/device_csr.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/device_csr.cpp.o.d"
+  "/root/repo/src/kernels/device_spgemm.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/device_spgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/device_spgemm.cpp.o.d"
+  "/root/repo/src/kernels/masked_spgemm.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/masked_spgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/masked_spgemm.cpp.o.d"
+  "/root/repo/src/kernels/reference_spgemm.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/reference_spgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/reference_spgemm.cpp.o.d"
+  "/root/repo/src/kernels/row_analysis.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/row_analysis.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/row_analysis.cpp.o.d"
+  "/root/repo/src/kernels/spgemm_phases.cpp" "src/kernels/CMakeFiles/oocgemm_kernels.dir/spgemm_phases.cpp.o" "gcc" "src/kernels/CMakeFiles/oocgemm_kernels.dir/spgemm_phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/oocgemm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/oocgemm_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_kernels.dir/accumulators.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/accumulators.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/binning.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/binning.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/cost_model.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/cost_model.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/cpu_spgemm.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/cpu_spgemm.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/device_csr.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/device_csr.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/device_spgemm.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/device_spgemm.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/masked_spgemm.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/masked_spgemm.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/reference_spgemm.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/reference_spgemm.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/row_analysis.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/row_analysis.cpp.o.d"
+  "CMakeFiles/oocgemm_kernels.dir/spgemm_phases.cpp.o"
+  "CMakeFiles/oocgemm_kernels.dir/spgemm_phases.cpp.o.d"
+  "liboocgemm_kernels.a"
+  "liboocgemm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/chunk.cpp" "src/partition/CMakeFiles/oocgemm_partition.dir/chunk.cpp.o" "gcc" "src/partition/CMakeFiles/oocgemm_partition.dir/chunk.cpp.o.d"
+  "/root/repo/src/partition/panel_plan.cpp" "src/partition/CMakeFiles/oocgemm_partition.dir/panel_plan.cpp.o" "gcc" "src/partition/CMakeFiles/oocgemm_partition.dir/panel_plan.cpp.o.d"
+  "/root/repo/src/partition/panels.cpp" "src/partition/CMakeFiles/oocgemm_partition.dir/panels.cpp.o" "gcc" "src/partition/CMakeFiles/oocgemm_partition.dir/panels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/oocgemm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

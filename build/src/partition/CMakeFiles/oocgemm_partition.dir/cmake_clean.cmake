@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_partition.dir/chunk.cpp.o"
+  "CMakeFiles/oocgemm_partition.dir/chunk.cpp.o.d"
+  "CMakeFiles/oocgemm_partition.dir/panel_plan.cpp.o"
+  "CMakeFiles/oocgemm_partition.dir/panel_plan.cpp.o.d"
+  "CMakeFiles/oocgemm_partition.dir/panels.cpp.o"
+  "CMakeFiles/oocgemm_partition.dir/panels.cpp.o.d"
+  "liboocgemm_partition.a"
+  "liboocgemm_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/analysis.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/analysis.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/analysis.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/datasets.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/datasets.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/datasets.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/ops.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/ops.cpp.o.d"
+  "/root/repo/src/sparse/reorder.cpp" "src/sparse/CMakeFiles/oocgemm_sparse.dir/reorder.cpp.o" "gcc" "src/sparse/CMakeFiles/oocgemm_sparse.dir/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

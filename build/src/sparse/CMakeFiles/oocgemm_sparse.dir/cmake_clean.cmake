@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_sparse.dir/analysis.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/analysis.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/coo.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/csr.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/datasets.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/datasets.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/generators.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/io.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/ops.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/ops.cpp.o.d"
+  "CMakeFiles/oocgemm_sparse.dir/reorder.cpp.o"
+  "CMakeFiles/oocgemm_sparse.dir/reorder.cpp.o.d"
+  "liboocgemm_sparse.a"
+  "liboocgemm_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

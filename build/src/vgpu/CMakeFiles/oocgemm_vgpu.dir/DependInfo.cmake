@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/allocator.cpp" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/allocator.cpp.o" "gcc" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/allocator.cpp.o.d"
+  "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/device.cpp.o.d"
+  "/root/repo/src/vgpu/memory_pool.cpp" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/memory_pool.cpp.o" "gcc" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/memory_pool.cpp.o.d"
+  "/root/repo/src/vgpu/trace.cpp" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/trace.cpp.o" "gcc" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/trace.cpp.o.d"
+  "/root/repo/src/vgpu/trace_export.cpp" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/trace_export.cpp.o" "gcc" "src/vgpu/CMakeFiles/oocgemm_vgpu.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

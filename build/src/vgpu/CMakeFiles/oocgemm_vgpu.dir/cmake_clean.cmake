@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_vgpu.dir/allocator.cpp.o"
+  "CMakeFiles/oocgemm_vgpu.dir/allocator.cpp.o.d"
+  "CMakeFiles/oocgemm_vgpu.dir/device.cpp.o"
+  "CMakeFiles/oocgemm_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/oocgemm_vgpu.dir/memory_pool.cpp.o"
+  "CMakeFiles/oocgemm_vgpu.dir/memory_pool.cpp.o.d"
+  "CMakeFiles/oocgemm_vgpu.dir/trace.cpp.o"
+  "CMakeFiles/oocgemm_vgpu.dir/trace.cpp.o.d"
+  "CMakeFiles/oocgemm_vgpu.dir/trace_export.cpp.o"
+  "CMakeFiles/oocgemm_vgpu.dir/trace_export.cpp.o.d"
+  "liboocgemm_vgpu.a"
+  "liboocgemm_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

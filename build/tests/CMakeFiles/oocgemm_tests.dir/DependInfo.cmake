@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common_format.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_common_format.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_common_format.cpp.o.d"
+  "/root/repo/tests/test_common_prefix_sum.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_common_prefix_sum.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_common_prefix_sum.cpp.o.d"
+  "/root/repo/tests/test_common_rng.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_common_rng.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_common_rng.cpp.o.d"
+  "/root/repo/tests/test_common_stats.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_common_stats.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_common_stats.cpp.o.d"
+  "/root/repo/tests/test_common_status.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_common_status.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_common_status.cpp.o.d"
+  "/root/repo/tests/test_common_thread_pool.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_common_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_common_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_core_assembler.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_assembler.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_assembler.cpp.o.d"
+  "/root/repo/tests/test_core_chunk_sink.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_chunk_sink.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_chunk_sink.cpp.o.d"
+  "/root/repo/tests/test_core_executors.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_executors.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_executors.cpp.o.d"
+  "/root/repo/tests/test_core_multigpu.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_multigpu.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_multigpu.cpp.o.d"
+  "/root/repo/tests/test_core_panel_cache.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_panel_cache.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_panel_cache.cpp.o.d"
+  "/root/repo/tests/test_core_properties.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_properties.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_properties.cpp.o.d"
+  "/root/repo/tests/test_core_retry.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_retry.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_retry.cpp.o.d"
+  "/root/repo/tests/test_core_run_stats.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_run_stats.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_run_stats.cpp.o.d"
+  "/root/repo/tests/test_core_spgemm_facade.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_core_spgemm_facade.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_core_spgemm_facade.cpp.o.d"
+  "/root/repo/tests/test_fuzz_executors.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_fuzz_executors.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_fuzz_executors.cpp.o.d"
+  "/root/repo/tests/test_kernels_accumulators.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_accumulators.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_accumulators.cpp.o.d"
+  "/root/repo/tests/test_kernels_binning.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_binning.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_binning.cpp.o.d"
+  "/root/repo/tests/test_kernels_cost_model.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_cost_model.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_cost_model.cpp.o.d"
+  "/root/repo/tests/test_kernels_device_csr.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_device_csr.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_device_csr.cpp.o.d"
+  "/root/repo/tests/test_kernels_masked.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_masked.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_masked.cpp.o.d"
+  "/root/repo/tests/test_kernels_phases.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_phases.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_phases.cpp.o.d"
+  "/root/repo/tests/test_kernels_spgemm.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_spgemm.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_kernels_spgemm.cpp.o.d"
+  "/root/repo/tests/test_partition_chunk.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_partition_chunk.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_partition_chunk.cpp.o.d"
+  "/root/repo/tests/test_partition_panels.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_partition_panels.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_partition_panels.cpp.o.d"
+  "/root/repo/tests/test_partition_plan.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_partition_plan.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_partition_plan.cpp.o.d"
+  "/root/repo/tests/test_sparse_analysis.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_analysis.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_analysis.cpp.o.d"
+  "/root/repo/tests/test_sparse_coo.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_coo.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_coo.cpp.o.d"
+  "/root/repo/tests/test_sparse_csr.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_csr.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_csr.cpp.o.d"
+  "/root/repo/tests/test_sparse_datasets.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_datasets.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_datasets.cpp.o.d"
+  "/root/repo/tests/test_sparse_estimator.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_estimator.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_estimator.cpp.o.d"
+  "/root/repo/tests/test_sparse_generators.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_generators.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_generators.cpp.o.d"
+  "/root/repo/tests/test_sparse_generators2.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_generators2.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_generators2.cpp.o.d"
+  "/root/repo/tests/test_sparse_io.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_io.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_io.cpp.o.d"
+  "/root/repo/tests/test_sparse_kronecker.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_kronecker.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_kronecker.cpp.o.d"
+  "/root/repo/tests/test_sparse_ops.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_ops.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_ops.cpp.o.d"
+  "/root/repo/tests/test_sparse_reorder.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_reorder.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_sparse_reorder.cpp.o.d"
+  "/root/repo/tests/test_vgpu_allocator.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_allocator.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_allocator.cpp.o.d"
+  "/root/repo/tests/test_vgpu_device.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_device.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_device.cpp.o.d"
+  "/root/repo/tests/test_vgpu_device2.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_device2.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_device2.cpp.o.d"
+  "/root/repo/tests/test_vgpu_memory_pool.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_memory_pool.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_memory_pool.cpp.o.d"
+  "/root/repo/tests/test_vgpu_trace.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_trace.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_trace.cpp.o.d"
+  "/root/repo/tests/test_vgpu_trace_export.cpp" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_trace_export.cpp.o" "gcc" "tests/CMakeFiles/oocgemm_tests.dir/test_vgpu_trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oocgemm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/oocgemm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/oocgemm_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/oocgemm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/oocgemm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocgemm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

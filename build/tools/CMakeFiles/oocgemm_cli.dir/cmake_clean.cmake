@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocgemm_cli.dir/oocgemm_cli.cpp.o"
+  "CMakeFiles/oocgemm_cli.dir/oocgemm_cli.cpp.o.d"
+  "oocgemm_cli"
+  "oocgemm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocgemm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
