@@ -1,0 +1,162 @@
+// Serving-runtime throughput benchmark (extension beyond the paper's
+// evaluation): an open-loop synthetic workload submitted to the multi-tenant
+// SpgemmServer, swept over offered load, against the baseline a single
+// tenant gets by looping the Hybrid executor serially over the same jobs.
+//
+// Expected: the server overlaps CPU-only jobs with device jobs across its
+// virtual lanes, so batch throughput is >= 2x the serial-Hybrid loop, and
+// per-job latency degrades gracefully (queueing) as offered load approaches
+// saturation.  Emits BENCH_serve.json with jobs/sec, latency percentiles
+// and rejection rate per load point.
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/server.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace oocgemm;
+
+std::shared_ptr<const sparse::Csr> Rmat(int scale, double edge_factor,
+                                        std::uint64_t seed) {
+  sparse::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  return std::make_shared<const sparse::Csr>(sparse::GenerateRmat(p));
+}
+
+std::shared_ptr<const sparse::Csr> Er(int scale, double degree,
+                                      std::uint64_t seed) {
+  sparse::ErdosRenyiParams p;
+  p.rows = p.cols = static_cast<sparse::index_t>(1) << scale;
+  p.avg_degree = degree;
+  p.seed = seed;
+  return std::make_shared<const sparse::Csr>(sparse::GenerateErdosRenyi(p));
+}
+
+/// The multi-tenant serving workload: many modest analytics products (the
+/// A^2 pattern) — small enough that the CPU socket multiplies them at a
+/// rate comparable to the device, which is what gives a server room to
+/// overlap tenants across lanes.  Giant out-of-core squarings belong to
+/// the batch pipeline (bench_fig7/8), not the serving path.
+std::vector<std::shared_ptr<const sparse::Csr>> Workload() {
+  std::vector<std::shared_ptr<const sparse::Csr>> mats;
+  for (int i = 0; i < 9; ++i) mats.push_back(Er(6, 4.0, 100 + i));
+  for (int i = 0; i < 3; ++i) mats.push_back(Rmat(7, 8.0, 200 + i));
+  return mats;
+}
+
+constexpr int kJobs = 48;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension - serving throughput vs offered load",
+      "IPDPS'21 Sec. VII (beyond: multi-tenant serving of the hybrid node)",
+      ">=2x batch jobs/sec over a serial Hybrid loop; latency grows with "
+      "load as queues form");
+
+  vgpu::Device serial_device(vgpu::ScaledV100Properties(14));  // 1 MiB
+  ThreadPool pool(2);
+  auto mats = Workload();
+
+  // Baseline: one tenant looping Hybrid over the same 48 jobs.  Its batch
+  // takes the sum of the per-job virtual makespans.
+  double serial_seconds = 0.0;
+  for (int i = 0; i < kJobs; ++i) {
+    const auto& a = *mats[static_cast<std::size_t>(i) % mats.size()];
+    core::ExecutorOptions options;
+    auto r = core::Hybrid(serial_device, a, a, options, pool);
+    if (!r.ok()) {
+      std::fprintf(stderr, "serial baseline failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    serial_seconds += r->stats.total_seconds;
+  }
+  const double serial_jps = kJobs / serial_seconds;
+
+  // Offered loads in multiples of the serial throughput: below, at, and
+  // past what one serial tenant could absorb.  0 = closed batch (all jobs
+  // arrive at t=0), the acceptance-criterion configuration.
+  const std::vector<double> load_factors = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+  TablePrinter table({"offered load", "jobs/s", "speedup", "p50 lat",
+                      "p95 lat", "p99 lat", "rejected"});
+  std::ostringstream runs;
+  double batch_jps = 0.0;
+  for (std::size_t li = 0; li < load_factors.size(); ++li) {
+    const double load = load_factors[li] * serial_jps;
+    vgpu::Device device(vgpu::ScaledV100Properties(14));
+    serve::ServerConfig config;
+    config.scheduler.num_workers = 4;
+    config.scheduler.cpu_lanes = 3;
+    config.max_queue = kJobs;
+    serve::SpgemmServer server(device, pool, config);
+
+    std::vector<std::future<serve::JobResult>> futures;
+    for (int i = 0; i < kJobs; ++i) {
+      serve::SpgemmJob job;
+      job.a = mats[static_cast<std::size_t>(i) % mats.size()];
+      job.b = job.a;
+      job.options.priority = i % 3;
+      job.options.virtual_arrival = load > 0.0 ? i / load : 0.0;
+      futures.push_back(server.Submit(std::move(job)));
+    }
+    server.Drain();
+    for (auto& f : futures) (void)f.get();
+
+    serve::ServerReport report = server.Report();
+    if (report.device_oom_failures != 0) {
+      std::fprintf(stderr, "FAIL: %lld device OOMs slipped past admission\n",
+                   static_cast<long long>(report.device_oom_failures));
+      return 1;
+    }
+    if (load_factors[li] == 0.0) batch_jps = report.jobs_per_second;
+
+    const std::string label =
+        load > 0.0 ? Fixed(load, 2) + " jobs/s" : "batch";
+    table.AddRow({label, Fixed(report.jobs_per_second, 2),
+                  Fixed(report.jobs_per_second / serial_jps, 2) + "x",
+                  HumanSeconds(report.latency_p50),
+                  HumanSeconds(report.latency_p95),
+                  HumanSeconds(report.latency_p99),
+                  std::to_string(report.rejected)});
+
+    if (li > 0) runs << ",\n";
+    runs << "    {\"offered_load_jobs_per_second\": " << load
+         << ", \"report\": " << report.ToJson() << "}";
+  }
+  table.Print();
+
+  const double speedup = batch_jps / serial_jps;
+  std::printf("\nserial Hybrid loop: %s jobs/s; server batch: %s jobs/s "
+              "(%sx)\n",
+              Fixed(serial_jps, 2).c_str(), Fixed(batch_jps, 2).c_str(),
+              Fixed(speedup, 2).c_str());
+
+  std::ofstream out("BENCH_serve.json");
+  out << "{\n  \"experiment\": \"serve_throughput\",\n"
+      << "  \"jobs\": " << kJobs << ",\n"
+      << "  \"serial_hybrid_jobs_per_second\": " << serial_jps << ",\n"
+      << "  \"batch_speedup_vs_serial\": " << speedup << ",\n"
+      << "  \"runs\": [\n"
+      << runs.str() << "\n  ]\n}\n";
+  out.close();
+  std::printf("wrote BENCH_serve.json\n");
+
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: batch speedup %.2fx below the 2x bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -32,6 +32,7 @@ Summary Summarize(std::vector<double> values) {
   s.stddev = std::sqrt(m2 / static_cast<double>(values.size()));
   s.p50 = Percentile(values, 0.50);
   s.p90 = Percentile(values, 0.90);
+  s.p95 = Percentile(values, 0.95);
   s.p99 = Percentile(values, 0.99);
   return s;
 }

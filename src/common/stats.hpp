@@ -16,6 +16,7 @@ struct Summary {
   double stddev = 0.0;   // population
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   double total = 0.0;
 };

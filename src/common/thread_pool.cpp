@@ -75,14 +75,28 @@ void ThreadPool::ParallelFor(
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
   // One task per worker slot; worker_index == task index so per-slot scratch
   // is never shared between concurrent tasks.
-  std::atomic<std::size_t> failures{0};
+  //
+  // Completion is tracked per call, not with the pool-global Wait(): several
+  // threads (the serving runtime's scheduler workers) may run ParallelFor on
+  // the shared pool concurrently, and each caller must return as soon as its
+  // own blocks finish, regardless of other tenants' in-flight work.
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } state;
+  state.remaining = num_blocks;
   for (std::size_t b = 0; b < num_blocks; ++b) {
     const std::size_t lo = begin + b * block;
     const std::size_t hi = std::min(end, lo + block);
-    Submit([&fn, lo, hi, b] { fn(lo, hi, b); });
+    Submit([&fn, &state, lo, hi, b] {
+      fn(lo, hi, b);
+      std::unique_lock<std::mutex> lock(state.mutex);
+      if (--state.remaining == 0) state.cv.notify_all();
+    });
   }
-  Wait();
-  OOC_CHECK(failures.load() == 0);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.cv.wait(lock, [&state] { return state.remaining == 0; });
 }
 
 ThreadPool& GlobalThreadPool() {

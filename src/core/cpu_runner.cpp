@@ -12,6 +12,11 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
   kernels::CpuSpgemmOptions cpu_options;  // hash accumulator, as in the paper
 
   for (int id : order) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      out.cancelled = true;
+      return out;
+    }
     const partition::ChunkDesc& desc = prep.chunks[static_cast<std::size_t>(id)];
     const sparse::Csr& a_panel =
         prep.a_panels[static_cast<std::size_t>(desc.row_panel)];

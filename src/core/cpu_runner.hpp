@@ -21,6 +21,9 @@ struct CpuRunOutput {
   int chunks_run = 0;
   std::int64_t flops = 0;
   std::int64_t nnz = 0;
+  /// Set when ExecutorOptions::cancel fired mid-run: the payload list is
+  /// incomplete and the caller must not assemble a result from it.
+  bool cancelled = false;
 };
 
 /// Runs chunks `order[...]` of `prep` on the CPU.

@@ -1,0 +1,70 @@
+#include "core/device_arbiter.hpp"
+
+namespace oocgemm::core {
+
+DeviceArbiter::Lease DeviceArbiter::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !leased_; });
+  leased_ = true;
+  ++leases_;
+  return Lease(this);
+}
+
+DeviceArbiter::Lease DeviceArbiter::TryAcquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (leased_) {
+    ++contention_;
+    return Lease();
+  }
+  leased_ = true;
+  ++leases_;
+  return Lease(this);
+}
+
+void DeviceArbiter::ReleaseLease() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    leased_ = false;
+  }
+  cv_.notify_one();
+}
+
+bool DeviceArbiter::busy() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return leased_;
+}
+
+bool DeviceArbiter::TryReserve(std::int64_t bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (reserved_ + bytes > device_.capacity()) return false;
+  reserved_ += bytes;
+  return true;
+}
+
+void DeviceArbiter::Unreserve(std::int64_t bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  reserved_ -= bytes;
+  if (reserved_ < 0) reserved_ = 0;
+}
+
+std::int64_t DeviceArbiter::reserved_bytes() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return reserved_;
+}
+
+std::int64_t DeviceArbiter::AvailableEstimate() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return device_.capacity() - reserved_;
+}
+
+std::int64_t DeviceArbiter::lease_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return leases_;
+}
+
+std::int64_t DeviceArbiter::contention_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return contention_;
+}
+
+}  // namespace oocgemm::core

@@ -1,0 +1,102 @@
+// Arbitration of one vgpu::Device between concurrent tenants.
+//
+// The virtual device is not thread-safe (its trace, allocator and timeline
+// are plain state) and every executor resets the timeline on entry, so two
+// jobs must never run on it at once.  The serving scheduler routes all
+// device-side work through an exclusive Lease; CPU-only jobs bypass the
+// arbiter entirely.
+//
+// The arbiter also tracks *reservations*: estimated device bytes promised
+// to admitted-but-running jobs.  With exclusive leases only one job's
+// working set is live at a time, but the reservation ledger is what lets
+// admission answer "would another large job still fit after everything
+// already admitted?" — and it keeps working if a future scheduler hands out
+// concurrent leases over device partitions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "vgpu/device.hpp"
+
+namespace oocgemm::core {
+
+class DeviceArbiter {
+ public:
+  explicit DeviceArbiter(vgpu::Device& device) : device_(device) {}
+
+  DeviceArbiter(const DeviceArbiter&) = delete;
+  DeviceArbiter& operator=(const DeviceArbiter&) = delete;
+
+  /// Exclusive right to issue work to the device.  Movable, RAII.
+  class Lease {
+   public:
+    Lease() = default;
+    explicit Lease(DeviceArbiter* arbiter) : arbiter_(arbiter) {}
+    Lease(Lease&& other) noexcept : arbiter_(other.arbiter_) {
+      other.arbiter_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        arbiter_ = other.arbiter_;
+        other.arbiter_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    bool held() const { return arbiter_ != nullptr; }
+    vgpu::Device& device() const { return arbiter_->device_; }
+
+    void Release() {
+      if (arbiter_ != nullptr) {
+        arbiter_->ReleaseLease();
+        arbiter_ = nullptr;
+      }
+    }
+
+   private:
+    DeviceArbiter* arbiter_ = nullptr;
+  };
+
+  /// Blocks until the device is free.
+  Lease Acquire();
+
+  /// Non-blocking attempt; an empty (held() == false) lease means the
+  /// device is saturated and the caller should degrade to the CPU path.
+  Lease TryAcquire();
+
+  bool busy() const;
+
+  // --- reservation ledger ---------------------------------------------------
+
+  /// Records `bytes` as promised device memory; fails when the promise
+  /// would exceed capacity (the admission controller's headroom check).
+  bool TryReserve(std::int64_t bytes);
+  void Unreserve(std::int64_t bytes);
+
+  std::int64_t reserved_bytes() const;
+  /// Device capacity minus outstanding reservations.
+  std::int64_t AvailableEstimate() const;
+
+  // --- contention telemetry -------------------------------------------------
+
+  std::int64_t lease_count() const;
+  std::int64_t contention_count() const;  // TryAcquire calls that failed
+
+ private:
+  friend class Lease;
+  void ReleaseLease();
+
+  vgpu::Device& device_;
+  mutable std::mutex mutex_;
+  bool leased_ = false;
+  std::condition_variable cv_;
+  std::int64_t reserved_ = 0;
+  std::int64_t leases_ = 0;
+  std::int64_t contention_ = 0;
+};
+
+}  // namespace oocgemm::core

@@ -2,6 +2,8 @@
 // choice that the evaluation ablates is a switch here.
 #pragma once
 
+#include <atomic>
+
 #include "kernels/device_spgemm.hpp"
 #include "partition/panel_plan.hpp"
 
@@ -43,6 +45,17 @@ struct ExecutorOptions {
   /// change if we use another GPU or CPU".  The virtual device's measured
   /// S is ~2.05 (Fig. 7 bench), giving 67%.
   double gpu_ratio = 0.67;
+
+  /// Cooperative cancellation: when non-null, the executors poll this flag
+  /// at chunk boundaries and between OOM-retry attempts, returning
+  /// StatusCode::kCancelled once it is set.  The serving runtime's timeout
+  /// watchdog sets it to reclaim a worker from an over-deadline job.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Attempts the executor itself makes on pool overflow (each doubling
+  /// nnz_safety_factor and re-planning).  A caller that owns retry policy —
+  /// the serving scheduler, which adds backoff between attempts — sets 1.
+  int max_oom_attempts = 4;
 };
 
 }  // namespace oocgemm::core

@@ -31,6 +31,11 @@ std::vector<int> ChunkOrder(const PreparedProblem& prep, bool reorder) {
                  : NaturalOrder(prep.num_chunks());
 }
 
+bool CancelRequested(const ExecutorOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
+}
+
 void FinishStats(const PreparedProblem& prep, const vgpu::Trace* trace,
                  RunStats& stats) {
   stats.num_chunks = prep.num_chunks();
@@ -73,6 +78,9 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
 
   // Algorithm 3: row-major double loop, transfer after each chunk.
   for (const partition::ChunkDesc& desc : prep.chunks) {
+    if (CancelRequested(options)) {
+      return Status::Cancelled("SyncOutOfCore cancelled between chunks");
+    }
     const std::string tag = "chunk[" + std::to_string(desc.row_panel) + "," +
                             std::to_string(desc.col_panel) + "]";
     auto da = cache.Acquire(
@@ -206,6 +214,9 @@ StatusOr<RunResult> HybridImpl(vgpu::Device& device, const Csr& a,
   if (!gpu_run.ok()) return gpu_run.status();
 
   CpuRunOutput cpu_run = RunCpuChunks(prep, cpu_order, options, pool);
+  if (cpu_run.cancelled) {
+    return Status::Cancelled("hybrid CPU half cancelled between chunks");
+  }
 
   RunResult result;
   result.stats.gpu_seconds = gpu_run->makespan;
@@ -258,11 +269,15 @@ StatusOr<StreamedRunResult> AsyncOutOfCoreStreamedImpl(
 /// chunks), as a production out-of-core runner must.
 template <typename Result, typename Fn>
 StatusOr<Result> RunWithOomRetry(Fn&& attempt, ExecutorOptions options) {
-  constexpr int kMaxAttempts = 4;
+  const int max_attempts = std::max(1, options.max_oom_attempts);
   for (int i = 0;; ++i) {
+    if (CancelRequested(options)) {
+      return Status::Cancelled("executor cancelled before attempt " +
+                               std::to_string(i + 1));
+    }
     StatusOr<Result> r = attempt(options);
     if (r.ok() || r.status().code() != StatusCode::kOutOfMemory ||
-        i + 1 == kMaxAttempts) {
+        i + 1 == max_attempts) {
       return r;
     }
     options.plan.nnz_safety_factor *= 2.0;

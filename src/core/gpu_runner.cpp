@@ -121,6 +121,11 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
       options.transfer_schedule == TransferSchedule::kScheduled;
 
   for (std::size_t k = 0; k < order.size(); ++k) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("gpu runner cancelled at chunk " +
+                               std::to_string(k));
+    }
     const partition::ChunkDesc& desc =
         prep.chunks[static_cast<std::size_t>(order[k])];
     const int slot = static_cast<int>(k % kSlots);

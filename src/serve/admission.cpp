@@ -1,0 +1,88 @@
+#include "serve/admission.hpp"
+
+#include <numeric>
+
+#include "common/format.hpp"
+#include "partition/panel_plan.hpp"
+#include "sparse/analysis.hpp"
+#include "sparse/types.hpp"
+
+namespace oocgemm::serve {
+
+JobDemand EstimateJobDemand(const sparse::Csr& a, const sparse::Csr& b,
+                            std::int64_t device_capacity,
+                            const core::ExecutorOptions& exec) {
+  JobDemand d;
+  d.flops = sparse::TotalFlops(a, b);
+  d.bytes_a = a.StorageBytes();
+  d.bytes_b = b.StorageBytes();
+
+  const double sample = exec.plan.nnz_sample_fraction > 0.0
+                            ? exec.plan.nnz_sample_fraction
+                            : 0.05;
+  sparse::RowNnzEstimate est = sparse::EstimateRowNnz(a, b, sample);
+  d.est_nnz_out =
+      std::accumulate(est.per_row.begin(), est.per_row.end(), 0.0);
+  const double entry_bytes = static_cast<double>(sizeof(sparse::index_t) +
+                                                 sizeof(sparse::value_t));
+  d.est_bytes_out = static_cast<std::int64_t>(d.est_nnz_out * entry_bytes) +
+                    static_cast<std::int64_t>(a.rows() + 1) *
+                        static_cast<std::int64_t>(sizeof(sparse::offset_t));
+
+  auto plan = partition::PlanPanels(a, b, device_capacity, exec.plan);
+  if (plan.ok()) {
+    d.gpu_feasible = true;
+    d.planned_chunks = plan->num_row_panels * plan->num_col_panels;
+    d.planned_device_bytes =
+        2 * plan->pool_bytes +
+        2 * (plan->max_a_panel_bytes + plan->max_b_panel_bytes);
+  }
+  return d;
+}
+
+namespace {
+
+bool NeedsDevice(core::ExecutionMode mode) {
+  switch (mode) {
+    case core::ExecutionMode::kGpuOutOfCore:
+    case core::ExecutionMode::kGpuSynchronous:
+    case core::ExecutionMode::kHybrid:
+      return true;
+    case core::ExecutionMode::kAuto:
+    case core::ExecutionMode::kCpuOnly:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status AdmissionController::Admit(const JobDemand& demand,
+                                  core::ExecutionMode mode) {
+  if (NeedsDevice(mode) && !demand.gpu_feasible) {
+    return Status::FailedPrecondition(
+        "job requires the device but no panel split fits its memory");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (outstanding_ + demand.host_bytes() > limits_.host_bytes_budget) {
+    return Status::ResourceExhausted(
+        "outstanding jobs hold " + HumanBytes(outstanding_) + ", admitting " +
+        HumanBytes(demand.host_bytes()) + " would exceed the " +
+        HumanBytes(limits_.host_bytes_budget) + " budget");
+  }
+  outstanding_ += demand.host_bytes();
+  return Status::Ok();
+}
+
+void AdmissionController::Release(const JobDemand& demand) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  outstanding_ -= demand.host_bytes();
+  if (outstanding_ < 0) outstanding_ = 0;
+}
+
+std::int64_t AdmissionController::outstanding_bytes() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return outstanding_;
+}
+
+}  // namespace oocgemm::serve

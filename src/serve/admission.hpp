@@ -1,0 +1,81 @@
+// Admission control: decide — before a job consumes a worker — whether it
+// can run at all and whether the node has room for it right now.
+//
+// The decision reuses the library's cheap estimators (the OCEAN insight:
+// output estimation is orders of magnitude cheaper than the SpGEMM):
+//  * sparse::EstimateRowNnz gives the expected output size, hence the
+//    job's host-memory footprint;
+//  * partition::PlanPanels answers GPU feasibility ("is there any panel
+//    split whose worst chunk working set fits device memory?") and, when
+//    feasible, the exact pool bytes the pipeline will pre-allocate.
+//
+// Jobs whose demand can never fit are rejected immediately (never OOM
+// mid-flight); jobs that merely exceed the *current* outstanding-bytes
+// budget are rejected with RESOURCE_EXHAUSTED so the client can retry —
+// the bounded queue provides the "wait" alternative.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.hpp"
+#include "core/executor_options.hpp"
+#include "core/spgemm.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::serve {
+
+/// Estimated resource footprint of one SpGEMM job.
+struct JobDemand {
+  std::int64_t flops = 0;
+  double est_nnz_out = 0.0;
+  std::int64_t bytes_a = 0;
+  std::int64_t bytes_b = 0;
+  /// Estimated host bytes of the assembled product.
+  std::int64_t est_bytes_out = 0;
+  /// Inputs + estimated output: what one in-flight copy of the job pins in
+  /// host memory.
+  std::int64_t host_bytes() const { return bytes_a + bytes_b + est_bytes_out; }
+
+  /// True when the panel planner found a partitioning that fits the device.
+  bool gpu_feasible = false;
+  /// Chunk count of that plan (1 == in-core, the "small job" signal).
+  int planned_chunks = 0;
+  /// Device bytes the asynchronous pipeline will pre-allocate under that
+  /// plan: double-buffered chunk pools plus the panel-cache slots.
+  std::int64_t planned_device_bytes = 0;
+};
+
+/// Runs the estimators; never touches the device.
+JobDemand EstimateJobDemand(const sparse::Csr& a, const sparse::Csr& b,
+                            std::int64_t device_capacity,
+                            const core::ExecutorOptions& exec);
+
+struct AdmissionLimits {
+  /// Ceiling on the summed host_bytes() of admitted, not-yet-finished jobs.
+  std::int64_t host_bytes_budget = 4ll << 30;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits) : limits_(limits) {}
+
+  /// OK admits the job and charges its footprint to the ledger (balance it
+  /// with Release when the job leaves the system).  Non-OK:
+  ///  * FAILED_PRECONDITION — a GPU-only mode was requested but no panel
+  ///    split fits the device (retrying cannot help);
+  ///  * RESOURCE_EXHAUSTED — the node is over the outstanding-bytes budget
+  ///    right now (retrying later can).
+  Status Admit(const JobDemand& demand, core::ExecutionMode mode);
+  void Release(const JobDemand& demand);
+
+  std::int64_t outstanding_bytes() const;
+  const AdmissionLimits& limits() const { return limits_; }
+
+ private:
+  AdmissionLimits limits_;
+  mutable std::mutex mutex_;
+  std::int64_t outstanding_ = 0;
+};
+
+}  // namespace oocgemm::serve

@@ -1,0 +1,109 @@
+// The unit of work of the serving runtime: one SpGEMM request plus the
+// quality-of-service knobs a multi-tenant deployment needs (priority,
+// deadline, executor preference), and the per-job report the runtime hands
+// back through the job's future.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/run_stats.hpp"
+#include "core/spgemm.hpp"
+#include "sparse/csr.hpp"
+
+namespace oocgemm::serve {
+
+struct JobOptions {
+  /// Larger values dispatch first; ties break FIFO.
+  int priority = 0;
+
+  /// Wall-clock execution budget in seconds; 0 disables the timeout.  The
+  /// scheduler's watchdog cancels the job cooperatively once exceeded
+  /// (whether still queued or mid-execution).
+  double timeout_seconds = 0.0;
+
+  /// Executor preference.  kAuto lets the scheduler route by estimated
+  /// size and device saturation; an explicit mode is honoured as long as
+  /// it is feasible (a GPU mode on a job whose minimal working set cannot
+  /// fit the device is rejected at admission).
+  core::ExecutionMode mode = core::ExecutionMode::kAuto;
+
+  /// Base executor configuration (safety factor, transfer schedule, ...).
+  core::ExecutorOptions exec;
+
+  /// Scheduler-level retries on device-pool exhaustion.  Each retry doubles
+  /// the plan's nnz safety factor and sleeps an exponentially growing
+  /// backoff before re-planning (the executors' own retry loop is disabled
+  /// while serving so this policy is the only one).
+  int max_retries = 3;
+  double retry_backoff_seconds = 0.001;
+
+  /// Virtual arrival time for open-loop workloads: latency is measured
+  /// from here on the virtual timeline.  Closed-loop callers leave 0.
+  double virtual_arrival = 0.0;
+};
+
+/// A multiplication request C = A * B.  Matrices are shared, not copied:
+/// many jobs may multiply the same operands (the A^2 analytics pattern).
+struct SpgemmJob {
+  std::shared_ptr<const sparse::Csr> a;
+  std::shared_ptr<const sparse::Csr> b;
+  JobOptions options;
+};
+
+enum class JobOutcome {
+  kCompleted,  // result matches contract; `c` is valid
+  kRejected,   // admission refused it (queue full / infeasible / overload)
+  kTimedOut,   // cancelled by the watchdog past timeout_seconds
+  kFailed,     // executor error after all retries
+};
+
+const char* JobOutcomeName(JobOutcome outcome);
+
+struct JobMetrics {
+  std::uint64_t id = 0;
+  JobOutcome outcome = JobOutcome::kFailed;
+  /// The path that actually ran (kAuto never appears here for completed
+  /// jobs; meaningless for rejected ones).
+  core::ExecutionMode executor = core::ExecutionMode::kAuto;
+  int attempts = 0;
+
+  // Virtual-timeline accounting (the repository's common currency: every
+  // bench reports virtual seconds of the modeled V100 + Xeon node).
+  double virtual_arrival = 0.0;
+  double virtual_start = 0.0;    // when a lane accepted the job
+  double virtual_finish = 0.0;   // start + the run's virtual makespan
+  double queue_seconds = 0.0;    // virtual_start - virtual_arrival
+  double exec_seconds = 0.0;     // the run's virtual makespan
+  double latency_seconds = 0.0;  // virtual_finish - virtual_arrival
+
+  double wall_seconds = 0.0;     // real time inside the executor
+
+  /// True when the job ultimately failed with device OOM — the condition
+  /// admission control exists to prevent; the stats report surfaces it.
+  bool device_oom = false;
+
+  core::RunStats stats;          // per-run stats of the winning attempt
+};
+
+struct JobResult {
+  Status status;  // OK iff metrics.outcome == kCompleted
+  sparse::Csr c;
+  JobMetrics metrics;
+
+  bool ok() const { return status.ok(); }
+};
+
+inline const char* JobOutcomeName(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kRejected: return "rejected";
+    case JobOutcome::kTimedOut: return "timed_out";
+    case JobOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace oocgemm::serve

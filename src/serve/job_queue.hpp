@@ -1,0 +1,81 @@
+// Bounded, priority-ordered job queue between admission and the scheduler
+// workers.
+//
+// Ordering is (priority desc, submission sequence asc): strict priorities
+// with FIFO fairness inside a class.  The bound is the serving system's
+// backpressure valve — a full queue turns into an admission rejection, not
+// unbounded memory growth.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace oocgemm::serve {
+
+template <typename T>
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking; false when the queue is at capacity or closed.
+  bool TryPush(int priority, T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.emplace(Key{-priority, next_seq_++}, std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// nullopt only on the latter.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    auto it = items_.begin();
+    T item = std::move(it->second);
+    items_.erase(it);
+    return item;
+  }
+
+  /// Wakes all poppers; queued items may still be popped, new pushes fail.
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    int neg_priority;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (neg_priority != o.neg_priority) return neg_priority < o.neg_priority;
+      return seq < o.seq;
+    }
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, T> items_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace oocgemm::serve

@@ -1,0 +1,249 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "core/executors.hpp"
+
+namespace oocgemm::serve {
+
+namespace {
+
+bool NeedsDevice(core::ExecutionMode mode) {
+  return mode == core::ExecutionMode::kGpuOutOfCore ||
+         mode == core::ExecutionMode::kGpuSynchronous ||
+         mode == core::ExecutionMode::kHybrid;
+}
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(vgpu::Device& device, ThreadPool& pool,
+                     SchedulerConfig config, JobQueue& queue,
+                     AdmissionController& admission, ServerStats& stats)
+    : device_(device),
+      pool_(pool),
+      config_(config),
+      queue_(queue),
+      admission_(admission),
+      stats_(stats),
+      arbiter_(device) {
+  config_.num_workers = std::max(1, config_.num_workers);
+  config_.cpu_lanes = std::max(1, config_.cpu_lanes);
+  cpu_lanes_.assign(static_cast<std::size_t>(config_.cpu_lanes), 0.0);
+}
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::Start() {
+  if (!workers_.empty()) return;
+  stopping_.store(false);
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void Scheduler::Stop() {
+  if (workers_.empty()) return;
+  queue_.Close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  stopping_.store(true);
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+double Scheduler::VirtualNow() const {
+  std::unique_lock<std::mutex> lock(lanes_mutex_);
+  double now = gpu_lane_;
+  for (double lane : cpu_lanes_) now = std::max(now, lane);
+  return now;
+}
+
+void Scheduler::WorkerLoop() {
+  while (auto item = queue_.Pop()) {
+    RunJob(**item);
+    if (on_job_done_) on_job_done_();
+  }
+}
+
+void Scheduler::WatchdogLoop() {
+  const auto period = std::chrono::duration<double>(
+      std::max(1e-4, config_.watchdog_period_seconds));
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(watch_mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [id, w] : watched_) {
+        if (now >= w.deadline) {
+          w.cancel->store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    std::this_thread::sleep_for(period);
+  }
+}
+
+StatusOr<core::RunResult> Scheduler::Dispatch(
+    core::ExecutionMode mode, const ScheduledJob& item,
+    const core::ExecutorOptions& exec) {
+  const sparse::Csr& a = *item.job.a;
+  const sparse::Csr& b = *item.job.b;
+  switch (mode) {
+    case core::ExecutionMode::kCpuOnly:
+      return core::CpuMulticore(a, b, exec, pool_);
+    case core::ExecutionMode::kGpuOutOfCore:
+      return core::AsyncOutOfCore(device_, a, b, exec, pool_);
+    case core::ExecutionMode::kGpuSynchronous:
+      return core::SyncOutOfCore(device_, a, b, exec, pool_);
+    case core::ExecutionMode::kHybrid:
+      return core::Hybrid(device_, a, b, exec, pool_);
+    case core::ExecutionMode::kAuto:
+      break;
+  }
+  return Status::Internal("unrouted execution mode");
+}
+
+std::pair<double, double> Scheduler::BookLanes(core::ExecutionMode mode,
+                                               double arrival,
+                                               double duration) {
+  std::unique_lock<std::mutex> lock(lanes_mutex_);
+  double start = arrival;
+  std::size_t cpu_lane = 0;
+  const bool uses_cpu = mode == core::ExecutionMode::kCpuOnly ||
+                        mode == core::ExecutionMode::kHybrid;
+  const bool uses_gpu = NeedsDevice(mode);
+  if (uses_cpu) {
+    cpu_lane = static_cast<std::size_t>(
+        std::min_element(cpu_lanes_.begin(), cpu_lanes_.end()) -
+        cpu_lanes_.begin());
+    start = std::max(start, cpu_lanes_[cpu_lane]);
+  }
+  if (uses_gpu) start = std::max(start, gpu_lane_);
+  const double finish = start + duration;
+  if (uses_cpu) cpu_lanes_[cpu_lane] = finish;
+  if (uses_gpu) gpu_lane_ = finish;
+  return {start, finish};
+}
+
+void Scheduler::RunJob(ScheduledJob& item) {
+  JobResult result;
+  JobMetrics& m = result.metrics;
+  m.id = item.id;
+  m.virtual_arrival = item.job.options.virtual_arrival;
+
+  const JobOptions& opts = item.job.options;
+  const double timeout = opts.timeout_seconds;
+
+  auto finish = [&](JobOutcome outcome, Status status) {
+    m.outcome = outcome;
+    result.status = std::move(status);
+    admission_.Release(item.demand);
+    stats_.RecordOutcome(m);
+    item.promise.set_value(std::move(result));
+  };
+
+  // Expired while queued?
+  if (timeout > 0.0 && (ElapsedSeconds(item.submit_wall) >= timeout ||
+                        item.cancel->load(std::memory_order_relaxed))) {
+    finish(JobOutcome::kTimedOut,
+           Status::Cancelled("timed out after " + std::to_string(timeout) +
+                             "s while queued"));
+    return;
+  }
+
+  // Route.  kAuto mirrors core::Multiply's policy, plus graceful
+  // degradation: a small job takes the device only if it is free this
+  // instant.
+  core::ExecutionMode mode = opts.mode;
+  core::DeviceArbiter::Lease lease;
+  if (mode == core::ExecutionMode::kAuto) {
+    if (!item.demand.gpu_feasible) {
+      mode = core::ExecutionMode::kCpuOnly;
+    } else if (item.demand.planned_chunks <= config_.small_job_chunks) {
+      lease = arbiter_.TryAcquire();
+      mode = lease.held() ? core::ExecutionMode::kGpuOutOfCore
+                          : core::ExecutionMode::kCpuOnly;
+    } else {
+      mode = core::ExecutionMode::kHybrid;
+      lease = arbiter_.Acquire();
+    }
+  } else if (NeedsDevice(mode)) {
+    lease = arbiter_.Acquire();
+  }
+  m.executor = mode;
+
+  if (lease.held()) {
+    arbiter_.TryReserve(item.demand.planned_device_bytes);
+  }
+
+  // Register with the watchdog for the execution phase.
+  if (timeout > 0.0) {
+    std::unique_lock<std::mutex> lock(watch_mutex_);
+    watched_[item.id] = Watched{
+        item.cancel,
+        item.submit_wall + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(timeout))};
+  }
+
+  // Execute with scheduler-owned retry-with-replan: the executor's internal
+  // retry loop is disabled, each pool overflow doubles the safety factor
+  // and backs off exponentially before trying again.
+  core::ExecutorOptions exec = opts.exec;
+  exec.cancel = item.cancel.get();
+  exec.max_oom_attempts = 1;
+  double backoff = std::max(0.0, opts.retry_backoff_seconds);
+
+  StatusOr<core::RunResult> run = Status::Internal("not attempted");
+  WallTimer wall;
+  for (int attempt = 0;; ++attempt) {
+    ++m.attempts;
+    run = Dispatch(mode, item, exec);
+    const bool pool_overflow =
+        !run.ok() && run.status().code() == StatusCode::kOutOfMemory;
+    const bool cancelled = item.cancel->load(std::memory_order_relaxed);
+    if (!pool_overflow || attempt >= opts.max_retries || cancelled) break;
+    exec.plan.nnz_safety_factor *= 2.0;
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+  }
+  m.wall_seconds = wall.Seconds();
+  lease.Release();
+  arbiter_.Unreserve(item.demand.planned_device_bytes);
+  if (timeout > 0.0) {
+    std::unique_lock<std::mutex> lock(watch_mutex_);
+    watched_.erase(item.id);
+  }
+
+  if (!run.ok()) {
+    if (run.status().code() == StatusCode::kCancelled) {
+      finish(JobOutcome::kTimedOut, run.status());
+    } else {
+      m.device_oom = run.status().code() == StatusCode::kOutOfMemory;
+      finish(JobOutcome::kFailed, run.status());
+    }
+    return;
+  }
+
+  m.stats = run->stats;
+  m.exec_seconds = run->stats.total_seconds;
+  auto [vstart, vfinish] =
+      BookLanes(mode, m.virtual_arrival, m.exec_seconds);
+  m.virtual_start = vstart;
+  m.virtual_finish = vfinish;
+  m.queue_seconds = vstart - m.virtual_arrival;
+  m.latency_seconds = vfinish - m.virtual_arrival;
+  result.c = std::move(run.value().c);
+  finish(JobOutcome::kCompleted, Status::Ok());
+}
+
+}  // namespace oocgemm::serve

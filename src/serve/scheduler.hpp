@@ -1,0 +1,131 @@
+// The scheduler: worker threads that drain the admitted-job queue and
+// multiplex jobs over the node's two processors.
+//
+//  * Device work goes through core::DeviceArbiter — exclusive leases over
+//    the shared virtual GPU (its timeline and allocator are single-tenant
+//    state).  CPU-only jobs bypass the arbiter and run concurrently on the
+//    shared thread pool.
+//  * Routing (for ExecutionMode::kAuto): GPU-infeasible jobs run
+//    CpuMulticore; single-chunk jobs take the device if it is free *right
+//    now* and degrade to the CPU when it is saturated; multi-chunk jobs
+//    run Hybrid and wait their turn for the device.
+//  * Pool exhaustion retries here, not in the executor: each retry doubles
+//    the plan's nnz safety factor and backs off exponentially (real sleep)
+//    before re-planning, bounded by JobOptions::max_retries.
+//  * A watchdog thread drives JobOptions::timeout_seconds through the
+//    executors' cooperative-cancel token.
+//
+// Completed jobs are booked onto virtual *lanes* — one GPU lane, a few CPU
+// lanes — continuing the repository's virtual-time methodology: a job
+// starts at max(its arrival, lane availability) and occupies its lane(s)
+// for the run's virtual makespan (Hybrid occupies a CPU lane and the GPU
+// lane together).  Throughput and latency percentiles in ServerStats come
+// from this timeline, so they compose with every other virtual-seconds
+// figure in the repo.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/device_arbiter.hpp"
+#include "serve/admission.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/server_stats.hpp"
+
+namespace oocgemm::serve {
+
+struct SchedulerConfig {
+  /// Concurrent scheduler workers (each runs one job at a time).
+  int num_workers = 3;
+  /// Virtual CPU lanes for the booking timeline.  Roughly "how many CPU
+  /// jobs the socket co-runs at full cost-model rate" — an approximation;
+  /// keep it <= num_workers - 1 so a lane always has a worker behind it.
+  int cpu_lanes = 2;
+  /// Plans with at most this many chunks count as small (degradable).
+  int small_job_chunks = 1;
+  double watchdog_period_seconds = 0.0005;
+};
+
+/// A job after admission, en route to a worker.
+struct ScheduledJob {
+  std::uint64_t id = 0;
+  SpgemmJob job;
+  JobDemand demand;
+  std::promise<JobResult> promise;
+  std::chrono::steady_clock::time_point submit_wall;
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+using JobQueue = BoundedJobQueue<std::unique_ptr<ScheduledJob>>;
+
+class Scheduler {
+ public:
+  Scheduler(vgpu::Device& device, ThreadPool& pool, SchedulerConfig config,
+            JobQueue& queue, AdmissionController& admission,
+            ServerStats& stats);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void Start();
+  /// Closes the queue, lets workers drain every queued job, joins.
+  void Stop();
+
+  /// Invoked after each job's promise is fulfilled (drain bookkeeping).
+  void set_on_job_done(std::function<void()> fn) { on_job_done_ = std::move(fn); }
+
+  core::DeviceArbiter& arbiter() { return arbiter_; }
+  /// Current frontier of the booking timeline (max over lanes).
+  double VirtualNow() const;
+
+ private:
+  void WorkerLoop();
+  void WatchdogLoop();
+  void RunJob(ScheduledJob& item);
+  StatusOr<core::RunResult> Dispatch(core::ExecutionMode mode,
+                                     const ScheduledJob& item,
+                                     const core::ExecutorOptions& exec);
+  /// Books `duration` for the job on its lane(s); returns {start, finish}.
+  std::pair<double, double> BookLanes(core::ExecutionMode mode,
+                                      double arrival, double duration);
+
+  vgpu::Device& device_;
+  ThreadPool& pool_;
+  SchedulerConfig config_;
+  JobQueue& queue_;
+  AdmissionController& admission_;
+  ServerStats& stats_;
+  core::DeviceArbiter arbiter_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::atomic<bool> stopping_{false};
+  std::function<void()> on_job_done_;
+
+  // Watchdog registry: jobs currently executing with a wall deadline.
+  struct Watched {
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point deadline;
+  };
+  std::mutex watch_mutex_;
+  std::map<std::uint64_t, Watched> watched_;
+
+  // Virtual booking lanes.
+  mutable std::mutex lanes_mutex_;
+  double gpu_lane_ = 0.0;
+  std::vector<double> cpu_lanes_;
+};
+
+}  // namespace oocgemm::serve

@@ -1,0 +1,99 @@
+#include "serve/server.hpp"
+
+namespace oocgemm::serve {
+
+SpgemmServer::SpgemmServer(vgpu::Device& device, ThreadPool& pool,
+                           ServerConfig config)
+    : device_(device),
+      config_(config),
+      admission_(config.admission),
+      queue_(config.max_queue),
+      scheduler_(device, pool, config.scheduler, queue_, admission_, stats_) {
+  scheduler_.set_on_job_done([this] {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    if (--pending_ == 0) pending_cv_.notify_all();
+  });
+  scheduler_.Start();
+}
+
+SpgemmServer::~SpgemmServer() { Shutdown(); }
+
+std::future<JobResult> SpgemmServer::Reject(std::uint64_t id, Status status) {
+  JobResult result;
+  result.status = std::move(status);
+  result.metrics.id = id;
+  result.metrics.outcome = JobOutcome::kRejected;
+  stats_.RecordOutcome(result.metrics);
+  std::promise<JobResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
+  const std::uint64_t id = next_id_.fetch_add(1);
+  stats_.RecordSubmitted();
+
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    if (shut_down_) {
+      lock.unlock();
+      return Reject(id, Status::FailedPrecondition("server is shut down"));
+    }
+  }
+  if (!job.a || !job.b) {
+    return Reject(id, Status::InvalidArgument("job is missing an operand"));
+  }
+  if (job.a->cols() != job.b->rows()) {
+    return Reject(id, Status::InvalidArgument("dimension mismatch"));
+  }
+  if (job.options.timeout_seconds <= 0.0) {
+    job.options.timeout_seconds = config_.default_timeout_seconds;
+  }
+
+  JobDemand demand =
+      EstimateJobDemand(*job.a, *job.b, device_.capacity(), job.options.exec);
+  Status admitted = admission_.Admit(demand, job.options.mode);
+  if (!admitted.ok()) {
+    return Reject(id, std::move(admitted));
+  }
+
+  auto item = std::make_unique<ScheduledJob>();
+  item->id = id;
+  item->demand = demand;
+  item->submit_wall = std::chrono::steady_clock::now();
+  item->cancel = std::make_shared<std::atomic<bool>>(false);
+  const int priority = job.options.priority;
+  item->job = std::move(job);
+  std::future<JobResult> future = item->promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  if (!queue_.TryPush(priority, std::move(item))) {
+    {
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      if (--pending_ == 0) pending_cv_.notify_all();
+    }
+    admission_.Release(demand);
+    return Reject(id, Status::ResourceExhausted(
+                          "job queue is full (" +
+                          std::to_string(queue_.capacity()) + " pending)"));
+  }
+  return future;
+}
+
+void SpgemmServer::Drain() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void SpgemmServer::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    shut_down_ = true;
+  }
+  scheduler_.Stop();  // drains the queue: every accepted job resolves
+}
+
+}  // namespace oocgemm::serve

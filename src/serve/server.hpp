@@ -1,0 +1,83 @@
+// The serving runtime's front door: submit SpgemmJobs, get futures.
+//
+//   vgpu::Device device(vgpu::ScaledV100Properties(10));
+//   ThreadPool pool;
+//   serve::SpgemmServer server(device, pool);
+//   auto future = server.Submit({a, b, {.priority = 1}});
+//   serve::JobResult r = future.get();    // r.c, r.metrics, r.status
+//
+// Submission runs validation, demand estimation and admission control on
+// the caller's thread (cheap — estimator plus panel planning); accepted
+// jobs enter the bounded priority queue, rejected ones resolve their
+// future immediately with the rejection status.  Every submitted job's
+// future is eventually fulfilled — there is no silent drop path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server_stats.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::serve {
+
+struct ServerConfig {
+  SchedulerConfig scheduler;
+  /// Bound of the pending-job queue; pushes beyond it are rejections.
+  std::size_t max_queue = 64;
+  AdmissionLimits admission;
+  /// Applied when a job's own timeout_seconds is 0.
+  double default_timeout_seconds = 0.0;
+};
+
+class SpgemmServer {
+ public:
+  SpgemmServer(vgpu::Device& device, ThreadPool& pool,
+               ServerConfig config = {});
+  ~SpgemmServer();
+
+  SpgemmServer(const SpgemmServer&) = delete;
+  SpgemmServer& operator=(const SpgemmServer&) = delete;
+
+  /// Thread-safe.  The future always resolves: with the product, or with a
+  /// rejection/timeout/failure status in JobResult::status.
+  std::future<JobResult> Submit(SpgemmJob job);
+
+  /// Blocks until every accepted job so far has resolved its future.
+  void Drain();
+
+  /// Stops accepting, drains the queue, joins the workers.  Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  ServerReport Report() const { return stats_.Snapshot(); }
+  core::DeviceArbiter& arbiter() { return scheduler_.arbiter(); }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  std::future<JobResult> Reject(std::uint64_t id, Status status);
+
+  vgpu::Device& device_;
+  ServerConfig config_;
+  ServerStats stats_;
+  AdmissionController admission_;
+  JobQueue queue_;
+  Scheduler scheduler_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::int64_t pending_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace oocgemm::serve

@@ -1,0 +1,113 @@
+#include "serve/server_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "common/stats.hpp"
+
+namespace oocgemm::serve {
+
+void ServerStats::RecordOutcome(const JobMetrics& metrics) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  finished_.push_back(metrics);
+}
+
+ServerReport ServerStats::Snapshot() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ServerReport r;
+  r.submitted = submitted_;
+
+  std::vector<double> latencies, queue_waits;
+  double min_arrival = 0.0, max_finish = 0.0;
+  double flops = 0.0;
+  bool any_completed = false;
+  for (const JobMetrics& m : finished_) {
+    r.retries += std::max(0, m.attempts - 1);
+    if (m.device_oom) ++r.device_oom_failures;
+    switch (m.outcome) {
+      case JobOutcome::kCompleted: {
+        ++r.completed;
+        latencies.push_back(m.latency_seconds);
+        queue_waits.push_back(m.queue_seconds);
+        flops += static_cast<double>(m.stats.flops);
+        if (!any_completed || m.virtual_arrival < min_arrival) {
+          min_arrival = m.virtual_arrival;
+        }
+        if (!any_completed || m.virtual_finish > max_finish) {
+          max_finish = m.virtual_finish;
+        }
+        any_completed = true;
+        switch (m.executor) {
+          case core::ExecutionMode::kCpuOnly: ++r.via_cpu; break;
+          case core::ExecutionMode::kHybrid: ++r.via_hybrid; break;
+          default: ++r.via_gpu; break;
+        }
+        break;
+      }
+      case JobOutcome::kRejected: ++r.rejected; break;
+      case JobOutcome::kTimedOut: ++r.timed_out; break;
+      case JobOutcome::kFailed: ++r.failed; break;
+    }
+  }
+
+  if (any_completed) {
+    r.virtual_makespan_seconds = max_finish - min_arrival;
+    if (r.virtual_makespan_seconds > 0.0) {
+      r.jobs_per_second =
+          static_cast<double>(r.completed) / r.virtual_makespan_seconds;
+      r.total_gflops = flops / r.virtual_makespan_seconds / 1e9;
+    }
+  }
+  Summary lat = Summarize(latencies);
+  r.latency_p50 = lat.p50;
+  r.latency_p95 = lat.p95;
+  r.latency_p99 = lat.p99;
+  r.latency_mean = lat.mean;
+  r.queue_p95 = Summarize(queue_waits).p95;
+  if (r.submitted > 0) {
+    r.rejection_rate =
+        static_cast<double>(r.rejected) / static_cast<double>(r.submitted);
+  }
+  return r;
+}
+
+std::string ServerReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"submitted\": " << submitted << ",\n";
+  os << "  \"completed\": " << completed << ",\n";
+  os << "  \"rejected\": " << rejected << ",\n";
+  os << "  \"timed_out\": " << timed_out << ",\n";
+  os << "  \"failed\": " << failed << ",\n";
+  os << "  \"device_oom_failures\": " << device_oom_failures << ",\n";
+  os << "  \"retries\": " << retries << ",\n";
+  os << "  \"via_cpu\": " << via_cpu << ",\n";
+  os << "  \"via_gpu\": " << via_gpu << ",\n";
+  os << "  \"via_hybrid\": " << via_hybrid << ",\n";
+  os << "  \"virtual_makespan_seconds\": " << virtual_makespan_seconds
+     << ",\n";
+  os << "  \"jobs_per_second\": " << jobs_per_second << ",\n";
+  os << "  \"total_gflops\": " << total_gflops << ",\n";
+  os << "  \"latency_p50\": " << latency_p50 << ",\n";
+  os << "  \"latency_p95\": " << latency_p95 << ",\n";
+  os << "  \"latency_p99\": " << latency_p99 << ",\n";
+  os << "  \"latency_mean\": " << latency_mean << ",\n";
+  os << "  \"queue_p95\": " << queue_p95 << ",\n";
+  os << "  \"rejection_rate\": " << rejection_rate << "\n";
+  os << "}";
+  return os.str();
+}
+
+std::string ServerReport::DebugString() const {
+  std::ostringstream os;
+  os << "jobs " << completed << "/" << submitted << " ok (" << rejected
+     << " rejected, " << timed_out << " timed out, " << failed << " failed), "
+     << Fixed(jobs_per_second, 2) << " jobs/s over "
+     << HumanSeconds(virtual_makespan_seconds) << ", latency p50 "
+     << HumanSeconds(latency_p50) << " p95 " << HumanSeconds(latency_p95)
+     << " p99 " << HumanSeconds(latency_p99);
+  return os.str();
+}
+
+}  // namespace oocgemm::serve

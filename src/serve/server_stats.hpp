@@ -1,0 +1,65 @@
+// Rolls per-job metrics into the serving-level report: throughput on the
+// virtual timeline, latency percentiles, rejection and failure rates —
+// exported as JSON so the perf trajectory of the serving path is tracked
+// the same way the paper figures are.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace oocgemm::serve {
+
+struct ServerReport {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t failed = 0;
+  std::int64_t device_oom_failures = 0;  // must stay 0: admission's contract
+  std::int64_t retries = 0;              // scheduler-level re-plans
+
+  // Executor mix of completed jobs.
+  std::int64_t via_cpu = 0;
+  std::int64_t via_gpu = 0;
+  std::int64_t via_hybrid = 0;
+
+  // Virtual-timeline throughput: completed jobs over the busy span
+  // [min arrival, max finish].
+  double virtual_makespan_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  double total_gflops = 0.0;  // summed flops / makespan
+
+  // Virtual latency (arrival -> finish) percentiles over completed jobs.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_mean = 0.0;
+  double queue_p95 = 0.0;
+
+  double rejection_rate = 0.0;  // rejected / submitted
+
+  std::string ToJson() const;
+  std::string DebugString() const;
+};
+
+class ServerStats {
+ public:
+  void RecordSubmitted() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++submitted_;
+  }
+  void RecordOutcome(const JobMetrics& metrics);
+
+  ServerReport Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t submitted_ = 0;
+  std::vector<JobMetrics> finished_;
+};
+
+}  // namespace oocgemm::serve

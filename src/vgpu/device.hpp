@@ -120,6 +120,22 @@ class Device {
   std::int64_t capacity() const { return allocator_.capacity(); }
   std::int64_t free_bytes() const { return allocator_.free_bytes(); }
 
+  /// Live memory headroom in one consistent snapshot — what an admission
+  /// controller needs to decide whether another job's working set fits.
+  /// `largest_block` bounds the biggest single allocation that can succeed
+  /// right now (free_bytes alone overstates it under fragmentation).
+  struct MemoryHeadroom {
+    std::int64_t capacity = 0;
+    std::int64_t used = 0;
+    std::int64_t free = 0;
+    std::int64_t largest_block = 0;
+  };
+  MemoryHeadroom Headroom() const {
+    return MemoryHeadroom{allocator_.capacity(), allocator_.used_bytes(),
+                          allocator_.free_bytes(),
+                          allocator_.largest_free_block()};
+  }
+
   // --- streams & synchronization -------------------------------------------
 
   /// Creates a stream; the Device owns it (pointer stays valid).

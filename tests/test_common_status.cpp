@@ -25,7 +25,8 @@ TEST(Status, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfMemory,
         StatusCode::kNotFound, StatusCode::kIoError,
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kCancelled,
+        StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
   }
 }

@@ -1,0 +1,86 @@
+// Admission control: demand estimation and the admit/reject rules that
+// keep the node from OOMing mid-flight.
+#include <gtest/gtest.h>
+
+#include "serve/admission.hpp"
+#include "sparse/analysis.hpp"
+#include "test_util.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::serve {
+namespace {
+
+TEST(JobDemand, EstimatesTrackTheRealProduct) {
+  sparse::Csr a = testutil::RandomRmat(8, 8.0, 7);
+  core::ExecutorOptions exec;
+  JobDemand d = EstimateJobDemand(a, a, /*device_capacity=*/1 << 20, exec);
+
+  EXPECT_EQ(d.flops, sparse::TotalFlops(a, a));
+  EXPECT_EQ(d.bytes_a, a.StorageBytes());
+  EXPECT_GT(d.est_bytes_out, 0);
+  // The sampled estimate should land within 2x of the exact output size.
+  const double exact = static_cast<double>(sparse::SymbolicNnz(a, a));
+  EXPECT_GT(d.est_nnz_out, 0.5 * exact);
+  EXPECT_LT(d.est_nnz_out, 2.0 * exact);
+
+  EXPECT_TRUE(d.gpu_feasible);
+  EXPECT_GE(d.planned_chunks, 1);
+  EXPECT_GT(d.planned_device_bytes, 0);
+}
+
+TEST(JobDemand, HopelessDeviceIsInfeasible) {
+  sparse::Csr a = testutil::RandomRmat(8, 8.0, 7);
+  core::ExecutorOptions exec;
+  JobDemand d = EstimateJobDemand(a, a, /*device_capacity=*/1 << 10, exec);
+  EXPECT_FALSE(d.gpu_feasible);
+}
+
+TEST(Admission, GpuOnlyModeRejectedWhenInfeasible) {
+  JobDemand d;
+  d.gpu_feasible = false;
+  AdmissionController ctrl(AdmissionLimits{});
+  Status st = ctrl.Admit(d, core::ExecutionMode::kHybrid);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // kAuto can fall back to the CPU: admitted.
+  EXPECT_TRUE(ctrl.Admit(d, core::ExecutionMode::kAuto).ok());
+}
+
+TEST(Admission, BudgetLedgerAdmitsReleasesRejects) {
+  AdmissionLimits limits;
+  limits.host_bytes_budget = 1000;
+  AdmissionController ctrl(limits);
+
+  JobDemand d;
+  d.bytes_a = 300;
+  d.bytes_b = 200;
+  d.est_bytes_out = 100;  // host_bytes() == 600
+
+  EXPECT_TRUE(ctrl.Admit(d, core::ExecutionMode::kAuto).ok());
+  EXPECT_EQ(ctrl.outstanding_bytes(), 600);
+  Status over = ctrl.Admit(d, core::ExecutionMode::kAuto);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+
+  ctrl.Release(d);
+  EXPECT_EQ(ctrl.outstanding_bytes(), 0);
+  EXPECT_TRUE(ctrl.Admit(d, core::ExecutionMode::kAuto).ok());
+}
+
+TEST(DeviceHeadroom, SnapshotTracksAllocations) {
+  vgpu::Device device(vgpu::ScaledV100Properties(14));
+  auto before = device.Headroom();
+  EXPECT_EQ(before.used, 0);
+  EXPECT_EQ(before.free, before.capacity);
+  EXPECT_EQ(before.largest_block, before.capacity);
+
+  vgpu::HostContext host;
+  auto ptr = device.Malloc(host, 4096, "test");
+  ASSERT_TRUE(ptr.ok());
+  auto during = device.Headroom();
+  EXPECT_GE(during.used, 4096);
+  EXPECT_LT(during.largest_block, before.largest_block);
+  device.Free(host, ptr.value());
+  EXPECT_EQ(device.Headroom().used, 0);
+}
+
+}  // namespace
+}  // namespace oocgemm::serve

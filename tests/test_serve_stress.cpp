@@ -1,0 +1,94 @@
+// Deterministic-seed stress test for the serving runtime, the serve-layer
+// sibling of test_fuzz_executors.cpp: a randomized mixed workload (sizes,
+// structures, priorities, executor preferences) submitted from concurrent
+// client threads, every completed product checked against the reference.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "serve/server.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::serve {
+namespace {
+
+using sparse::Csr;
+
+TEST(ServeStress, RandomizedWorkloadFromConcurrentClients) {
+  constexpr std::uint64_t kSeed = 20260806;
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 12;
+
+  vgpu::Device device(vgpu::ScaledV100Properties(15));  // 512 KiB
+  ThreadPool pool(2);
+  ServerConfig config;
+  config.scheduler.num_workers = 3;
+  config.max_queue = kClients * kJobsPerClient;
+  SpgemmServer server(device, pool, config);
+
+  struct Submitted {
+    std::shared_ptr<const Csr> a, b;
+    std::future<JobResult> future;
+  };
+  std::mutex mutex;
+  std::vector<Submitted> submitted;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      SplitMix64 rng(kSeed + static_cast<std::uint64_t>(c));
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        SpgemmJob job;
+        const std::uint64_t pick = rng.Next() % 3;
+        const std::uint64_t seed = rng.Next();
+        if (pick == 0) {
+          job.a = std::make_shared<const Csr>(
+              testutil::RandomCsr(48, 48, 3.0, seed));
+        } else if (pick == 1) {
+          job.a = std::make_shared<const Csr>(
+              testutil::RandomCsr(96, 96, 5.0, seed));
+        } else {
+          job.a =
+              std::make_shared<const Csr>(testutil::RandomRmat(7, 6.0, seed));
+        }
+        job.b = job.a;
+        job.options.priority = static_cast<int>(rng.Next() % 4);
+        job.options.mode = (rng.Next() % 4 == 0)
+                               ? core::ExecutionMode::kCpuOnly
+                               : core::ExecutionMode::kAuto;
+        Submitted s;
+        s.a = job.a;
+        s.b = job.b;
+        s.future = server.Submit(std::move(job));
+        std::unique_lock<std::mutex> lock(mutex);
+        submitted.push_back(std::move(s));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Drain();
+
+  ASSERT_EQ(submitted.size(),
+            static_cast<std::size_t>(kClients * kJobsPerClient));
+  for (auto& s : submitted) {
+    JobResult r = s.future.get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_TRUE(testutil::CsrNear(r.c, kernels::ReferenceSpgemm(*s.a, *s.b)));
+  }
+
+  ServerReport report = server.Report();
+  EXPECT_EQ(report.submitted, kClients * kJobsPerClient);
+  EXPECT_EQ(report.completed, kClients * kJobsPerClient);
+  EXPECT_EQ(report.device_oom_failures, 0);
+  EXPECT_GT(report.virtual_makespan_seconds, 0.0);
+  EXPECT_GT(report.jobs_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace oocgemm::serve

@@ -4,20 +4,31 @@
 //   oocgemm_cli analyze a.mtx [b.mtx]
 //   oocgemm_cli multiply a.mtx [b.mtx] --executor=hybrid --device-mem=16
 //               [--ratio=0.67] [--out=c.mtx] [--trace=run.json] [--verify]
+//   oocgemm_cli serve --jobs=64 [--load=0] [--workers=4] [--queue=64]
+//               [--device-mem=1] [--timeout=0] [--seed=1] [--report=r.json]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
 // C = A x A convention).  --device-mem is the virtual device memory in MiB.
+// `serve` drives the multi-tenant serving runtime with a synthetic
+// open-loop workload: --load is the offered arrival rate in jobs per
+// virtual second (0 = submit the whole batch at t=0) and --report writes
+// the ServerReport JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/format.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/executors.hpp"
 #include "kernels/reference_spgemm.hpp"
+#include "serve/server.hpp"
 #include "sparse/analysis.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/io.hpp"
@@ -70,7 +81,10 @@ int Usage() {
       "  oocgemm_cli analyze A.mtx [B.mtx]\n"
       "  oocgemm_cli multiply A.mtx [B.mtx] [--executor=async|sync|hybrid|"
       "cpu] [--device-mem=MiB] [--ratio=R] [--out=C.mtx] [--trace=T.json] "
-      "[--verify]\n");
+      "[--verify]\n"
+      "  oocgemm_cli serve [--jobs=N] [--load=JOBS_PER_VSEC] [--workers=W] "
+      "[--queue=Q] [--device-mem=MiB] [--timeout=SEC] [--seed=S] "
+      "[--report=R.json] [--verify]\n");
   return 2;
 }
 
@@ -221,6 +235,97 @@ int Multiply(const Args& args) {
   return 0;
 }
 
+// Synthetic open-loop workload against the serving runtime: a deterministic
+// mix of small ER products, medium R-MAT squarings and an occasional large
+// one, with randomized priorities and executor preferences.
+int Serve(const Args& args) {
+  const int jobs = static_cast<int>(args.FlagD("jobs", 64));
+  const double load = args.FlagD("load", 0.0);
+  const double mem_mib = args.FlagD("device-mem", 1.0);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.FlagD("seed", 1));
+
+  vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
+  props.memory_bytes = static_cast<std::int64_t>(mem_mib * (1 << 20));
+  vgpu::Device device(props);
+  ThreadPool pool;
+
+  serve::ServerConfig config;
+  config.scheduler.num_workers = static_cast<int>(args.FlagD("workers", 4));
+  config.scheduler.cpu_lanes = config.scheduler.num_workers - 1;
+  config.max_queue =
+      static_cast<std::size_t>(args.FlagD("queue", jobs));
+  config.default_timeout_seconds = args.FlagD("timeout", 0.0);
+  serve::SpgemmServer server(device, pool, config);
+
+  SplitMix64 rng(seed);
+  struct Pending {
+    std::shared_ptr<const sparse::Csr> a;
+    std::future<serve::JobResult> future;
+  };
+  std::vector<Pending> pending;
+  for (int i = 0; i < jobs; ++i) {
+    const std::uint64_t pick = rng.Next() % 8;
+    sparse::Csr m;
+    if (pick < 5) {  // small ER product
+      sparse::ErdosRenyiParams p;
+      p.rows = p.cols = 64;
+      p.avg_degree = 4.0;
+      p.seed = rng.Next();
+      m = sparse::GenerateErdosRenyi(p);
+    } else if (pick < 7) {  // medium R-MAT squaring
+      sparse::RmatParams p;
+      p.scale = 7;
+      p.edge_factor = 8.0;
+      p.seed = rng.Next();
+      m = sparse::GenerateRmat(p);
+    } else {  // occasional large out-of-core job
+      sparse::RmatParams p;
+      p.scale = 9;
+      p.edge_factor = 8.0;
+      p.seed = rng.Next();
+      m = sparse::GenerateRmat(p);
+    }
+    serve::SpgemmJob job;
+    job.a = std::make_shared<const sparse::Csr>(std::move(m));
+    job.b = job.a;
+    job.options.priority = static_cast<int>(rng.Next() % 4);
+    job.options.virtual_arrival = load > 0.0 ? i / load : 0.0;
+    pending.push_back({job.a, server.Submit(std::move(job))});
+  }
+  server.Drain();
+
+  int verify_failures = 0;
+  for (auto& p : pending) {
+    serve::JobResult r = p.future.get();
+    if (!r.ok()) {
+      std::printf("job %llu: %s (%s)\n",
+                  static_cast<unsigned long long>(r.metrics.id),
+                  serve::JobOutcomeName(r.metrics.outcome),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    if (args.Has("verify") &&
+        !r.c.ApproxEquals(kernels::ReferenceSpgemm(*p.a, *p.a))) {
+      std::fprintf(stderr, "VERIFY FAILED: job %llu\n",
+                   static_cast<unsigned long long>(r.metrics.id));
+      ++verify_failures;
+    }
+  }
+
+  serve::ServerReport report = server.Report();
+  std::printf("%s\n", report.DebugString().c_str());
+  if (args.Has("report")) {
+    std::ofstream out(args.Flag("report", ""));
+    out << report.ToJson() << "\n";
+    std::printf("report: %s\n", args.Flag("report", "").c_str());
+  }
+  if (args.Has("verify")) {
+    if (verify_failures > 0) return 1;
+    std::printf("verify: OK\n");
+  }
+  return report.device_oom_failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,5 +335,6 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return Generate(args);
   if (cmd == "analyze") return Analyze(args);
   if (cmd == "multiply") return Multiply(args);
+  if (cmd == "serve") return Serve(args);
   return Usage();
 }
