@@ -1,0 +1,173 @@
+#include "core/batched.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/assembler.hpp"
+#include "core/gpu_runner.hpp"
+#include "core/problem.hpp"
+
+namespace oocgemm::core {
+
+namespace {
+
+/// Per-job accumulation across this job's (job x column panel) segments.
+struct JobAccum {
+  std::vector<ChunkPayload> payloads;
+  std::int64_t nnz = 0;
+  int chunks_run = 0;
+  std::int64_t b_uploads = 0;
+  std::int64_t b_hits = 0;
+  double last_finish = 0.0;  // virtual time the job's latest segment drained
+  bool cancelled = false;
+};
+
+StatusOr<BatchedRunResult> BatchedOutOfCoreImpl(
+    vgpu::Device& device, const std::vector<BatchJobSpec>& jobs,
+    const std::vector<const sparse::Csr*>& as, const sparse::Csr& b,
+    const ExecutorOptions& options, ThreadPool& pool) {
+  auto preps_or =
+      PrepareSharedOperandProblems(as, b, device.capacity(), options, pool);
+  if (!preps_or.ok()) return preps_or.status();
+  const std::vector<PreparedProblem>& preps = preps_or.value();
+
+  const std::size_t n = jobs.size();
+  const int nc = preps.front().plan.num_col_panels;
+
+  // One workspace sized for the largest member serves every segment: pool
+  // pre-allocation happens once per batch, and the panel cache — holding
+  // the shared B column panels — survives across jobs.
+  std::int64_t pool_bytes = 0, max_a = 0, max_b = 0;
+  for (const PreparedProblem& p : preps) {
+    pool_bytes = std::max(pool_bytes, p.plan.pool_bytes);
+    max_a = std::max(max_a, p.plan.max_a_panel_bytes);
+    max_b = std::max(max_b, p.plan.max_b_panel_bytes);
+  }
+
+  device.ResetTimeline();
+  vgpu::HostContext host;
+  GpuWorkspace workspace(device, host, pool_bytes, max_a, max_b);
+
+  // Segment orders: chunks of job i touching column panel j, flop-ordered
+  // within the segment when reordering is on (Section IV-C, constrained to
+  // the batch's column-panel-major walk).
+  std::vector<std::vector<std::vector<int>>> segments(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    segments[i].resize(static_cast<std::size_t>(nc));
+    for (int id = 0; id < preps[i].num_chunks(); ++id) {
+      const partition::ChunkDesc& desc =
+          preps[i].chunks[static_cast<std::size_t>(id)];
+      segments[i][static_cast<std::size_t>(desc.col_panel)].push_back(id);
+    }
+    if (options.reorder_chunks) {
+      for (std::vector<int>& seg : segments[i]) {
+        std::sort(seg.begin(), seg.end(), [&](int lhs, int rhs) {
+          return preps[i].chunks[static_cast<std::size_t>(lhs)].flops >
+                 preps[i].chunks[static_cast<std::size_t>(rhs)].flops;
+        });
+      }
+    }
+  }
+
+  ExecutorOptions seg_options = options;
+  seg_options.cancel = nullptr;  // batched cancel is segment-granular
+
+  std::vector<JobAccum> acc(n);
+  for (int j = 0; j < nc; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (acc[i].cancelled) continue;
+      if (jobs[i].cancel != nullptr &&
+          jobs[i].cancel->load(std::memory_order_relaxed)) {
+        acc[i].cancelled = true;
+        continue;
+      }
+      const std::vector<int>& order = segments[i][static_cast<std::size_t>(j)];
+      if (order.empty()) continue;
+      // A panel ids are per-job row indices; forget the previous job's
+      // panels so identical indices cannot alias across matrices.
+      workspace.cache.Invalidate(PanelCache::kA);
+      auto run = RunGpuChunks(device, host, preps[i], order, seg_options,
+                              /*sink=*/nullptr, &workspace);
+      if (!run.ok()) return run.status();  // fails the whole batch
+      for (ChunkPayload& p : run->payloads) {
+        acc[i].payloads.push_back(std::move(p));
+      }
+      acc[i].nnz += run->nnz;
+      acc[i].chunks_run += run->chunks_run;
+      acc[i].b_uploads += run->b_panel_uploads;
+      acc[i].b_hits += run->b_panel_hits;
+      acc[i].last_finish = run->makespan;
+    }
+  }
+  device.DeviceSynchronize(host);
+
+  BatchedRunResult out;
+  out.batch_makespan = host.now;
+  out.num_col_panels = nc;
+  out.b_panel_uploads = workspace.cache.misses(PanelCache::kB);
+  out.b_panel_hits = workspace.cache.hits(PanelCache::kB);
+  out.jobs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (acc[i].cancelled) {
+      out.jobs[i].status =
+          Status::Cancelled("batched job " + std::to_string(i) +
+                            " cancelled between segments");
+      continue;
+    }
+    RunResult& rr = out.jobs[i].run;
+    rr.stats.total_seconds = acc[i].last_finish;
+    rr.stats.gpu_seconds = acc[i].last_finish;
+    rr.stats.nnz_out = acc[i].nnz;
+    rr.stats.num_gpu_chunks = acc[i].chunks_run;
+    rr.stats.num_chunks = preps[i].num_chunks();
+    rr.stats.num_row_panels = preps[i].plan.num_row_panels;
+    rr.stats.num_col_panels = nc;
+    rr.stats.flops = preps[i].total_flops;
+    rr.stats.compression_ratio =
+        rr.stats.nnz_out > 0 ? static_cast<double>(rr.stats.flops) /
+                                   static_cast<double>(rr.stats.nnz_out)
+                             : 0.0;
+    rr.stats.device_peak_bytes = device.peak_bytes();
+    rr.stats.b_panel_uploads = acc[i].b_uploads;
+    rr.stats.b_panel_hits = acc[i].b_hits;
+    rr.c = AssembleChunks(preps[i].row_bounds, preps[i].col_bounds,
+                          std::move(acc[i].payloads));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<BatchedRunResult> BatchedOutOfCore(vgpu::Device& device,
+                                            const std::vector<BatchJobSpec>& jobs,
+                                            const sparse::Csr& b,
+                                            const ExecutorOptions& options,
+                                            ThreadPool& pool) {
+  if (jobs.empty()) {
+    return Status::InvalidArgument("BatchedOutOfCore: empty batch");
+  }
+  std::vector<const sparse::Csr*> as;
+  as.reserve(jobs.size());
+  for (const BatchJobSpec& spec : jobs) {
+    if (spec.a == nullptr) {
+      return Status::InvalidArgument("BatchedOutOfCore: null operand");
+    }
+    as.push_back(spec.a);
+  }
+
+  // Same pool-overflow retry policy as the single-job executors: replan the
+  // whole batch with a doubled safety factor (chunks shrink together, so the
+  // shared column split stays common).
+  ExecutorOptions attempt_options = options;
+  const int max_attempts = std::max(1, attempt_options.max_oom_attempts);
+  for (int i = 0;; ++i) {
+    auto r = BatchedOutOfCoreImpl(device, jobs, as, b, attempt_options, pool);
+    if (r.ok() || r.status().code() != StatusCode::kOutOfMemory ||
+        i + 1 == max_attempts) {
+      return r;
+    }
+    attempt_options.plan.nnz_safety_factor *= 2.0;
+  }
+}
+
+}  // namespace oocgemm::core

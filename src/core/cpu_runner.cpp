@@ -20,8 +20,7 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
     const partition::ChunkDesc& desc = prep.chunks[static_cast<std::size_t>(id)];
     const sparse::Csr& a_panel =
         prep.a_panels[static_cast<std::size_t>(desc.row_panel)];
-    const sparse::Csr& b_panel =
-        prep.b_panels[static_cast<std::size_t>(desc.col_panel)];
+    const sparse::Csr& b_panel = prep.b_panel(desc.col_panel);
     sparse::Csr c = kernels::CpuSpgemm(a_panel, b_panel, pool, cpu_options);
 
     const double cr = c.nnz() > 0 ? static_cast<double>(desc.flops) /

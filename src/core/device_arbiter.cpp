@@ -36,7 +36,10 @@ bool DeviceArbiter::busy() const {
 
 bool DeviceArbiter::TryReserve(std::int64_t bytes) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (reserved_ + bytes > device_.capacity()) return false;
+  if (reserved_ + bytes > device_.capacity()) {
+    ++shortfalls_;
+    return false;
+  }
   reserved_ += bytes;
   return true;
 }
@@ -44,7 +47,10 @@ bool DeviceArbiter::TryReserve(std::int64_t bytes) {
 void DeviceArbiter::Unreserve(std::int64_t bytes) {
   std::unique_lock<std::mutex> lock(mutex_);
   reserved_ -= bytes;
-  if (reserved_ < 0) reserved_ = 0;
+  if (reserved_ < 0) {
+    ++underflows_;
+    reserved_ = 0;
+  }
 }
 
 std::int64_t DeviceArbiter::reserved_bytes() const {
@@ -65,6 +71,16 @@ std::int64_t DeviceArbiter::lease_count() const {
 std::int64_t DeviceArbiter::contention_count() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return contention_;
+}
+
+std::int64_t DeviceArbiter::reserve_shortfalls() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return shortfalls_;
+}
+
+std::int64_t DeviceArbiter::unreserve_underflows() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return underflows_;
 }
 
 }  // namespace oocgemm::core

@@ -75,6 +75,10 @@ class DeviceArbiter {
   /// Records `bytes` as promised device memory; fails when the promise
   /// would exceed capacity (the admission controller's headroom check).
   bool TryReserve(std::int64_t bytes);
+  /// Returns a reservation previously made with TryReserve.  Unreserving
+  /// more than is outstanding is an accounting bug in the caller: the
+  /// ledger clamps at zero and counts the underflow so tests can assert
+  /// that reservations balance exactly.
   void Unreserve(std::int64_t bytes);
 
   std::int64_t reserved_bytes() const;
@@ -85,6 +89,8 @@ class DeviceArbiter {
 
   std::int64_t lease_count() const;
   std::int64_t contention_count() const;  // TryAcquire calls that failed
+  std::int64_t reserve_shortfalls() const;     // TryReserve calls that failed
+  std::int64_t unreserve_underflows() const;   // Unreserve past zero (caller bug)
 
  private:
   friend class Lease;
@@ -97,6 +103,8 @@ class DeviceArbiter {
   std::int64_t reserved_ = 0;
   std::int64_t leases_ = 0;
   std::int64_t contention_ = 0;
+  std::int64_t shortfalls_ = 0;
+  std::int64_t underflows_ = 0;
 };
 
 }  // namespace oocgemm::core

@@ -88,10 +88,8 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
         prep.a_panels[static_cast<std::size_t>(desc.row_panel)],
         options.pinned_host);
     if (!da.ok()) return da.status();
-    auto db = cache.Acquire(
-        host, *stream, PanelCache::kB, desc.col_panel,
-        prep.b_panels[static_cast<std::size_t>(desc.col_panel)],
-        options.pinned_host);
+    auto db = cache.Acquire(host, *stream, PanelCache::kB, desc.col_panel,
+                            prep.b_panel(desc.col_panel), options.pinned_host);
     if (!db.ok()) return db.status();
 
     auto chunk =
@@ -129,6 +127,8 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
   result.stats.num_gpu_chunks = prep.num_chunks();
   result.stats.gpu_seconds = host.now;
   result.stats.device_peak_bytes = device.peak_bytes();
+  result.stats.b_panel_uploads = cache.misses(PanelCache::kB);
+  result.stats.b_panel_hits = cache.hits(PanelCache::kB);
   FinishStats(prep, &device.trace(), result.stats);
   result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
                             std::move(payloads));
@@ -155,6 +155,8 @@ StatusOr<RunResult> AsyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
   result.stats.num_gpu_chunks = run->chunks_run;
   result.stats.gpu_seconds = run->makespan;
   result.stats.device_peak_bytes = device.peak_bytes();
+  result.stats.b_panel_uploads = run->b_panel_uploads;
+  result.stats.b_panel_hits = run->b_panel_hits;
   FinishStats(prep, &device.trace(), result.stats);
   result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
                             std::move(run->payloads));
@@ -226,6 +228,8 @@ StatusOr<RunResult> HybridImpl(vgpu::Device& device, const Csr& a,
   result.stats.num_gpu_chunks = gpu_run->chunks_run;
   result.stats.num_cpu_chunks = cpu_run.chunks_run;
   result.stats.device_peak_bytes = device.peak_bytes();
+  result.stats.b_panel_uploads = gpu_run->b_panel_uploads;
+  result.stats.b_panel_hits = gpu_run->b_panel_hits;
   FinishStats(prep, &device.trace(), result.stats);
   // The trace only covers the GPU side; the hybrid makespan may be CPU-bound.
   result.stats.total_seconds =
@@ -258,6 +262,8 @@ StatusOr<StreamedRunResult> AsyncOutOfCoreStreamedImpl(
   result.stats.num_gpu_chunks = run->chunks_run;
   result.stats.gpu_seconds = run->makespan;
   result.stats.device_peak_bytes = device.peak_bytes();
+  result.stats.b_panel_uploads = run->b_panel_uploads;
+  result.stats.b_panel_hits = run->b_panel_hits;
   FinishStats(prep, &device.trace(), result.stats);
   result.row_bounds = prep.row_bounds;
   result.col_bounds = prep.col_bounds;

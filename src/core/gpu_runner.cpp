@@ -67,12 +67,25 @@ void IssuePayloadRows(vgpu::Device& device, vgpu::HostContext& host,
 
 }  // namespace
 
+GpuWorkspace::GpuWorkspace(vgpu::Device& device, vgpu::HostContext& host,
+                           std::int64_t pool_bytes,
+                           std::int64_t max_a_panel_bytes,
+                           std::int64_t max_b_panel_bytes)
+    : streams{device.CreateStream("pipe0"), device.CreateStream("pipe1")},
+      cache(device, host, max_a_panel_bytes, max_b_panel_bytes) {
+  for (int s = 0; s < kSlots; ++s) {
+    pools[s] = std::make_unique<vgpu::MemoryPool>(device, host, pool_bytes,
+                                                  "pool" + std::to_string(s));
+    sources[s] = std::make_unique<vgpu::PoolMemorySource>(*pools[s]);
+  }
+}
+
 StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
                                     vgpu::HostContext& host,
                                     const PreparedProblem& prep,
                                     const std::vector<int>& order,
                                     const ExecutorOptions& options,
-                                    ChunkSink* sink) {
+                                    ChunkSink* sink, GpuWorkspace* workspace) {
   GpuRunOutput out;
   if (order.empty()) {
     out.makespan = host.now;
@@ -80,21 +93,21 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
   }
 
   const int nc = prep.plan.num_col_panels;
-  constexpr int kSlots = 2;  // "we create two streams and two buffers"
+  constexpr int kSlots = GpuWorkspace::kSlots;
 
-  vgpu::Stream* streams[kSlots] = {device.CreateStream("pipe0"),
-                                   device.CreateStream("pipe1")};
-  std::unique_ptr<vgpu::MemoryPool> pools[kSlots];
-  std::unique_ptr<vgpu::PoolMemorySource> sources[kSlots];
-  for (int s = 0; s < kSlots; ++s) {
-    pools[s] = std::make_unique<vgpu::MemoryPool>(
-        device, host, prep.plan.pool_bytes, "pool" + std::to_string(s));
-    sources[s] = std::make_unique<vgpu::PoolMemorySource>(*pools[s]);
+  std::unique_ptr<GpuWorkspace> local;
+  if (workspace == nullptr) {
+    local = std::make_unique<GpuWorkspace>(device, host, prep.plan.pool_bytes,
+                                           prep.plan.max_a_panel_bytes,
+                                           prep.plan.max_b_panel_bytes);
+    workspace = local.get();
   }
-
-  PanelCache cache(device, host, prep.plan.max_a_panel_bytes,
-                   prep.plan.max_b_panel_bytes);
-  kernels::AccumulatorScratch scratch;
+  vgpu::Stream** streams = workspace->streams;
+  std::unique_ptr<vgpu::PoolMemorySource>* sources = workspace->sources;
+  PanelCache& cache = workspace->cache;
+  kernels::AccumulatorScratch& scratch = workspace->scratch;
+  const std::int64_t b_misses_before = cache.misses(PanelCache::kB);
+  const std::int64_t b_hits_before = cache.hits(PanelCache::kB);
   // Pending chunks: the one whose payload is in flight (prev) and, per
   // slot, the one whose payload completed but is awaiting finalization.
   std::optional<PendingChunk> slot_pending[kSlots];
@@ -141,10 +154,9 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
         prep.a_panels[static_cast<std::size_t>(desc.row_panel)],
         options.pinned_host);
     if (!da.ok()) return da.status();
-    auto db = cache.Acquire(
-        host, *streams[slot], PanelCache::kB, desc.col_panel,
-        prep.b_panels[static_cast<std::size_t>(desc.col_panel)],
-        options.pinned_host);
+    auto db = cache.Acquire(host, *streams[slot], PanelCache::kB,
+                            desc.col_panel, prep.b_panel(desc.col_panel),
+                            options.pinned_host);
     if (!db.ok()) return db.status();
 
     ChunkPipeline pipeline(device, options.spgemm, scratch);
@@ -221,6 +233,8 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
   device.DeviceSynchronize(host);
   out.makespan = host.now;
   out.chunks_run = static_cast<int>(order.size());
+  out.b_panel_uploads = cache.misses(PanelCache::kB) - b_misses_before;
+  out.b_panel_hits = cache.hits(PanelCache::kB) - b_hits_before;
   return out;
 }
 

@@ -15,16 +15,47 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.hpp"
 #include "core/assembler.hpp"
 #include "core/chunk_sink.hpp"
 #include "core/executor_options.hpp"
+#include "core/panel_cache.hpp"
 #include "core/problem.hpp"
+#include "kernels/spgemm_phases.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/memory_pool.hpp"
+#include "vgpu/memory_source.hpp"
 
 namespace oocgemm::core {
+
+/// Device-side working state of the asynchronous chunk pipeline: the two
+/// streams, the two pre-allocated chunk pools (Section IV-B) and the input
+/// panel cache.  A run normally builds one internally, but a caller that
+/// executes several runs against the same operand — the batched executor —
+/// builds one sized for the whole batch and passes it to every run, so
+/// pool pre-allocation happens once and cached panels (notably the shared
+/// B column panels) survive from job to job.
+struct GpuWorkspace {
+  static constexpr int kSlots = 2;  // "we create two streams and two buffers"
+
+  /// Pre-allocates the pools and the panel cache (serializing Mallocs on
+  /// the device timeline, like any cudaMalloc).
+  GpuWorkspace(vgpu::Device& device, vgpu::HostContext& host,
+               std::int64_t pool_bytes, std::int64_t max_a_panel_bytes,
+               std::int64_t max_b_panel_bytes);
+
+  GpuWorkspace(const GpuWorkspace&) = delete;
+  GpuWorkspace& operator=(const GpuWorkspace&) = delete;
+
+  vgpu::Stream* streams[kSlots];
+  std::unique_ptr<vgpu::MemoryPool> pools[kSlots];
+  std::unique_ptr<vgpu::PoolMemorySource> sources[kSlots];
+  PanelCache cache;
+  kernels::AccumulatorScratch scratch;
+};
 
 struct GpuRunOutput {
   std::vector<ChunkPayload> payloads;
@@ -33,6 +64,11 @@ struct GpuRunOutput {
   int chunks_run = 0;
   std::int64_t flops = 0;
   std::int64_t nnz = 0;
+  /// B-column-panel traffic of this run (uploads = cache misses); deltas
+  /// over the workspace's counters, so they attribute correctly when a
+  /// shared workspace serves several runs.
+  std::int64_t b_panel_uploads = 0;
+  std::int64_t b_panel_hits = 0;
 };
 
 /// Runs chunks `order[0..count)` of `prep` on `device`.  `host` carries the
@@ -42,11 +78,17 @@ struct GpuRunOutput {
 /// When `sink` is given, each chunk payload is handed to it as soon as its
 /// transfers drain (completion order) and `GpuRunOutput::payloads` stays
 /// empty — the streaming mode used for outputs beyond host memory.
+///
+/// When `workspace` is given, the run issues work through the caller's
+/// streams/pools/cache instead of building its own; the workspace's pools
+/// must be at least `prep.plan.pool_bytes` and its cache slots at least the
+/// plan's panel maxima.  The pipeline drains before returning either way.
 StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
                                     vgpu::HostContext& host,
                                     const PreparedProblem& prep,
                                     const std::vector<int>& order,
                                     const ExecutorOptions& options,
-                                    ChunkSink* sink = nullptr);
+                                    ChunkSink* sink = nullptr,
+                                    GpuWorkspace* workspace = nullptr);
 
 }  // namespace oocgemm::core

@@ -35,11 +35,11 @@ StatusOr<DeviceCsr> PanelCache::Acquire(vgpu::HostContext& host,
   // Hit?
   for (Slot& slot : kind_slots) {
     if (slot.id == id) {
-      ++hits_;
+      ++hits_[kind];
       return slot.panel;
     }
   }
-  ++misses_;
+  ++misses_[kind];
   // Evict the least recently used slot.
   Slot& victim = kind_slots[0].last_use.time <= kind_slots[1].last_use.time
                      ? kind_slots[0]
@@ -89,6 +89,10 @@ StatusOr<DeviceCsr> PanelCache::Acquire(vgpu::HostContext& host,
   // Until marked used, the upload itself is the latest activity.
   victim.last_use = device_.RecordEvent(stream);
   return d;
+}
+
+void PanelCache::Invalidate(Kind kind) {
+  for (Slot& slot : slots_[kind]) slot.id = -1;
 }
 
 void PanelCache::MarkUse(vgpu::Stream& stream, Kind kind, int id) {

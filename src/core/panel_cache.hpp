@@ -45,9 +45,21 @@ class PanelCache {
   /// Records that work issued on `stream` up to now reads panel (kind, id).
   void MarkUse(vgpu::Stream& stream, Kind kind, int id);
 
+  /// Forgets cached panels of `kind` without releasing the slots.  Panel ids
+  /// are indices, not content hashes, so a caller that switches to a
+  /// different matrix whose panels reuse the same indices — the batched
+  /// executor moving to the next job's A — must invalidate first.  Pending
+  /// readers stay protected: eviction ordering uses the slots' last-use
+  /// events, which survive invalidation.
+  void Invalidate(Kind kind);
+
   /// Number of uploads skipped thanks to caching (diagnostics).
-  std::int64_t hits() const { return hits_; }
-  std::int64_t misses() const { return misses_; }
+  std::int64_t hits() const { return hits_[kA] + hits_[kB]; }
+  std::int64_t misses() const { return misses_[kA] + misses_[kB]; }
+  /// Per-matrix breakdown: misses(kB) counts actual B-panel uploads — the
+  /// figure operand-aware batching drives down.
+  std::int64_t hits(Kind kind) const { return hits_[kind]; }
+  std::int64_t misses(Kind kind) const { return misses_[kind]; }
 
  private:
   struct Slot {
@@ -61,8 +73,8 @@ class PanelCache {
   vgpu::HostContext* host_;
   vgpu::DevicePtr arena_;
   std::array<std::array<Slot, 2>, 2> slots_;  // [kind][slot]
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
+  std::array<std::int64_t, 2> hits_{0, 0};    // [kind]
+  std::array<std::int64_t, 2> misses_{0, 0};  // [kind]
 };
 
 }  // namespace oocgemm::core

@@ -20,13 +20,53 @@ StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
   prep.row_bounds = prep.plan.row_bounds;
   prep.col_bounds = prep.plan.col_bounds;
   prep.a_panels = partition::PartitionRows(a, prep.row_bounds);
-  prep.b_panels = partition::PartitionColsParallel(b, prep.col_bounds, pool);
+  prep.b_panels = std::make_shared<const std::vector<sparse::Csr>>(
+      partition::PartitionColsParallel(b, prep.col_bounds, pool));
   prep.chunks = partition::AnalyzeChunks(
       a, prep.row_bounds, b, prep.col_bounds,
       prep.plan.row_nnz_estimate.empty() ? nullptr
                                          : &prep.plan.row_nnz_estimate);
   for (const auto& c : prep.chunks) prep.total_flops += c.flops;
   return prep;
+}
+
+StatusOr<std::vector<PreparedProblem>> PrepareSharedOperandProblems(
+    const std::vector<const sparse::Csr*>& as, const sparse::Csr& b,
+    std::int64_t device_capacity, const ExecutorOptions& options,
+    ThreadPool& pool) {
+  for (const sparse::Csr* a : as) {
+    if (a == nullptr || a->cols() != b.rows()) {
+      return Status::InvalidArgument(
+          "dimension mismatch in shared-operand batch against B " +
+          b.DebugString());
+    }
+  }
+  auto plans = partition::PlanSharedOperandPanels(as, b, device_capacity,
+                                                  options.plan);
+  if (!plans.ok()) return plans.status();
+
+  // One partition of B for the whole batch (every plan's col_bounds agree).
+  const partition::PanelBoundaries& col_bounds = plans->front().col_bounds;
+  auto b_panels = std::make_shared<const std::vector<sparse::Csr>>(
+      partition::PartitionColsParallel(b, col_bounds, pool));
+
+  std::vector<PreparedProblem> preps;
+  preps.reserve(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    PreparedProblem prep;
+    prep.plan = std::move(plans.value()[i]);
+    prep.row_bounds = prep.plan.row_bounds;
+    prep.col_bounds = prep.plan.col_bounds;
+    prep.a_panels = partition::PartitionRows(*as[i], prep.row_bounds);
+    prep.b_panels = b_panels;
+    prep.chunks = partition::AnalyzeChunks(
+        *as[i], prep.row_bounds, b, prep.col_bounds,
+        prep.plan.row_nnz_estimate.empty() ? nullptr
+                                           : &prep.plan.row_nnz_estimate);
+    for (const auto& c : prep.chunks) prep.total_flops += c.flops;
+    preps.push_back(std::move(prep));
+  }
+  return preps;
 }
 
 }  // namespace oocgemm::core

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.hpp"
@@ -20,11 +21,17 @@ struct PreparedProblem {
   partition::PanelBoundaries row_bounds;
   partition::PanelBoundaries col_bounds;
   std::vector<sparse::Csr> a_panels;  // host-resident row panels of A
-  std::vector<sparse::Csr> b_panels;  // host-resident column panels of B
+  /// Host-resident column panels of B.  Shared, not owned: every problem of
+  /// a shared-operand batch points at the same partition of B, so the host
+  /// copy — like the device panel cache — is built once per batch.
+  std::shared_ptr<const std::vector<sparse::Csr>> b_panels;
   std::vector<partition::ChunkDesc> chunks;  // row-major chunk grid
   std::int64_t total_flops = 0;
 
   int num_chunks() const { return static_cast<int>(chunks.size()); }
+  const sparse::Csr& b_panel(int p) const {
+    return (*b_panels)[static_cast<std::size_t>(p)];
+  }
 };
 
 /// Plans panels for `device_capacity`, partitions both matrices (column
@@ -34,5 +41,14 @@ StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
                                          std::int64_t device_capacity,
                                          const ExecutorOptions& options,
                                          ThreadPool& pool);
+
+/// Batch preparation for jobs C_i = A_i * B sharing the operand B: plans
+/// every member under one common column split (PlanSharedOperandPanels),
+/// partitions B exactly once and shares the panels across all returned
+/// problems.  Returns one PreparedProblem per input A, in order.
+StatusOr<std::vector<PreparedProblem>> PrepareSharedOperandProblems(
+    const std::vector<const sparse::Csr*>& as, const sparse::Csr& b,
+    std::int64_t device_capacity, const ExecutorOptions& options,
+    ThreadPool& pool);
 
 }  // namespace oocgemm::core

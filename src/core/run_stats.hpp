@@ -29,6 +29,11 @@ struct RunStats {
   std::int64_t bytes_h2d = 0;
   std::int64_t bytes_d2h = 0;
   std::int64_t device_peak_bytes = 0;
+  // B-column-panel cache traffic: uploads are H2D transfers of B panels
+  // (what operand-aware batching amortizes), hits are reuses of a resident
+  // panel.  Zero for CPU-only runs.
+  std::int64_t b_panel_uploads = 0;
+  std::int64_t b_panel_hits = 0;
 
   // Hybrid accounting.
   double cpu_seconds = 0.0;        // CPU worker busy time (virtual)

@@ -133,10 +133,20 @@ StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
   // reuse in the device panel cache (each extra column panel is another
   // large B upload whenever the execution order crosses panels).  Column
   // panels are the fallback for when the B panel itself no longer fits.
+  // A forced column count restricts the search to that single candidate.
+  std::vector<int> col_candidates;
+  if (options.forced_col_panels > 0) {
+    col_candidates.push_back(
+        std::min(options.forced_col_panels, std::max(1, b.cols())));
+  } else {
+    for (int nc = 1;
+         nc <= options.max_panels_per_dim && nc <= std::max(1, b.cols());
+         nc *= 2) {
+      col_candidates.push_back(nc);
+    }
+  }
   ChunkSizing last_sizing{};
-  for (int nc = 1;
-       nc <= options.max_panels_per_dim && nc <= std::max(1, b.cols());
-       nc *= 2) {
+  for (int nc : col_candidates) {
     PanelBoundaries cb = UniformBoundaries(b.cols(), nc);
     const int max_nr =
         std::min<int>(options.max_panels_per_dim, std::max(1, a.rows()));
@@ -186,6 +196,36 @@ StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
       std::to_string(last_sizing.max_working_set) + " bytes x" +
       std::to_string(options.buffers) + " plus panel-cache bytes, budget " +
       std::to_string(budget));
+}
+
+StatusOr<std::vector<PanelPlan>> PlanSharedOperandPanels(
+    const std::vector<const sparse::Csr*>& as, const sparse::Csr& b,
+    std::int64_t device_capacity, const PlanOptions& options) {
+  if (as.empty()) {
+    return Status::InvalidArgument("shared-operand plan needs at least one A");
+  }
+  // Pass 1: each member's individually preferred split.
+  int shared_nc = std::max(1, options.forced_col_panels);
+  for (const sparse::Csr* a : as) {
+    OOC_CHECK(a != nullptr);
+    auto plan = PlanPanels(*a, b, device_capacity, options);
+    if (!plan.ok()) return plan.status();
+    shared_nc = std::max(shared_nc, plan->num_col_panels);
+  }
+  // Pass 2: re-plan every member under the common column split.  Uniform
+  // boundaries depend only on (b.cols, shared_nc), so all members end up
+  // with identical col_bounds — the invariant the batch executor relies on.
+  PlanOptions forced = options;
+  forced.forced_col_panels = shared_nc;
+  std::vector<PanelPlan> plans;
+  plans.reserve(as.size());
+  for (const sparse::Csr* a : as) {
+    auto plan = PlanPanels(*a, b, device_capacity, forced);
+    if (!plan.ok()) return plan.status();
+    OOC_CHECK(plan->num_col_panels == shared_nc);
+    plans.push_back(std::move(plan).value());
+  }
+  return plans;
 }
 
 }  // namespace oocgemm::partition

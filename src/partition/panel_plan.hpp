@@ -34,6 +34,11 @@ struct PlanOptions {
   /// estimator and falls back to worst-case sizing (the configuration the
   /// paper rejects; kept for the ablation bench).
   double nnz_sample_fraction = 0.05;
+  /// When > 0, skip the column search and use exactly this many uniform
+  /// column panels.  Shared-operand batches force one common B split across
+  /// every job so a cached B panel stays valid from job to job; the planner
+  /// then fails outright if no row split fits under that choice.
+  int forced_col_panels = 0;
 };
 
 struct PanelPlan {
@@ -65,6 +70,16 @@ struct PanelPlan {
 StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
                                std::int64_t device_capacity,
                                const PlanOptions& options = {});
+
+/// Plans panels for a batch of products C_i = A_i * B sharing the operand
+/// B: each job is planned individually first, then every job is re-planned
+/// under one common column split (the max column-panel count any member
+/// needs), so the column boundaries — and hence the device panel cache ids
+/// — of B agree across the whole batch.  Returns one plan per input A, in
+/// order; fails if any member cannot fit the device under the shared split.
+StatusOr<std::vector<PanelPlan>> PlanSharedOperandPanels(
+    const std::vector<const sparse::Csr*>& as, const sparse::Csr& b,
+    std::int64_t device_capacity, const PlanOptions& options = {});
 
 /// Working-set bytes of the worst chunk under the given boundaries
 /// (exposed for tests and the planner's internals).

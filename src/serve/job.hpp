@@ -68,6 +68,12 @@ struct JobMetrics {
   /// The path that actually ran (kAuto never appears here for completed
   /// jobs; meaningless for rejected ones).
   core::ExecutionMode executor = core::ExecutionMode::kAuto;
+  /// False when the job left the system without any executor running — a
+  /// rejection or a timeout that fired while still queued.  `executor` and
+  /// the run stats are meaningless in that case.
+  bool executed = false;
+  /// Members of the operand-sharing batch the job ran in (1 == unbatched).
+  int batch_size = 1;
   int attempts = 0;
 
   // Virtual-timeline accounting (the repository's common currency: every

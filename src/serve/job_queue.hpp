@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace oocgemm::serve {
 
@@ -43,6 +44,26 @@ class BoundedJobQueue {
     T item = std::move(it->second);
     items_.erase(it);
     return item;
+  }
+
+  /// Removes and returns up to `max_items` queued items satisfying `pred`,
+  /// in queue (priority, FIFO) order, without blocking.  The scheduler's
+  /// batch former uses this to peel companions that share an operand with
+  /// the job a worker just popped; non-matching items keep their position.
+  template <typename Pred>
+  std::vector<T> ExtractIf(Pred pred, std::size_t max_items) {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto it = items_.begin();
+         it != items_.end() && out.size() < max_items;) {
+      if (pred(it->second)) {
+        out.push_back(std::move(it->second));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
   }
 
   /// Wakes all poppers; queued items may still be popped, new pushes fail.

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/timer.hpp"
+#include "core/batched.hpp"
 #include "core/executors.hpp"
+#include "serve/batching.hpp"
 
 namespace oocgemm::serve {
 
@@ -21,6 +23,11 @@ double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+std::chrono::steady_clock::duration ToSteadyDuration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
 }  // namespace
 
 Scheduler::Scheduler(vgpu::Device& device, ThreadPool& pool,
@@ -35,6 +42,7 @@ Scheduler::Scheduler(vgpu::Device& device, ThreadPool& pool,
       arbiter_(device) {
   config_.num_workers = std::max(1, config_.num_workers);
   config_.cpu_lanes = std::max(1, config_.cpu_lanes);
+  config_.max_batch_jobs = std::max(1, config_.max_batch_jobs);
   cpu_lanes_.assign(static_cast<std::size_t>(config_.cpu_lanes), 0.0);
 }
 
@@ -67,9 +75,21 @@ double Scheduler::VirtualNow() const {
 }
 
 void Scheduler::WorkerLoop() {
-  while (auto item = queue_.Pop()) {
-    RunJob(**item);
-    if (on_job_done_) on_job_done_();
+  while (auto popped = queue_.Pop()) {
+    std::vector<std::unique_ptr<ScheduledJob>> batch;
+    batch.push_back(std::move(*popped));
+    if (config_.max_batch_jobs > 1 && BatchEligible(*batch.front())) {
+      auto companions = PeelBatchCompanions(
+          *batch.front(), queue_,
+          static_cast<std::size_t>(config_.max_batch_jobs - 1));
+      for (auto& c : companions) batch.push_back(std::move(c));
+    }
+    if (batch.size() == 1) {
+      RunJob(*batch.front());
+      if (on_job_done_) on_job_done_();
+    } else {
+      RunBatch(batch);
+    }
   }
 }
 
@@ -132,31 +152,70 @@ std::pair<double, double> Scheduler::BookLanes(core::ExecutionMode mode,
   return {start, finish};
 }
 
+double Scheduler::BookGpuSpan(double arrival, double duration) {
+  std::unique_lock<std::mutex> lock(lanes_mutex_);
+  const double start = std::max(arrival, gpu_lane_);
+  gpu_lane_ = start + duration;
+  return start;
+}
+
+void Scheduler::FinishJob(ScheduledJob& item, JobResult result) {
+  admission_.Release(item.demand);
+  stats_.RecordOutcome(result.metrics);
+  item.promise.set_value(std::move(result));
+}
+
+bool Scheduler::FinishIfExpiredInQueue(ScheduledJob& item) {
+  const double timeout = item.job.options.timeout_seconds;
+  if (timeout <= 0.0) return false;
+  if (ElapsedSeconds(item.submit_wall) < timeout &&
+      !item.cancel->load(std::memory_order_relaxed)) {
+    return false;
+  }
+  JobResult result;
+  JobMetrics& m = result.metrics;
+  m.id = item.id;
+  m.virtual_arrival = item.job.options.virtual_arrival;
+  m.outcome = JobOutcome::kTimedOut;
+  // No executor ever saw this job: leave `executor` meaningless and say so
+  // explicitly, so stats can separate queue expiries from mid-run timeouts.
+  m.executed = false;
+  result.status =
+      Status::Cancelled("timed out after " + std::to_string(timeout) +
+                        "s while queued");
+  FinishJob(item, std::move(result));
+  return true;
+}
+
+void Scheduler::WatchJob(const ScheduledJob& item) {
+  const double timeout = item.job.options.timeout_seconds;
+  if (timeout <= 0.0) return;
+  std::unique_lock<std::mutex> lock(watch_mutex_);
+  watched_[item.id] =
+      Watched{item.cancel, item.submit_wall + ToSteadyDuration(timeout)};
+}
+
+void Scheduler::UnwatchJob(const ScheduledJob& item) {
+  if (item.job.options.timeout_seconds <= 0.0) return;
+  std::unique_lock<std::mutex> lock(watch_mutex_);
+  watched_.erase(item.id);
+}
+
 void Scheduler::RunJob(ScheduledJob& item) {
+  if (FinishIfExpiredInQueue(item)) return;
+
   JobResult result;
   JobMetrics& m = result.metrics;
   m.id = item.id;
   m.virtual_arrival = item.job.options.virtual_arrival;
 
   const JobOptions& opts = item.job.options;
-  const double timeout = opts.timeout_seconds;
 
   auto finish = [&](JobOutcome outcome, Status status) {
     m.outcome = outcome;
     result.status = std::move(status);
-    admission_.Release(item.demand);
-    stats_.RecordOutcome(m);
-    item.promise.set_value(std::move(result));
+    FinishJob(item, std::move(result));
   };
-
-  // Expired while queued?
-  if (timeout > 0.0 && (ElapsedSeconds(item.submit_wall) >= timeout ||
-                        item.cancel->load(std::memory_order_relaxed))) {
-    finish(JobOutcome::kTimedOut,
-           Status::Cancelled("timed out after " + std::to_string(timeout) +
-                             "s while queued"));
-    return;
-  }
 
   // Route.  kAuto mirrors core::Multiply's policy, plus graceful
   // degradation: a small job takes the device only if it is free this
@@ -177,21 +236,53 @@ void Scheduler::RunJob(ScheduledJob& item) {
   } else if (NeedsDevice(mode)) {
     lease = arbiter_.Acquire();
   }
+
+  // Reserve the plan's device bytes for the duration of the run.  Only what
+  // was actually reserved is returned below — CPU-only routes never touch
+  // the ledger, so reservations balance to zero by construction.
+  std::int64_t reserved = 0;
+  if (lease.held() && item.demand.planned_device_bytes > 0) {
+    const std::int64_t want = item.demand.planned_device_bytes;
+    if (arbiter_.TryReserve(want)) {
+      reserved = want;
+    } else {
+      stats_.RecordReserveShortfall();
+      if (opts.mode == core::ExecutionMode::kAuto) {
+        // Running anyway would overcommit the ledger admission relies on;
+        // degrade to the CPU path instead.
+        lease.Release();
+        mode = core::ExecutionMode::kCpuOnly;
+      } else {
+        // An explicit device mode has no CPU fallback: wait briefly for
+        // outstanding reservations to drain, then give up loudly.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            ToSteadyDuration(std::max(0.0, config_.reserve_wait_seconds));
+        const auto poll = std::chrono::duration<double>(
+            std::max(1e-4, config_.reserve_poll_seconds));
+        while (reserved == 0 && std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(poll);
+          if (arbiter_.AvailableEstimate() >= want &&
+              arbiter_.TryReserve(want)) {
+            reserved = want;
+          }
+        }
+        if (reserved == 0) {
+          lease.Release();
+          finish(JobOutcome::kFailed,
+                 Status::ResourceExhausted(
+                     "device reservation unavailable: want " +
+                     std::to_string(want) + " bytes, " +
+                     std::to_string(arbiter_.AvailableEstimate()) + " free"));
+          return;
+        }
+      }
+    }
+  }
   m.executor = mode;
+  m.executed = true;
 
-  if (lease.held()) {
-    arbiter_.TryReserve(item.demand.planned_device_bytes);
-  }
-
-  // Register with the watchdog for the execution phase.
-  if (timeout > 0.0) {
-    std::unique_lock<std::mutex> lock(watch_mutex_);
-    watched_[item.id] = Watched{
-        item.cancel,
-        item.submit_wall + std::chrono::duration_cast<
-                               std::chrono::steady_clock::duration>(
-                               std::chrono::duration<double>(timeout))};
-  }
+  WatchJob(item);
 
   // Execute with scheduler-owned retry-with-replan: the executor's internal
   // retry loop is disabled, each pool overflow doubles the safety factor
@@ -217,12 +308,9 @@ void Scheduler::RunJob(ScheduledJob& item) {
     }
   }
   m.wall_seconds = wall.Seconds();
+  if (reserved > 0) arbiter_.Unreserve(reserved);
   lease.Release();
-  arbiter_.Unreserve(item.demand.planned_device_bytes);
-  if (timeout > 0.0) {
-    std::unique_lock<std::mutex> lock(watch_mutex_);
-    watched_.erase(item.id);
-  }
+  UnwatchJob(item);
 
   if (!run.ok()) {
     if (run.status().code() == StatusCode::kCancelled) {
@@ -244,6 +332,145 @@ void Scheduler::RunJob(ScheduledJob& item) {
   m.latency_seconds = vfinish - m.virtual_arrival;
   result.c = std::move(run.value().c);
   finish(JobOutcome::kCompleted, Status::Ok());
+}
+
+void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
+  // Sweep members whose timeout fired while queued before paying for the
+  // device; a member that expires later is cancelled cooperatively at a
+  // segment boundary inside the batched executor.
+  std::vector<std::unique_ptr<ScheduledJob>> live;
+  live.reserve(batch.size());
+  for (auto& item : batch) {
+    if (FinishIfExpiredInQueue(*item)) {
+      if (on_job_done_) on_job_done_();
+    } else {
+      live.push_back(std::move(item));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    RunJob(*live.front());
+    if (on_job_done_) on_job_done_();
+    return;
+  }
+
+  auto fall_back = [&] {
+    stats_.RecordBatchFallback();
+    for (auto& item : live) {
+      RunJob(*item);
+      if (on_job_done_) on_job_done_();
+    }
+  };
+
+  // One lease and one reservation cover the whole batch: the members run
+  // back to back on a shared workspace, so the batch's device demand is
+  // the max — not the sum — of the members'.
+  core::DeviceArbiter::Lease lease = arbiter_.Acquire();
+  const std::int64_t want = BatchPlannedDeviceBytes(live);
+  std::int64_t reserved = 0;
+  if (want > 0) {
+    if (arbiter_.TryReserve(want)) {
+      reserved = want;
+    } else {
+      // The per-job path owns the degradation policy (CPU fallback or
+      // bounded wait); don't duplicate it here.
+      stats_.RecordReserveShortfall();
+      lease.Release();
+      fall_back();
+      return;
+    }
+  }
+
+  for (auto& item : live) WatchJob(*item);
+
+  // The leader's executor config drives the batch; per-member cancels go
+  // through the specs.  Pool overflow replans the whole batch with the
+  // same doubling policy as the per-job path, on the leader's budget.
+  const ScheduledJob& leader = *live.front();
+  core::ExecutorOptions exec = leader.job.options.exec;
+  exec.cancel = nullptr;
+  exec.max_oom_attempts = 1;
+  std::vector<core::BatchJobSpec> specs;
+  specs.reserve(live.size());
+  for (auto& item : live) {
+    core::BatchJobSpec spec;
+    spec.a = item->job.a.get();
+    spec.cancel = item->cancel.get();
+    specs.push_back(spec);
+  }
+
+  int attempts = 0;
+  double backoff = std::max(0.0, leader.job.options.retry_backoff_seconds);
+  StatusOr<core::BatchedRunResult> run = Status::Internal("not attempted");
+  WallTimer wall;
+  for (int attempt = 0;; ++attempt) {
+    ++attempts;
+    run = core::BatchedOutOfCore(device_, specs, *leader.job.b, exec, pool_);
+    const bool pool_overflow =
+        !run.ok() && run.status().code() == StatusCode::kOutOfMemory;
+    if (!pool_overflow || attempt >= leader.job.options.max_retries) break;
+    exec.plan.nnz_safety_factor *= 2.0;
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+  }
+  const double wall_seconds = wall.Seconds();
+
+  for (auto& item : live) UnwatchJob(*item);
+  if (reserved > 0) arbiter_.Unreserve(reserved);
+  lease.Release();
+
+  if (!run.ok()) {
+    // Whole-batch failure (planning error, unrecoverable overflow): the
+    // members re-run individually where per-job policy applies.
+    fall_back();
+    return;
+  }
+  stats_.RecordBatch(static_cast<std::int64_t>(live.size()));
+
+  // The batch occupies the GPU lane as one span; it cannot start before
+  // all members arrived, and each member finishes at its own offset.
+  double arrival = 0.0;
+  for (auto& item : live) {
+    arrival = std::max(arrival, item->job.options.virtual_arrival);
+  }
+  const double start = BookGpuSpan(arrival, run->batch_makespan);
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    ScheduledJob& item = *live[i];
+    core::BatchJobResult& jr = run.value().jobs[i];
+    JobResult result;
+    JobMetrics& m = result.metrics;
+    m.id = item.id;
+    m.virtual_arrival = item.job.options.virtual_arrival;
+    m.executed = true;
+    m.executor = core::ExecutionMode::kGpuOutOfCore;
+    m.batch_size = static_cast<int>(live.size());
+    m.attempts = attempts;
+    m.wall_seconds = wall_seconds / static_cast<double>(live.size());
+    if (!jr.status.ok()) {
+      m.outcome = jr.status.code() == StatusCode::kCancelled
+                      ? JobOutcome::kTimedOut
+                      : JobOutcome::kFailed;
+      m.device_oom = jr.status.code() == StatusCode::kOutOfMemory;
+      result.status = std::move(jr.status);
+      FinishJob(item, std::move(result));
+      if (on_job_done_) on_job_done_();
+      continue;
+    }
+    m.stats = jr.run.stats;
+    m.exec_seconds = jr.run.stats.total_seconds;
+    m.virtual_start = start;
+    m.virtual_finish = start + std::max(0.0, jr.run.stats.total_seconds);
+    m.queue_seconds = m.virtual_start - m.virtual_arrival;
+    m.latency_seconds = m.virtual_finish - m.virtual_arrival;
+    m.outcome = JobOutcome::kCompleted;
+    result.status = Status::Ok();
+    result.c = std::move(jr.run.c);
+    FinishJob(item, std::move(result));
+    if (on_job_done_) on_job_done_();
+  }
 }
 
 }  // namespace oocgemm::serve

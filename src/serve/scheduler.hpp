@@ -55,6 +55,19 @@ struct SchedulerConfig {
   /// Plans with at most this many chunks count as small (degradable).
   int small_job_chunks = 1;
   double watchdog_period_seconds = 0.0005;
+
+  /// Upper bound on the members of an operand-sharing batch dispatched as
+  /// one device run (core::BatchedOutOfCore); 1 disables batch formation.
+  /// A worker that pops a GPU-eligible job peels up to max_batch_jobs - 1
+  /// queued companions sharing its B operand.
+  int max_batch_jobs = 1;
+
+  /// A worker holding a device lease whose TryReserve is refused waits up
+  /// to this long (polling) for outstanding reservations to drain before
+  /// failing an explicit-GPU job with RESOURCE_EXHAUSTED.  kAuto jobs
+  /// degrade to the CPU path immediately instead of waiting.
+  double reserve_wait_seconds = 0.05;
+  double reserve_poll_seconds = 0.002;
 };
 
 /// A job after admission, en route to a worker.
@@ -94,12 +107,26 @@ class Scheduler {
   void WorkerLoop();
   void WatchdogLoop();
   void RunJob(ScheduledJob& item);
+  /// Runs an operand-sharing batch (leader first) through
+  /// core::BatchedOutOfCore under one lease; falls back to per-job RunJob
+  /// when the batch fails as a whole.  Fulfils every member's promise and
+  /// fires on_job_done_ per member.
+  void RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch);
+  /// True when the job's timeout elapsed (or it was cancelled) while still
+  /// queued; finishes it with the not-executed marker when so.
+  bool FinishIfExpiredInQueue(ScheduledJob& item);
+  /// Completes a job: releases admission, records stats, sets the promise.
+  void FinishJob(ScheduledJob& item, JobResult result);
   StatusOr<core::RunResult> Dispatch(core::ExecutionMode mode,
                                      const ScheduledJob& item,
                                      const core::ExecutorOptions& exec);
   /// Books `duration` for the job on its lane(s); returns {start, finish}.
   std::pair<double, double> BookLanes(core::ExecutionMode mode,
                                       double arrival, double duration);
+  /// Books `duration` on the GPU lane only; returns the booked start.
+  double BookGpuSpan(double arrival, double duration);
+  void WatchJob(const ScheduledJob& item);
+  void UnwatchJob(const ScheduledJob& item);
 
   vgpu::Device& device_;
   ThreadPool& pool_;

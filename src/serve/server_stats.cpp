@@ -17,6 +17,14 @@ ServerReport ServerStats::Snapshot() const {
   std::unique_lock<std::mutex> lock(mutex_);
   ServerReport r;
   r.submitted = submitted_;
+  r.batches = batches_;
+  r.batched_jobs = batched_jobs_;
+  r.batch_fallbacks = batch_fallbacks_;
+  r.reserve_shortfalls = reserve_shortfalls_;
+  if (batches_ > 0) {
+    r.avg_batch_size =
+        static_cast<double>(batched_jobs_) / static_cast<double>(batches_);
+  }
 
   std::vector<double> latencies, queue_waits;
   double min_arrival = 0.0, max_finish = 0.0;
@@ -31,6 +39,8 @@ ServerReport ServerStats::Snapshot() const {
         latencies.push_back(m.latency_seconds);
         queue_waits.push_back(m.queue_seconds);
         flops += static_cast<double>(m.stats.flops);
+        r.b_panel_uploads += m.stats.b_panel_uploads;
+        r.b_panel_hits += m.stats.b_panel_hits;
         if (!any_completed || m.virtual_arrival < min_arrival) {
           min_arrival = m.virtual_arrival;
         }
@@ -46,7 +56,10 @@ ServerReport ServerStats::Snapshot() const {
         break;
       }
       case JobOutcome::kRejected: ++r.rejected; break;
-      case JobOutcome::kTimedOut: ++r.timed_out; break;
+      case JobOutcome::kTimedOut:
+        ++r.timed_out;
+        if (!m.executed) ++r.timed_out_in_queue;
+        break;
       case JobOutcome::kFailed: ++r.failed; break;
     }
   }
@@ -79,12 +92,20 @@ std::string ServerReport::ToJson() const {
   os << "  \"completed\": " << completed << ",\n";
   os << "  \"rejected\": " << rejected << ",\n";
   os << "  \"timed_out\": " << timed_out << ",\n";
+  os << "  \"timed_out_in_queue\": " << timed_out_in_queue << ",\n";
   os << "  \"failed\": " << failed << ",\n";
   os << "  \"device_oom_failures\": " << device_oom_failures << ",\n";
   os << "  \"retries\": " << retries << ",\n";
   os << "  \"via_cpu\": " << via_cpu << ",\n";
   os << "  \"via_gpu\": " << via_gpu << ",\n";
   os << "  \"via_hybrid\": " << via_hybrid << ",\n";
+  os << "  \"batches\": " << batches << ",\n";
+  os << "  \"batched_jobs\": " << batched_jobs << ",\n";
+  os << "  \"avg_batch_size\": " << avg_batch_size << ",\n";
+  os << "  \"batch_fallbacks\": " << batch_fallbacks << ",\n";
+  os << "  \"b_panel_uploads\": " << b_panel_uploads << ",\n";
+  os << "  \"b_panel_hits\": " << b_panel_hits << ",\n";
+  os << "  \"reserve_shortfalls\": " << reserve_shortfalls << ",\n";
   os << "  \"virtual_makespan_seconds\": " << virtual_makespan_seconds
      << ",\n";
   os << "  \"jobs_per_second\": " << jobs_per_second << ",\n";
@@ -107,6 +128,11 @@ std::string ServerReport::DebugString() const {
      << HumanSeconds(virtual_makespan_seconds) << ", latency p50 "
      << HumanSeconds(latency_p50) << " p95 " << HumanSeconds(latency_p95)
      << " p99 " << HumanSeconds(latency_p99);
+  if (batches > 0) {
+    os << ", " << batched_jobs << " jobs in " << batches << " batches (avg "
+       << Fixed(avg_batch_size, 2) << ", " << b_panel_uploads
+       << " B-panel uploads)";
+  }
   return os.str();
 }
 

@@ -18,6 +18,9 @@ struct ServerReport {
   std::int64_t completed = 0;
   std::int64_t rejected = 0;
   std::int64_t timed_out = 0;
+  /// Subset of timed_out that never reached an executor (expired while
+  /// still queued) — distinguished via JobMetrics::executed.
+  std::int64_t timed_out_in_queue = 0;
   std::int64_t failed = 0;
   std::int64_t device_oom_failures = 0;  // must stay 0: admission's contract
   std::int64_t retries = 0;              // scheduler-level re-plans
@@ -26,6 +29,18 @@ struct ServerReport {
   std::int64_t via_cpu = 0;
   std::int64_t via_gpu = 0;
   std::int64_t via_hybrid = 0;
+
+  // Operand-aware batching.
+  std::int64_t batches = 0;       // multi-job device runs dispatched
+  std::int64_t batched_jobs = 0;  // jobs that rode in those runs
+  double avg_batch_size = 0.0;    // batched_jobs / batches
+  std::int64_t batch_fallbacks = 0;  // batches that failed and re-ran per job
+  /// Summed B-column-panel traffic of completed jobs' winning runs.
+  std::int64_t b_panel_uploads = 0;
+  std::int64_t b_panel_hits = 0;
+
+  /// Scheduler TryReserve attempts the arbiter refused (demand vs ledger).
+  std::int64_t reserve_shortfalls = 0;
 
   // Virtual-timeline throughput: completed jobs over the busy span
   // [min arrival, max finish].
@@ -54,11 +69,32 @@ class ServerStats {
   }
   void RecordOutcome(const JobMetrics& metrics);
 
+  /// A multi-job device run was dispatched with `members` jobs.
+  void RecordBatch(std::int64_t members) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++batches_;
+    batched_jobs_ += members;
+  }
+  /// A batch failed as a whole and its members re-ran individually.
+  void RecordBatchFallback() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++batch_fallbacks_;
+  }
+  /// The scheduler asked the arbiter to reserve bytes and was refused.
+  void RecordReserveShortfall() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++reserve_shortfalls_;
+  }
+
   ServerReport Snapshot() const;
 
  private:
   mutable std::mutex mutex_;
   std::int64_t submitted_ = 0;
+  std::int64_t batches_ = 0;
+  std::int64_t batched_jobs_ = 0;
+  std::int64_t batch_fallbacks_ = 0;
+  std::int64_t reserve_shortfalls_ = 0;
   std::vector<JobMetrics> finished_;
 };
 

@@ -5,14 +5,19 @@
 //   oocgemm_cli multiply a.mtx [b.mtx] --executor=hybrid --device-mem=16
 //               [--ratio=0.67] [--out=c.mtx] [--trace=run.json] [--verify]
 //   oocgemm_cli serve --jobs=64 [--load=0] [--workers=4] [--queue=64]
-//               [--device-mem=1] [--timeout=0] [--seed=1] [--report=r.json]
+//               [--batch=1] [--device-mem=1] [--timeout=0] [--seed=1]
+//               [--report=r.json]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
 // C = A x A convention).  --device-mem is the virtual device memory in MiB.
 // `serve` drives the multi-tenant serving runtime with a synthetic
 // open-loop workload: --load is the offered arrival rate in jobs per
 // virtual second (0 = submit the whole batch at t=0) and --report writes
-// the ServerReport JSON.
+// the ServerReport JSON.  --batch=N enables operand-aware batching (up to
+// N queued jobs sharing a B operand execute as one device batch) and
+// switches the workload to shared-operand form: every job draws its B
+// from a small common pool so batches can actually form.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -83,8 +88,8 @@ int Usage() {
       "cpu] [--device-mem=MiB] [--ratio=R] [--out=C.mtx] [--trace=T.json] "
       "[--verify]\n"
       "  oocgemm_cli serve [--jobs=N] [--load=JOBS_PER_VSEC] [--workers=W] "
-      "[--queue=Q] [--device-mem=MiB] [--timeout=SEC] [--seed=S] "
-      "[--report=R.json] [--verify]\n");
+      "[--queue=Q] [--batch=B] [--device-mem=MiB] [--timeout=SEC] "
+      "[--seed=S] [--report=R.json] [--verify]\n");
   return 2;
 }
 
@@ -243,6 +248,7 @@ int Serve(const Args& args) {
   const double load = args.FlagD("load", 0.0);
   const double mem_mib = args.FlagD("device-mem", 1.0);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.FlagD("seed", 1));
+  const int batch = std::max(1, static_cast<int>(args.FlagD("batch", 1)));
 
   vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
   props.memory_bytes = static_cast<std::int64_t>(mem_mib * (1 << 20));
@@ -252,45 +258,73 @@ int Serve(const Args& args) {
   serve::ServerConfig config;
   config.scheduler.num_workers = static_cast<int>(args.FlagD("workers", 4));
   config.scheduler.cpu_lanes = config.scheduler.num_workers - 1;
+  config.scheduler.max_batch_jobs = batch;
   config.max_queue =
       static_cast<std::size_t>(args.FlagD("queue", jobs));
   config.default_timeout_seconds = args.FlagD("timeout", 0.0);
   serve::SpgemmServer server(device, pool, config);
 
   SplitMix64 rng(seed);
+
+  // Shared-operand pool for --batch mode: jobs draw their B from here so
+  // the scheduler has same-operand runs to coalesce.
+  std::vector<std::shared_ptr<const sparse::Csr>> shared_bs;
+  if (batch > 1) {
+    for (int i = 0; i < 2; ++i) {
+      sparse::RmatParams p;
+      p.scale = 8;
+      p.edge_factor = 8.0;
+      p.seed = rng.Next();
+      shared_bs.push_back(
+          std::make_shared<const sparse::Csr>(sparse::GenerateRmat(p)));
+    }
+  }
+
   struct Pending {
     std::shared_ptr<const sparse::Csr> a;
+    std::shared_ptr<const sparse::Csr> b;
     std::future<serve::JobResult> future;
   };
   std::vector<Pending> pending;
   for (int i = 0; i < jobs; ++i) {
-    const std::uint64_t pick = rng.Next() % 8;
-    sparse::Csr m;
-    if (pick < 5) {  // small ER product
+    serve::SpgemmJob job;
+    if (batch > 1) {  // per-tenant A against a pooled B
+      const auto& b = shared_bs[rng.Next() % shared_bs.size()];
       sparse::ErdosRenyiParams p;
-      p.rows = p.cols = 64;
+      p.rows = p.cols = b->rows();
       p.avg_degree = 4.0;
       p.seed = rng.Next();
-      m = sparse::GenerateErdosRenyi(p);
-    } else if (pick < 7) {  // medium R-MAT squaring
-      sparse::RmatParams p;
-      p.scale = 7;
-      p.edge_factor = 8.0;
-      p.seed = rng.Next();
-      m = sparse::GenerateRmat(p);
-    } else {  // occasional large out-of-core job
-      sparse::RmatParams p;
-      p.scale = 9;
-      p.edge_factor = 8.0;
-      p.seed = rng.Next();
-      m = sparse::GenerateRmat(p);
+      job.a = std::make_shared<const sparse::Csr>(
+          sparse::GenerateErdosRenyi(p));
+      job.b = b;
+    } else {
+      const std::uint64_t pick = rng.Next() % 8;
+      sparse::Csr m;
+      if (pick < 5) {  // small ER product
+        sparse::ErdosRenyiParams p;
+        p.rows = p.cols = 64;
+        p.avg_degree = 4.0;
+        p.seed = rng.Next();
+        m = sparse::GenerateErdosRenyi(p);
+      } else if (pick < 7) {  // medium R-MAT squaring
+        sparse::RmatParams p;
+        p.scale = 7;
+        p.edge_factor = 8.0;
+        p.seed = rng.Next();
+        m = sparse::GenerateRmat(p);
+      } else {  // occasional large out-of-core job
+        sparse::RmatParams p;
+        p.scale = 9;
+        p.edge_factor = 8.0;
+        p.seed = rng.Next();
+        m = sparse::GenerateRmat(p);
+      }
+      job.a = std::make_shared<const sparse::Csr>(std::move(m));
+      job.b = job.a;
     }
-    serve::SpgemmJob job;
-    job.a = std::make_shared<const sparse::Csr>(std::move(m));
-    job.b = job.a;
     job.options.priority = static_cast<int>(rng.Next() % 4);
     job.options.virtual_arrival = load > 0.0 ? i / load : 0.0;
-    pending.push_back({job.a, server.Submit(std::move(job))});
+    pending.push_back({job.a, job.b, server.Submit(std::move(job))});
   }
   server.Drain();
 
@@ -305,7 +339,7 @@ int Serve(const Args& args) {
       continue;
     }
     if (args.Has("verify") &&
-        !r.c.ApproxEquals(kernels::ReferenceSpgemm(*p.a, *p.a))) {
+        !r.c.ApproxEquals(kernels::ReferenceSpgemm(*p.a, *p.b))) {
       std::fprintf(stderr, "VERIFY FAILED: job %llu\n",
                    static_cast<unsigned long long>(r.metrics.id));
       ++verify_failures;
