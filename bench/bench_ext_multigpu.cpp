@@ -1,9 +1,11 @@
 // Extension benchmark: scaling the hybrid executor across multiple virtual
 // GPUs (the paper's future-work direction).  Expected: near-linear scaling
 // while the aggregate GPU throughput stays below the problem's transfer-
-// bound optimum; the CPU's share shrinks as D grows.
+// bound optimum; the CPU's share shrinks as D grows.  Emits
+// BENCH_ext_multigpu.json.
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -18,12 +20,15 @@ int main() {
       "edges and the fixed CPU)");
 
   bench::BenchContext ctx;
+  const std::vector<int> device_counts = {1, 2, 4};
   TablePrinter table({"matrix", "1 GPU", "2 GPUs", "4 GPUs", "2-GPU speedup",
                       "4-GPU speedup"});
+  std::ostringstream runs;
+  bool first = true;
   for (const auto& spec : sparse::PaperMatrices(bench::kBenchScaleShift)) {
     sparse::Csr a = spec.build();
     std::vector<double> gflops;
-    for (int num_devices : {1, 2, 4}) {
+    for (int num_devices : device_counts) {
       std::vector<std::unique_ptr<vgpu::Device>> storage;
       std::vector<vgpu::Device*> devices;
       for (int d = 0; d < num_devices; ++d) {
@@ -38,11 +43,23 @@ int main() {
         return 1;
       }
       gflops.push_back(r->stats.combined.gflops());
+      runs << (first ? "" : ",\n") << "    {\"matrix\": \"" << spec.abbr
+           << "\", \"devices\": " << num_devices
+           << ", \"gflops\": " << gflops.back()
+           << ", \"total_seconds\": " << r->stats.combined.total_seconds
+           << ", \"cpu_chunks\": " << r->stats.combined.num_cpu_chunks
+           << ", \"gpu_chunks\": " << r->stats.combined.num_gpu_chunks << "}";
+      first = false;
     }
     table.AddRow({spec.abbr, Fixed(gflops[0], 3), Fixed(gflops[1], 3),
                   Fixed(gflops[2], 3), Fixed(gflops[1] / gflops[0], 2) + "x",
                   Fixed(gflops[2] / gflops[0], 2) + "x"});
   }
   table.Print();
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"ext_multigpu\",\n  \"runs\": [\n"
+       << runs.str() << "\n  ]\n}";
+  if (!bench::WriteBenchJson("BENCH_ext_multigpu.json", json.str())) return 1;
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 namespace oocgemm::bench {
 
@@ -9,6 +10,19 @@ void PrintHeader(const std::string& experiment, const std::string& paper_ref,
   std::printf("== %s ==\n", experiment.c_str());
   std::printf("paper: %s\n", paper_ref.c_str());
   std::printf("expected shape: %s\n\n", expectation.c_str());
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  out << json;
+  if (json.empty() || json.back() != '\n') out << "\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace oocgemm::bench

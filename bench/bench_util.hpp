@@ -39,4 +39,9 @@ struct BenchContext {
 void PrintHeader(const std::string& experiment, const std::string& paper_ref,
                  const std::string& expectation);
 
+/// Writes a bench's JSON payload to `path` (the BENCH_*.json convention the
+/// perf-trajectory tooling scrapes) and prints the standard "wrote <path>"
+/// line.  Returns false after printing a diagnostic when the write fails.
+bool WriteBenchJson(const std::string& path, const std::string& json);
+
 }  // namespace oocgemm::bench

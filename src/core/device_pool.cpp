@@ -1,0 +1,117 @@
+#include "core/device_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace oocgemm::core {
+
+DevicePool::DevicePool(std::vector<vgpu::Device*> devices)
+    : devices_(std::move(devices)) {
+  arbiters_.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->set_id(static_cast<int>(i));
+    arbiters_.push_back(std::make_unique<DeviceArbiter>(*devices_[i]));
+  }
+}
+
+std::vector<int> DevicePool::CandidatesByLeastReserved(
+    std::int64_t min_capacity_bytes) const {
+  std::vector<std::pair<std::int64_t, int>> order;
+  order.reserve(devices_.size());
+  for (int i = 0; i < size(); ++i) {
+    if (device(i).capacity() < min_capacity_bytes) continue;
+    order.emplace_back(arbiter(i).reserved_bytes(), i);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<int> indices;
+  indices.reserve(order.size());
+  for (const auto& [reserved, i] : order) indices.push_back(i);
+  return indices;
+}
+
+DevicePool::Slot DevicePool::TryAcquire(std::int64_t min_capacity_bytes) {
+  for (int i : CandidatesByLeastReserved(min_capacity_bytes)) {
+    DeviceArbiter::Lease lease = arbiter(i).TryAcquire();
+    if (lease.held()) return Slot(this, i, std::move(lease));
+  }
+  return Slot();
+}
+
+DevicePool::Slot DevicePool::Acquire(std::int64_t min_capacity_bytes) {
+  if (!AnyDeviceFits(min_capacity_bytes)) return Slot();
+  for (;;) {
+    Slot slot = TryAcquire(min_capacity_bytes);
+    if (slot.held()) return slot;
+    std::unique_lock<std::mutex> lock(released_mutex_);
+    released_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+std::vector<DevicePool::Slot> DevicePool::TryAcquireFree(
+    int max_slots, std::int64_t min_capacity_bytes) {
+  std::vector<Slot> slots;
+  for (int i : CandidatesByLeastReserved(min_capacity_bytes)) {
+    if (static_cast<int>(slots.size()) >= max_slots) break;
+    DeviceArbiter::Lease lease = arbiter(i).TryAcquire();
+    if (lease.held()) slots.push_back(Slot(this, i, std::move(lease)));
+  }
+  return slots;
+}
+
+bool DevicePool::AnyDeviceFits(std::int64_t bytes) const {
+  for (vgpu::Device* d : devices_) {
+    if (d->capacity() >= bytes) return true;
+  }
+  return false;
+}
+
+std::int64_t DevicePool::total_capacity() const {
+  std::int64_t total = 0;
+  for (vgpu::Device* d : devices_) total += d->capacity();
+  return total;
+}
+
+std::int64_t DevicePool::max_device_capacity() const {
+  std::int64_t max_cap = 0;
+  for (vgpu::Device* d : devices_) max_cap = std::max(max_cap, d->capacity());
+  return max_cap;
+}
+
+std::int64_t DevicePool::min_device_capacity() const {
+  std::int64_t min_cap = std::numeric_limits<std::int64_t>::max();
+  for (vgpu::Device* d : devices_) min_cap = std::min(min_cap, d->capacity());
+  return devices_.empty() ? 0 : min_cap;
+}
+
+std::int64_t DevicePool::reserved_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& a : arbiters_) total += a->reserved_bytes();
+  return total;
+}
+
+std::int64_t DevicePool::lease_count() const {
+  std::int64_t total = 0;
+  for (const auto& a : arbiters_) total += a->lease_count();
+  return total;
+}
+
+std::int64_t DevicePool::contention_count() const {
+  std::int64_t total = 0;
+  for (const auto& a : arbiters_) total += a->contention_count();
+  return total;
+}
+
+std::int64_t DevicePool::reserve_shortfalls() const {
+  std::int64_t total = 0;
+  for (const auto& a : arbiters_) total += a->reserve_shortfalls();
+  return total;
+}
+
+std::int64_t DevicePool::unreserve_underflows() const {
+  std::int64_t total = 0;
+  for (const auto& a : arbiters_) total += a->unreserve_underflows();
+  return total;
+}
+
+}  // namespace oocgemm::core

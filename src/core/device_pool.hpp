@@ -1,0 +1,141 @@
+// A fleet of virtual GPUs behind one arbitration facade.
+//
+// The serving scheduler of PRs 1-2 funnelled every device-side job through
+// a single vgpu::Device and DeviceArbiter; the pool generalizes that to D
+// devices, each with its own exclusive-lease arbiter and reservation
+// ledger, plus the aggregate accounting admission needs ("how much device
+// memory is promised across the whole node?").
+//
+// Placement policy: candidates are the devices whose *capacity* can hold
+// the caller's working set (a job must never land on a device it cannot
+// fit — the per-device ledger would refuse the reservation and the job
+// would degrade or fail for no reason), ordered by least reserved bytes
+// first so new work spreads away from devices already promised to big
+// jobs.  TryAcquire walks that order and takes the first free device;
+// Acquire blocks until some candidate frees up.  TryAcquireFree grabs
+// every currently-free candidate (up to a cap) for jobs that can span
+// devices via core::MultiGpuHybrid.
+//
+// Devices are tagged with their pool index (vgpu::Device::set_id) so their
+// traces stay attributable after export.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/device_arbiter.hpp"
+#include "vgpu/device.hpp"
+
+namespace oocgemm::core {
+
+class DevicePool {
+ public:
+  /// The pool does not own the devices; it tags each with its index.
+  explicit DevicePool(std::vector<vgpu::Device*> devices);
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  vgpu::Device& device(int index) const { return *devices_[static_cast<std::size_t>(index)]; }
+  DeviceArbiter& arbiter(int index) const {
+    return *arbiters_[static_cast<std::size_t>(index)];
+  }
+
+  /// An exclusive lease on one pool device, plus which device it is.
+  /// Releasing (or destroying) the slot wakes blocked Acquire callers.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept { *this = std::move(other); }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        index_ = other.index_;
+        lease_ = std::move(other.lease_);
+        other.pool_ = nullptr;
+        other.index_ = -1;
+      }
+      return *this;
+    }
+    ~Slot() { Release(); }
+
+    bool held() const { return lease_.held(); }
+    int index() const { return index_; }
+    vgpu::Device& device() const { return pool_->device(index_); }
+    DeviceArbiter& arbiter() const { return pool_->arbiter(index_); }
+
+    void Release() {
+      if (lease_.held()) {
+        lease_.Release();
+        pool_->NotifyReleased();
+      }
+      pool_ = nullptr;
+      index_ = -1;
+    }
+
+   private:
+    friend class DevicePool;
+    Slot(DevicePool* pool, int index, DeviceArbiter::Lease lease)
+        : pool_(pool), index_(index), lease_(std::move(lease)) {}
+
+    DevicePool* pool_ = nullptr;
+    int index_ = -1;
+    DeviceArbiter::Lease lease_;
+  };
+
+  /// Non-blocking: the least-reserved free device whose capacity is at
+  /// least `min_capacity_bytes`; empty when every candidate is leased (or
+  /// none is large enough).
+  Slot TryAcquire(std::int64_t min_capacity_bytes = 0);
+
+  /// Blocking variant.  Returns an empty slot *immediately* when no pool
+  /// device is large enough — waiting could never succeed.
+  Slot Acquire(std::int64_t min_capacity_bytes = 0);
+
+  /// Grabs up to `max_slots` currently-free candidates, least-reserved
+  /// first, without blocking (possibly none).  For multi-chunk jobs that
+  /// can span devices: opportunistic, never steals from queued neighbours
+  /// by waiting.
+  std::vector<Slot> TryAcquireFree(int max_slots,
+                                   std::int64_t min_capacity_bytes = 0);
+
+  /// True when some device's capacity is at least `bytes`.
+  bool AnyDeviceFits(std::int64_t bytes) const;
+
+  // --- aggregate accounting (sums over the per-device arbiters) -----------
+
+  std::int64_t total_capacity() const;
+  std::int64_t max_device_capacity() const;
+  std::int64_t min_device_capacity() const;
+  std::int64_t reserved_bytes() const;
+  std::int64_t lease_count() const;
+  std::int64_t contention_count() const;
+  std::int64_t reserve_shortfalls() const;
+  std::int64_t unreserve_underflows() const;
+
+ private:
+  friend class Slot;
+  void NotifyReleased() { released_cv_.notify_all(); }
+
+  /// Candidate indices (capacity >= min bytes) ordered by ascending
+  /// reserved bytes, ties by index.
+  std::vector<int> CandidatesByLeastReserved(
+      std::int64_t min_capacity_bytes) const;
+
+  std::vector<vgpu::Device*> devices_;
+  std::vector<std::unique_ptr<DeviceArbiter>> arbiters_;
+
+  // Wakes Acquire when any Slot releases.  Waits use a short timeout as a
+  // backstop so a lease released through the raw arbiter (tests do this)
+  // cannot strand a blocked Acquire.
+  std::mutex released_mutex_;
+  std::condition_variable released_cv_;
+};
+
+}  // namespace oocgemm::core

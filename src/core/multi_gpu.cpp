@@ -86,6 +86,21 @@ StatusOr<MultiGpuResult> MultiGpuHybrid(
       result.stats.gpu_seconds.push_back(run->makespan);
       result.stats.combined.nnz_out += run->nnz;
       result.stats.combined.num_gpu_chunks += run->chunks_run;
+      result.stats.combined.b_panel_uploads += run->b_panel_uploads;
+      result.stats.combined.b_panel_hits += run->b_panel_hits;
+
+      RunStats per;
+      per.flops = run->flops;
+      per.nnz_out = run->nnz;
+      per.num_chunks = run->chunks_run;
+      per.num_gpu_chunks = run->chunks_run;
+      per.b_panel_uploads = run->b_panel_uploads;
+      per.b_panel_hits = run->b_panel_hits;
+      FillStatsFromTrace(devices[static_cast<std::size_t>(d)]->trace(), per);
+      per.total_seconds = std::max(per.total_seconds, run->makespan);
+      per.gpu_seconds = run->makespan;
+      result.stats.per_device.push_back(std::move(per));
+
       for (auto& p : run->payloads) payloads.push_back(std::move(p));
     }
     if (oom) {

@@ -25,6 +25,11 @@ struct MultiGpuStats {
   RunStats combined;
   /// Virtual makespan of each GPU worker.
   std::vector<double> gpu_seconds;
+  /// Per-device accounting, parallel to the `devices` argument: each entry
+  /// carries that device's chunk count, output nnz, panel traffic and
+  /// trace-derived engine times.  The round-robin deal guarantees
+  /// num_gpu_chunks across entries differs by at most one.
+  std::vector<RunStats> per_device;
 };
 
 struct MultiGpuResult {

@@ -54,6 +54,11 @@ JobDemand EstimateJobDemand(const sparse::Csr& a, const sparse::Csr& b,
 struct AdmissionLimits {
   /// Ceiling on the summed host_bytes() of admitted, not-yet-finished jobs.
   std::int64_t host_bytes_budget = 4ll << 30;
+  /// Ceiling on the summed planned_device_bytes of admitted GPU-feasible
+  /// jobs — the pool-wide headroom check for multi-device nodes.  0 means
+  /// uncapped (the per-device reservation ledgers still bound what runs);
+  /// servers typically set it to DevicePool::total_capacity().
+  std::int64_t device_bytes_budget = 0;
 };
 
 class AdmissionController {
@@ -70,12 +75,15 @@ class AdmissionController {
   void Release(const JobDemand& demand);
 
   std::int64_t outstanding_bytes() const;
+  /// Summed planned_device_bytes of admitted GPU-feasible jobs in flight.
+  std::int64_t outstanding_device_bytes() const;
   const AdmissionLimits& limits() const { return limits_; }
 
  private:
   AdmissionLimits limits_;
   mutable std::mutex mutex_;
   std::int64_t outstanding_ = 0;
+  std::int64_t outstanding_device_ = 0;
 };
 
 }  // namespace oocgemm::serve

@@ -76,6 +76,14 @@ struct JobMetrics {
   int batch_size = 1;
   int attempts = 0;
 
+  /// Pool index of the device the job (or its batch) ran on; -1 for jobs
+  /// that never took a device lease (CPU-only routes, rejections).  For a
+  /// multi-device span this is the primary device.
+  int device_index = -1;
+  /// Distinct devices the run occupied (0 for CPU-only, 1 for a normal
+  /// device run, >1 when a Hybrid job spanned extra free devices).
+  int devices_used = 0;
+
   // Virtual-timeline accounting (the repository's common currency: every
   // bench reports virtual seconds of the modeled V100 + Xeon node).
   double virtual_arrival = 0.0;

@@ -5,6 +5,7 @@
 #include "common/timer.hpp"
 #include "core/batched.hpp"
 #include "core/executors.hpp"
+#include "core/multi_gpu.hpp"
 #include "serve/batching.hpp"
 
 namespace oocgemm::serve {
@@ -30,19 +31,21 @@ std::chrono::steady_clock::duration ToSteadyDuration(double seconds) {
 
 }  // namespace
 
-Scheduler::Scheduler(vgpu::Device& device, ThreadPool& pool,
+Scheduler::Scheduler(core::DevicePool& devices, ThreadPool& pool,
                      SchedulerConfig config, JobQueue& queue,
                      AdmissionController& admission, ServerStats& stats)
-    : device_(device),
+    : devices_(devices),
       pool_(pool),
       config_(config),
       queue_(queue),
       admission_(admission),
-      stats_(stats),
-      arbiter_(device) {
+      stats_(stats) {
   config_.num_workers = std::max(1, config_.num_workers);
   config_.cpu_lanes = std::max(1, config_.cpu_lanes);
   config_.max_batch_jobs = std::max(1, config_.max_batch_jobs);
+  config_.max_devices_per_job = std::max(1, config_.max_devices_per_job);
+  gpu_lanes_.assign(static_cast<std::size_t>(devices_.size()), 0.0);
+  gpu_busy_.assign(static_cast<std::size_t>(devices_.size()), 0.0);
   cpu_lanes_.assign(static_cast<std::size_t>(config_.cpu_lanes), 0.0);
 }
 
@@ -69,9 +72,15 @@ void Scheduler::Stop() {
 
 double Scheduler::VirtualNow() const {
   std::unique_lock<std::mutex> lock(lanes_mutex_);
-  double now = gpu_lane_;
+  double now = 0.0;
+  for (double lane : gpu_lanes_) now = std::max(now, lane);
   for (double lane : cpu_lanes_) now = std::max(now, lane);
   return now;
+}
+
+std::vector<double> Scheduler::GpuLaneBusySeconds() const {
+  std::unique_lock<std::mutex> lock(lanes_mutex_);
+  return gpu_busy_;
 }
 
 void Scheduler::WorkerLoop() {
@@ -112,50 +121,63 @@ void Scheduler::WatchdogLoop() {
 
 StatusOr<core::RunResult> Scheduler::Dispatch(
     core::ExecutionMode mode, const ScheduledJob& item,
-    const core::ExecutorOptions& exec) {
+    const core::ExecutorOptions& exec,
+    const std::vector<vgpu::Device*>& devs) {
   const sparse::Csr& a = *item.job.a;
   const sparse::Csr& b = *item.job.b;
   switch (mode) {
     case core::ExecutionMode::kCpuOnly:
       return core::CpuMulticore(a, b, exec, pool_);
     case core::ExecutionMode::kGpuOutOfCore:
-      return core::AsyncOutOfCore(device_, a, b, exec, pool_);
+      return core::AsyncOutOfCore(*devs.front(), a, b, exec, pool_);
     case core::ExecutionMode::kGpuSynchronous:
-      return core::SyncOutOfCore(device_, a, b, exec, pool_);
-    case core::ExecutionMode::kHybrid:
-      return core::Hybrid(device_, a, b, exec, pool_);
+      return core::SyncOutOfCore(*devs.front(), a, b, exec, pool_);
+    case core::ExecutionMode::kHybrid: {
+      if (devs.size() == 1) return core::Hybrid(*devs.front(), a, b, exec, pool_);
+      auto mg = core::MultiGpuHybrid(devs, a, b, exec, pool_);
+      if (!mg.ok()) return mg.status();
+      core::RunResult r;
+      r.c = std::move(mg->c);
+      r.stats = std::move(mg->stats.combined);
+      return r;
+    }
     case core::ExecutionMode::kAuto:
       break;
   }
   return Status::Internal("unrouted execution mode");
 }
 
-std::pair<double, double> Scheduler::BookLanes(core::ExecutionMode mode,
-                                               double arrival,
-                                               double duration) {
+std::pair<double, double> Scheduler::BookLanes(
+    bool uses_cpu, const std::vector<int>& gpu_lanes, double arrival,
+    double duration) {
   std::unique_lock<std::mutex> lock(lanes_mutex_);
   double start = arrival;
   std::size_t cpu_lane = 0;
-  const bool uses_cpu = mode == core::ExecutionMode::kCpuOnly ||
-                        mode == core::ExecutionMode::kHybrid;
-  const bool uses_gpu = NeedsDevice(mode);
   if (uses_cpu) {
     cpu_lane = static_cast<std::size_t>(
         std::min_element(cpu_lanes_.begin(), cpu_lanes_.end()) -
         cpu_lanes_.begin());
     start = std::max(start, cpu_lanes_[cpu_lane]);
   }
-  if (uses_gpu) start = std::max(start, gpu_lane_);
+  for (int g : gpu_lanes) {
+    start = std::max(start, gpu_lanes_[static_cast<std::size_t>(g)]);
+  }
   const double finish = start + duration;
   if (uses_cpu) cpu_lanes_[cpu_lane] = finish;
-  if (uses_gpu) gpu_lane_ = finish;
+  for (int g : gpu_lanes) {
+    gpu_lanes_[static_cast<std::size_t>(g)] = finish;
+    gpu_busy_[static_cast<std::size_t>(g)] += duration;
+  }
   return {start, finish};
 }
 
-double Scheduler::BookGpuSpan(double arrival, double duration) {
+double Scheduler::BookGpuSpan(int device_index, double arrival,
+                              double duration) {
   std::unique_lock<std::mutex> lock(lanes_mutex_);
-  const double start = std::max(arrival, gpu_lane_);
-  gpu_lane_ = start + duration;
+  double& lane = gpu_lanes_[static_cast<std::size_t>(device_index)];
+  const double start = std::max(arrival, lane);
+  lane = start + duration;
+  gpu_busy_[static_cast<std::size_t>(device_index)] += duration;
   return start;
 }
 
@@ -218,39 +240,52 @@ void Scheduler::RunJob(ScheduledJob& item) {
   };
 
   // Route.  kAuto mirrors core::Multiply's policy, plus graceful
-  // degradation: a small job takes the device only if it is free this
-  // instant.
+  // degradation: a small job takes a device only if one is free this
+  // instant.  Placement is least-reserved-bytes first among the devices
+  // whose capacity holds the job's planned working set — a job never
+  // lands on a device it could not fit.
   core::ExecutionMode mode = opts.mode;
-  core::DeviceArbiter::Lease lease;
+  core::DevicePool::Slot slot;
+  std::vector<core::DevicePool::Slot> span;
+  const std::int64_t want = item.demand.planned_device_bytes;
   if (mode == core::ExecutionMode::kAuto) {
     if (!item.demand.gpu_feasible) {
       mode = core::ExecutionMode::kCpuOnly;
     } else if (item.demand.planned_chunks <= config_.small_job_chunks) {
-      lease = arbiter_.TryAcquire();
-      mode = lease.held() ? core::ExecutionMode::kGpuOutOfCore
-                          : core::ExecutionMode::kCpuOnly;
+      slot = devices_.TryAcquire(want);
+      mode = slot.held() ? core::ExecutionMode::kGpuOutOfCore
+                         : core::ExecutionMode::kCpuOnly;
     } else {
-      mode = core::ExecutionMode::kHybrid;
-      lease = arbiter_.Acquire();
+      slot = devices_.Acquire(want);
+      // Feasible by estimate but no pool device is actually large enough
+      // (heterogeneous fleet): the CPU path is the graceful route.
+      mode = slot.held() ? core::ExecutionMode::kHybrid
+                         : core::ExecutionMode::kCpuOnly;
     }
   } else if (NeedsDevice(mode)) {
-    lease = arbiter_.Acquire();
+    slot = devices_.Acquire(want);
+    if (!slot.held()) {
+      finish(JobOutcome::kFailed,
+             Status::FailedPrecondition(
+                 "no pool device can hold the job's planned working set (" +
+                 std::to_string(want) + " bytes)"));
+      return;
+    }
   }
 
   // Reserve the plan's device bytes for the duration of the run.  Only what
   // was actually reserved is returned below — CPU-only routes never touch
   // the ledger, so reservations balance to zero by construction.
   std::int64_t reserved = 0;
-  if (lease.held() && item.demand.planned_device_bytes > 0) {
-    const std::int64_t want = item.demand.planned_device_bytes;
-    if (arbiter_.TryReserve(want)) {
+  if (slot.held() && want > 0) {
+    if (slot.arbiter().TryReserve(want)) {
       reserved = want;
     } else {
       stats_.RecordReserveShortfall();
       if (opts.mode == core::ExecutionMode::kAuto) {
         // Running anyway would overcommit the ledger admission relies on;
         // degrade to the CPU path instead.
-        lease.Release();
+        slot.Release();
         mode = core::ExecutionMode::kCpuOnly;
       } else {
         // An explicit device mode has no CPU fallback: wait briefly for
@@ -262,25 +297,60 @@ void Scheduler::RunJob(ScheduledJob& item) {
             std::max(1e-4, config_.reserve_poll_seconds));
         while (reserved == 0 && std::chrono::steady_clock::now() < deadline) {
           std::this_thread::sleep_for(poll);
-          if (arbiter_.AvailableEstimate() >= want &&
-              arbiter_.TryReserve(want)) {
+          if (slot.arbiter().AvailableEstimate() >= want &&
+              slot.arbiter().TryReserve(want)) {
             reserved = want;
           }
         }
         if (reserved == 0) {
-          lease.Release();
+          const std::int64_t available = slot.arbiter().AvailableEstimate();
+          slot.Release();
           finish(JobOutcome::kFailed,
                  Status::ResourceExhausted(
                      "device reservation unavailable: want " +
                      std::to_string(want) + " bytes, " +
-                     std::to_string(arbiter_.AvailableEstimate()) + " free"));
+                     std::to_string(available) + " free"));
           return;
         }
       }
     }
   }
+
+  // A multi-chunk Hybrid job may span extra devices that are free right
+  // now (opportunistic — never waits).  Each spanned device pre-allocates
+  // its own pools, so each carries its own reservation; a device that
+  // refuses is simply dropped from the span.
+  if (slot.held() && mode == core::ExecutionMode::kHybrid &&
+      config_.max_devices_per_job > 1) {
+    span = devices_.TryAcquireFree(config_.max_devices_per_job - 1, want);
+    if (want > 0) {
+      std::vector<core::DevicePool::Slot> kept;
+      for (auto& extra : span) {
+        if (extra.arbiter().TryReserve(want)) {
+          kept.push_back(std::move(extra));
+        } else {
+          stats_.RecordReserveShortfall();
+          extra.Release();
+        }
+      }
+      span = std::move(kept);
+    }
+  }
+
+  std::vector<vgpu::Device*> devs;
+  std::vector<int> gpu_lane_indices;
+  if (slot.held()) {
+    devs.push_back(&slot.device());
+    gpu_lane_indices.push_back(slot.index());
+    for (auto& extra : span) {
+      devs.push_back(&extra.device());
+      gpu_lane_indices.push_back(extra.index());
+    }
+  }
   m.executor = mode;
   m.executed = true;
+  m.device_index = slot.held() ? slot.index() : -1;
+  m.devices_used = static_cast<int>(devs.size());
 
   WatchJob(item);
 
@@ -296,7 +366,7 @@ void Scheduler::RunJob(ScheduledJob& item) {
   WallTimer wall;
   for (int attempt = 0;; ++attempt) {
     ++m.attempts;
-    run = Dispatch(mode, item, exec);
+    run = Dispatch(mode, item, exec, devs);
     const bool pool_overflow =
         !run.ok() && run.status().code() == StatusCode::kOutOfMemory;
     const bool cancelled = item.cancel->load(std::memory_order_relaxed);
@@ -308,8 +378,12 @@ void Scheduler::RunJob(ScheduledJob& item) {
     }
   }
   m.wall_seconds = wall.Seconds();
-  if (reserved > 0) arbiter_.Unreserve(reserved);
-  lease.Release();
+  if (reserved > 0) slot.arbiter().Unreserve(reserved);
+  for (auto& extra : span) {
+    if (want > 0) extra.arbiter().Unreserve(want);
+    extra.Release();
+  }
+  slot.Release();
   UnwatchJob(item);
 
   if (!run.ok()) {
@@ -324,8 +398,10 @@ void Scheduler::RunJob(ScheduledJob& item) {
 
   m.stats = run->stats;
   m.exec_seconds = run->stats.total_seconds;
+  const bool uses_cpu = mode == core::ExecutionMode::kCpuOnly ||
+                        mode == core::ExecutionMode::kHybrid;
   auto [vstart, vfinish] =
-      BookLanes(mode, m.virtual_arrival, m.exec_seconds);
+      BookLanes(uses_cpu, gpu_lane_indices, m.virtual_arrival, m.exec_seconds);
   m.virtual_start = vstart;
   m.virtual_finish = vfinish;
   m.queue_seconds = vstart - m.virtual_arrival;
@@ -362,20 +438,28 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
     }
   };
 
-  // One lease and one reservation cover the whole batch: the members run
-  // back to back on a shared workspace, so the batch's device demand is
-  // the max — not the sum — of the members'.
-  core::DeviceArbiter::Lease lease = arbiter_.Acquire();
+  // The batch pins to exactly one device: its persistent GpuWorkspace and
+  // resident B panels are that device's memory, so members cannot migrate
+  // mid-batch.  One lease and one reservation cover the whole batch: the
+  // members run back to back on a shared workspace, so the batch's device
+  // demand is the max — not the sum — of the members'.
   const std::int64_t want = BatchPlannedDeviceBytes(live);
+  core::DevicePool::Slot slot = devices_.Acquire(want);
+  if (!slot.held()) {
+    // No pool device is large enough for the batch's shared workspace; the
+    // members re-run individually where per-job policy applies.
+    fall_back();
+    return;
+  }
   std::int64_t reserved = 0;
   if (want > 0) {
-    if (arbiter_.TryReserve(want)) {
+    if (slot.arbiter().TryReserve(want)) {
       reserved = want;
     } else {
       // The per-job path owns the degradation policy (CPU fallback or
       // bounded wait); don't duplicate it here.
       stats_.RecordReserveShortfall();
-      lease.Release();
+      slot.Release();
       fall_back();
       return;
     }
@@ -405,7 +489,8 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
   WallTimer wall;
   for (int attempt = 0;; ++attempt) {
     ++attempts;
-    run = core::BatchedOutOfCore(device_, specs, *leader.job.b, exec, pool_);
+    run = core::BatchedOutOfCore(slot.device(), specs, *leader.job.b, exec,
+                                 pool_);
     const bool pool_overflow =
         !run.ok() && run.status().code() == StatusCode::kOutOfMemory;
     if (!pool_overflow || attempt >= leader.job.options.max_retries) break;
@@ -417,9 +502,10 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
   }
   const double wall_seconds = wall.Seconds();
 
+  const int batch_device = slot.index();
   for (auto& item : live) UnwatchJob(*item);
-  if (reserved > 0) arbiter_.Unreserve(reserved);
-  lease.Release();
+  if (reserved > 0) slot.arbiter().Unreserve(reserved);
+  slot.Release();
 
   if (!run.ok()) {
     // Whole-batch failure (planning error, unrecoverable overflow): the
@@ -429,13 +515,13 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
   }
   stats_.RecordBatch(static_cast<std::int64_t>(live.size()));
 
-  // The batch occupies the GPU lane as one span; it cannot start before
-  // all members arrived, and each member finishes at its own offset.
+  // The batch occupies its device's lane as one span; it cannot start
+  // before all members arrived, and each member finishes at its own offset.
   double arrival = 0.0;
   for (auto& item : live) {
     arrival = std::max(arrival, item->job.options.virtual_arrival);
   }
-  const double start = BookGpuSpan(arrival, run->batch_makespan);
+  const double start = BookGpuSpan(batch_device, arrival, run->batch_makespan);
 
   for (std::size_t i = 0; i < live.size(); ++i) {
     ScheduledJob& item = *live[i];
@@ -446,6 +532,8 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
     m.virtual_arrival = item.job.options.virtual_arrival;
     m.executed = true;
     m.executor = core::ExecutionMode::kGpuOutOfCore;
+    m.device_index = batch_device;
+    m.devices_used = 1;
     m.batch_size = static_cast<int>(live.size());
     m.attempts = attempts;
     m.wall_seconds = wall_seconds / static_cast<double>(live.size());

@@ -1,27 +1,31 @@
 // The scheduler: worker threads that drain the admitted-job queue and
-// multiplex jobs over the node's two processors.
+// multiplex jobs over the node's processors.
 //
-//  * Device work goes through core::DeviceArbiter — exclusive leases over
-//    the shared virtual GPU (its timeline and allocator are single-tenant
-//    state).  CPU-only jobs bypass the arbiter and run concurrently on the
-//    shared thread pool.
-//  * Routing (for ExecutionMode::kAuto): GPU-infeasible jobs run
-//    CpuMulticore; single-chunk jobs take the device if it is free *right
-//    now* and degrade to the CPU when it is saturated; multi-chunk jobs
-//    run Hybrid and wait their turn for the device.
+//  * Device work goes through core::DevicePool — one exclusive-lease
+//    DeviceArbiter per device (each virtual GPU's timeline and allocator
+//    are single-tenant state).  CPU-only jobs bypass the pool and run
+//    concurrently on the shared thread pool.
+//  * Placement: GPU-eligible work goes to the least-reserved-bytes free
+//    device whose capacity holds the job's planned working set; when every
+//    such device is busy, small kAuto jobs degrade to the CPU and larger
+//    ones wait their turn.  With max_devices_per_job > 1, a multi-chunk
+//    Hybrid job additionally grabs whatever other candidates are free at
+//    dispatch and spans them via core::MultiGpuHybrid.
+//  * An operand-sharing batch pins to exactly one device: its persistent
+//    GpuWorkspace and resident B panels are that device's memory.
 //  * Pool exhaustion retries here, not in the executor: each retry doubles
 //    the plan's nnz safety factor and backs off exponentially (real sleep)
 //    before re-planning, bounded by JobOptions::max_retries.
 //  * A watchdog thread drives JobOptions::timeout_seconds through the
 //    executors' cooperative-cancel token.
 //
-// Completed jobs are booked onto virtual *lanes* — one GPU lane, a few CPU
-// lanes — continuing the repository's virtual-time methodology: a job
-// starts at max(its arrival, lane availability) and occupies its lane(s)
-// for the run's virtual makespan (Hybrid occupies a CPU lane and the GPU
-// lane together).  Throughput and latency percentiles in ServerStats come
-// from this timeline, so they compose with every other virtual-seconds
-// figure in the repo.
+// Completed jobs are booked onto virtual *lanes* — one GPU lane per pool
+// device, a few CPU lanes — continuing the repository's virtual-time
+// methodology: a job starts at max(its arrival, lane availability) and
+// occupies its lane(s) for the run's virtual makespan (Hybrid occupies a
+// CPU lane and its device lane(s) together).  Throughput and latency
+// percentiles in ServerStats come from this timeline, so they compose with
+// every other virtual-seconds figure in the repo.
 #pragma once
 
 #include <atomic>
@@ -37,7 +41,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
-#include "core/device_arbiter.hpp"
+#include "core/device_pool.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
@@ -62,6 +66,12 @@ struct SchedulerConfig {
   /// queued companions sharing its B operand.
   int max_batch_jobs = 1;
 
+  /// Devices one multi-chunk Hybrid job may span when extra pool devices
+  /// are free at dispatch (via core::MultiGpuHybrid).  1 keeps Algorithm
+  /// 4's single-GPU hybrid; spanning is opportunistic — it never waits for
+  /// a second device, so queued neighbours are not starved.
+  int max_devices_per_job = 1;
+
   /// A worker holding a device lease whose TryReserve is refused waits up
   /// to this long (polling) for outstanding reservations to drain before
   /// failing an explicit-GPU job with RESOURCE_EXHAUSTED.  kAuto jobs
@@ -84,9 +94,9 @@ using JobQueue = BoundedJobQueue<std::unique_ptr<ScheduledJob>>;
 
 class Scheduler {
  public:
-  Scheduler(vgpu::Device& device, ThreadPool& pool, SchedulerConfig config,
-            JobQueue& queue, AdmissionController& admission,
-            ServerStats& stats);
+  Scheduler(core::DevicePool& devices, ThreadPool& pool,
+            SchedulerConfig config, JobQueue& queue,
+            AdmissionController& admission, ServerStats& stats);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -99,9 +109,16 @@ class Scheduler {
   /// Invoked after each job's promise is fulfilled (drain bookkeeping).
   void set_on_job_done(std::function<void()> fn) { on_job_done_ = std::move(fn); }
 
-  core::DeviceArbiter& arbiter() { return arbiter_; }
+  core::DevicePool& device_pool() { return devices_; }
+  const core::DevicePool& device_pool() const { return devices_; }
+  /// The first device's arbiter — the single-device view older callers and
+  /// tests use; identical to device_pool().arbiter(0).
+  core::DeviceArbiter& arbiter() { return devices_.arbiter(0); }
   /// Current frontier of the booking timeline (max over lanes).
   double VirtualNow() const;
+  /// Cumulative booked virtual seconds of each device lane (utilization
+  /// numerator of the per-device report sections).
+  std::vector<double> GpuLaneBusySeconds() const;
 
  private:
   void WorkerLoop();
@@ -119,22 +136,24 @@ class Scheduler {
   void FinishJob(ScheduledJob& item, JobResult result);
   StatusOr<core::RunResult> Dispatch(core::ExecutionMode mode,
                                      const ScheduledJob& item,
-                                     const core::ExecutorOptions& exec);
-  /// Books `duration` for the job on its lane(s); returns {start, finish}.
-  std::pair<double, double> BookLanes(core::ExecutionMode mode,
+                                     const core::ExecutorOptions& exec,
+                                     const std::vector<vgpu::Device*>& devs);
+  /// Books `duration` for the job on a CPU lane (when `uses_cpu`) and the
+  /// listed device lanes; returns {start, finish}.
+  std::pair<double, double> BookLanes(bool uses_cpu,
+                                      const std::vector<int>& gpu_lanes,
                                       double arrival, double duration);
-  /// Books `duration` on the GPU lane only; returns the booked start.
-  double BookGpuSpan(double arrival, double duration);
+  /// Books `duration` on one device lane only; returns the booked start.
+  double BookGpuSpan(int device_index, double arrival, double duration);
   void WatchJob(const ScheduledJob& item);
   void UnwatchJob(const ScheduledJob& item);
 
-  vgpu::Device& device_;
+  core::DevicePool& devices_;
   ThreadPool& pool_;
   SchedulerConfig config_;
   JobQueue& queue_;
   AdmissionController& admission_;
   ServerStats& stats_;
-  core::DeviceArbiter arbiter_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;
@@ -149,9 +168,10 @@ class Scheduler {
   std::mutex watch_mutex_;
   std::map<std::uint64_t, Watched> watched_;
 
-  // Virtual booking lanes.
+  // Virtual booking lanes: one per pool device, plus the CPU lanes.
   mutable std::mutex lanes_mutex_;
-  double gpu_lane_ = 0.0;
+  std::vector<double> gpu_lanes_;
+  std::vector<double> gpu_busy_;  // summed booked durations per device lane
   std::vector<double> cpu_lanes_;
 };
 

@@ -4,11 +4,17 @@ namespace oocgemm::serve {
 
 SpgemmServer::SpgemmServer(vgpu::Device& device, ThreadPool& pool,
                            ServerConfig config)
-    : device_(device),
+    : SpgemmServer(std::vector<vgpu::Device*>{&device}, pool,
+                   std::move(config)) {}
+
+SpgemmServer::SpgemmServer(std::vector<vgpu::Device*> devices,
+                           ThreadPool& pool, ServerConfig config)
+    : devices_(std::move(devices)),
       config_(config),
       admission_(config.admission),
       queue_(config.max_queue),
-      scheduler_(device, pool, config.scheduler, queue_, admission_, stats_) {
+      scheduler_(devices_, pool, config.scheduler, queue_, admission_,
+                 stats_) {
   scheduler_.set_on_job_done([this] {
     std::unique_lock<std::mutex> lock(pending_mutex_);
     if (--pending_ == 0) pending_cv_.notify_all();
@@ -50,8 +56,8 @@ std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
     job.options.timeout_seconds = config_.default_timeout_seconds;
   }
 
-  JobDemand demand =
-      EstimateJobDemand(*job.a, *job.b, device_.capacity(), job.options.exec);
+  JobDemand demand = EstimateJobDemand(
+      *job.a, *job.b, devices_.max_device_capacity(), job.options.exec);
   Status admitted = admission_.Admit(demand, job.options.mode);
   if (!admitted.ok()) {
     return Reject(id, std::move(admitted));
@@ -94,6 +100,29 @@ void SpgemmServer::Shutdown() {
     shut_down_ = true;
   }
   scheduler_.Stop();  // drains the queue: every accepted job resolves
+}
+
+ServerReport SpgemmServer::Report() const {
+  ServerReport r = stats_.Snapshot();
+  const std::size_t n = static_cast<std::size_t>(devices_.size());
+  if (r.devices.size() < n) r.devices.resize(n);
+  const std::vector<double> busy = scheduler_.GpuLaneBusySeconds();
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceServeReport& d = r.devices[i];
+    d.index = static_cast<int>(i);
+    const core::DeviceArbiter& arb = devices_.arbiter(static_cast<int>(i));
+    d.lease_count = arb.lease_count();
+    d.contention_count = arb.contention_count();
+    d.reserve_shortfalls = arb.reserve_shortfalls();
+    d.unreserve_underflows = arb.unreserve_underflows();
+    d.reserved_bytes = arb.reserved_bytes();
+    d.capacity_bytes = devices_.device(static_cast<int>(i)).capacity();
+    if (i < busy.size()) d.busy_seconds = busy[i];
+    if (r.virtual_makespan_seconds > 0.0) {
+      d.utilization = d.busy_seconds / r.virtual_makespan_seconds;
+    }
+  }
+  return r;
 }
 
 }  // namespace oocgemm::serve

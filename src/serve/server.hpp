@@ -6,11 +6,20 @@
 //   auto future = server.Submit({a, b, {.priority = 1}});
 //   serve::JobResult r = future.get();    // r.c, r.metrics, r.status
 //
+// Multi-device nodes hand the server a fleet instead; the scheduler then
+// places each device-side job on the least-reserved device that fits it
+// (see core::DevicePool):
+//
+//   serve::SpgemmServer server({&dev0, &dev1, &dev2}, pool);
+//
 // Submission runs validation, demand estimation and admission control on
 // the caller's thread (cheap — estimator plus panel planning); accepted
 // jobs enter the bounded priority queue, rejected ones resolve their
 // future immediately with the rejection status.  Every submitted job's
 // future is eventually fulfilled — there is no silent drop path.
+// Feasibility is judged against the *largest* pool device: a job only the
+// big device can hold is admitted, and placement keeps it off the small
+// ones.
 #pragma once
 
 #include <atomic>
@@ -19,8 +28,10 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/device_pool.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
@@ -41,7 +52,11 @@ struct ServerConfig {
 
 class SpgemmServer {
  public:
+  /// Single-device node (the PR 1-2 shape): a pool of one.
   SpgemmServer(vgpu::Device& device, ThreadPool& pool,
+               ServerConfig config = {});
+  /// Multi-device node; the server does not own the devices.
+  SpgemmServer(std::vector<vgpu::Device*> devices, ThreadPool& pool,
                ServerConfig config = {});
   ~SpgemmServer();
 
@@ -59,14 +74,20 @@ class SpgemmServer {
   /// also run by the destructor.
   void Shutdown();
 
-  ServerReport Report() const { return stats_.Snapshot(); }
+  /// Snapshot of the aggregate report plus one DeviceServeReport per pool
+  /// device (lease/reservation/shortfall counters read off the arbiters,
+  /// lane busy seconds and utilization from the scheduler's timeline).
+  ServerReport Report() const;
+  core::DevicePool& device_pool() { return devices_; }
+  const core::DevicePool& device_pool() const { return devices_; }
+  /// The first device's arbiter — the single-device view older callers use.
   core::DeviceArbiter& arbiter() { return scheduler_.arbiter(); }
   const ServerConfig& config() const { return config_; }
 
  private:
   std::future<JobResult> Reject(std::uint64_t id, Status status);
 
-  vgpu::Device& device_;
+  core::DevicePool devices_;
   ServerConfig config_;
   ServerStats stats_;
   AdmissionController admission_;

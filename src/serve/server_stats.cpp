@@ -36,6 +36,16 @@ ServerReport ServerStats::Snapshot() const {
     switch (m.outcome) {
       case JobOutcome::kCompleted: {
         ++r.completed;
+        if (m.devices_used > 1) ++r.via_multi_device;
+        if (m.device_index >= 0) {
+          if (static_cast<std::size_t>(m.device_index) >= r.devices.size()) {
+            r.devices.resize(static_cast<std::size_t>(m.device_index) + 1);
+            for (std::size_t d = 0; d < r.devices.size(); ++d) {
+              r.devices[d].index = static_cast<int>(d);
+            }
+          }
+          ++r.devices[static_cast<std::size_t>(m.device_index)].completed;
+        }
         latencies.push_back(m.latency_seconds);
         queue_waits.push_back(m.queue_seconds);
         flops += static_cast<double>(m.stats.flops);
@@ -99,6 +109,22 @@ std::string ServerReport::ToJson() const {
   os << "  \"via_cpu\": " << via_cpu << ",\n";
   os << "  \"via_gpu\": " << via_gpu << ",\n";
   os << "  \"via_hybrid\": " << via_hybrid << ",\n";
+  os << "  \"via_multi_device\": " << via_multi_device << ",\n";
+  os << "  \"devices\": [";
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const DeviceServeReport& d = devices[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"index\": " << d.index << ", \"completed\": " << d.completed
+       << ", \"lease_count\": " << d.lease_count
+       << ", \"contention_count\": " << d.contention_count
+       << ", \"reserve_shortfalls\": " << d.reserve_shortfalls
+       << ", \"unreserve_underflows\": " << d.unreserve_underflows
+       << ", \"reserved_bytes\": " << d.reserved_bytes
+       << ", \"capacity_bytes\": " << d.capacity_bytes
+       << ", \"busy_seconds\": " << d.busy_seconds
+       << ", \"utilization\": " << d.utilization << "}";
+  }
+  os << (devices.empty() ? "],\n" : "\n  ],\n");
   os << "  \"batches\": " << batches << ",\n";
   os << "  \"batched_jobs\": " << batched_jobs << ",\n";
   os << "  \"avg_batch_size\": " << avg_batch_size << ",\n";
@@ -132,6 +158,17 @@ std::string ServerReport::DebugString() const {
     os << ", " << batched_jobs << " jobs in " << batches << " batches (avg "
        << Fixed(avg_batch_size, 2) << ", " << b_panel_uploads
        << " B-panel uploads)";
+  }
+  if (devices.size() > 1) {
+    os << "; devices:";
+    for (const DeviceServeReport& d : devices) {
+      os << " [" << d.index << "] " << d.completed << " jobs, "
+         << d.lease_count << " leases, " << Fixed(d.utilization * 100.0, 1)
+         << "% busy";
+    }
+    if (via_multi_device > 0) {
+      os << "; " << via_multi_device << " multi-device runs";
+    }
   }
   return os.str();
 }

@@ -13,6 +13,28 @@
 
 namespace oocgemm::serve {
 
+/// One pool device's slice of the serving report.  The job counts come
+/// from JobMetrics::device_index; the lease/reservation counters are read
+/// off the device's DeviceArbiter at snapshot time, so after Drain() a
+/// balanced ledger shows reserved_bytes == 0 and unreserve_underflows == 0.
+struct DeviceServeReport {
+  int index = 0;
+  /// Completed jobs whose primary device this was (a spanned Hybrid job
+  /// counts only toward its primary device's tally).
+  std::int64_t completed = 0;
+  std::int64_t lease_count = 0;
+  std::int64_t contention_count = 0;
+  std::int64_t reserve_shortfalls = 0;
+  std::int64_t unreserve_underflows = 0;
+  /// Outstanding reservation ledger at snapshot (0 once drained).
+  std::int64_t reserved_bytes = 0;
+  std::int64_t capacity_bytes = 0;
+  /// Virtual seconds this device's lane was booked, and that over the
+  /// report's virtual makespan (0 when the makespan is 0).
+  double busy_seconds = 0.0;
+  double utilization = 0.0;
+};
+
 struct ServerReport {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
@@ -29,6 +51,14 @@ struct ServerReport {
   std::int64_t via_cpu = 0;
   std::int64_t via_gpu = 0;
   std::int64_t via_hybrid = 0;
+  /// Completed jobs that spanned more than one pool device
+  /// (core::MultiGpuHybrid dispatches).
+  std::int64_t via_multi_device = 0;
+
+  /// Per-device sections, one per pool device (index-aligned).  Filled by
+  /// SpgemmServer::Report(); a bare ServerStats::Snapshot() sizes the
+  /// vector to the largest device index seen and fills the job counts only.
+  std::vector<DeviceServeReport> devices;
 
   // Operand-aware batching.
   std::int64_t batches = 0;       // multi-job device runs dispatched

@@ -94,6 +94,12 @@ class Device {
 
   const DeviceProperties& properties() const { return props_; }
 
+  /// Node-level identity of this device (0 when standalone).  Set by
+  /// core::DevicePool to the device's pool index; trace export stamps it
+  /// on every emitted event so multi-device runs stay attributable.
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
   // --- memory -------------------------------------------------------------
 
   /// cudaMalloc analogue: blocks the host until the allocation completes and
@@ -218,6 +224,7 @@ class Device {
                     const std::vector<Region>& regions);
 
   DeviceProperties props_;
+  int id_ = 0;
   std::vector<std::byte> arena_;
   FreeListAllocator allocator_;
   Resource compute_{"compute"};

@@ -51,46 +51,51 @@ void AppendEscaped(const std::string& in, std::string& out) {
 
 }  // namespace
 
-std::string ToChromeTraceJson(const Trace& trace) {
+std::string ToChromeTraceJson(const Trace& trace, int device_id) {
+  const int pid = device_id + 1;  // Chrome tracing treats pid 0 as "idle"
   std::string out = "{\"traceEvents\":[\n";
-  bool first = true;
+  char buf[160];
 
-  // Lane metadata so viewers show engine names instead of thread ids.
+  // Process metadata names the device, lane metadata names the engines, so
+  // viewers show "vgpu device N / compute engine" instead of bare ids.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"args\":{\"name\":\"vgpu device %d\"}}",
+                pid, device_id);
+  out += buf;
   for (OpCategory c : {OpCategory::kKernel, OpCategory::kH2D, OpCategory::kD2H,
                        OpCategory::kAlloc, OpCategory::kHost}) {
-    char buf[160];
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-                  first ? "" : ",\n", LaneId(c), LaneName(c));
+                  pid, LaneId(c), LaneName(c));
     out += buf;
-    first = false;
   }
 
   for (const TraceEvent& e : trace.events()) {
-    char buf[160];
     std::snprintf(buf, sizeof(buf),
                   ",\n{\"name\":\"");
     out += buf;
     AppendEscaped(e.label, out);
     std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"stream\":%d,"
-                  "\"bytes\":%lld}}",
-                  OpCategoryName(e.category), LaneId(e.category),
+                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"device\":%d,"
+                  "\"stream\":%d,\"bytes\":%lld}}",
+                  OpCategoryName(e.category), pid, LaneId(e.category),
                   e.interval.start * 1e6, e.interval.duration() * 1e6,
-                  e.stream_id, static_cast<long long>(e.bytes));
+                  device_id, e.stream_id, static_cast<long long>(e.bytes));
     out += buf;
   }
   out += "\n]}\n";
   return out;
 }
 
-Status WriteChromeTrace(const Trace& trace, const std::string& path) {
+Status WriteChromeTrace(const Trace& trace, const std::string& path,
+                        int device_id) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
       std::fopen(path.c_str(), "w"), &std::fclose);
   if (!f) return Status::IoError("cannot open " + path);
-  const std::string json = ToChromeTraceJson(trace);
+  const std::string json = ToChromeTraceJson(trace, device_id);
   if (std::fwrite(json.data(), 1, json.size(), f.get()) != json.size()) {
     return Status::IoError("short write: " + path);
   }

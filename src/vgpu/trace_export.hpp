@@ -13,10 +13,13 @@
 
 namespace oocgemm::vgpu {
 
-/// Serializes `trace` as a Chrome trace-event JSON string.
-std::string ToChromeTraceJson(const Trace& trace);
+/// Serializes `trace` as a Chrome trace-event JSON string.  `device_id`
+/// (vgpu::Device::id) becomes the process id, so traces exported from
+/// several pool devices render as separate named processes when merged.
+std::string ToChromeTraceJson(const Trace& trace, int device_id = 0);
 
-/// Writes ToChromeTraceJson(trace) to `path`.
-Status WriteChromeTrace(const Trace& trace, const std::string& path);
+/// Writes ToChromeTraceJson(trace, device_id) to `path`.
+Status WriteChromeTrace(const Trace& trace, const std::string& path,
+                        int device_id = 0);
 
 }  // namespace oocgemm::vgpu

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/executors.hpp"
@@ -100,6 +101,42 @@ TEST(MultiGpuHybrid, SingleDeviceComparableToHybrid) {
   EXPECT_NEAR(multi->stats.combined.total_seconds,
               hybrid->stats.total_seconds,
               hybrid->stats.total_seconds * 0.01);
+}
+
+// Property: for random matrices and every pool size D in {1..4}, the
+// multi-GPU result is numerically identical to the single-GPU hybrid (the
+// same chunk grid is computed, only dealt differently), the per-worker
+// stats have exactly D entries, and the round-robin deal keeps per-device
+// chunk counts within one of each other.
+TEST(MultiGpuHybrid, PropertyDealAndOutputInvariants) {
+  ThreadPool pool(2);
+  for (std::uint64_t seed = 20; seed < 23; ++seed) {
+    Csr a = testutil::RandomRmat(9, 6.0, seed);
+    vgpu::Device single(vgpu::ScaledV100Properties(14));
+    auto hybrid = Hybrid(single, a, a, ExecutorOptions{}, pool);
+    ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+    for (int d = 1; d <= 4; ++d) {
+      Fleet fleet(d);
+      auto r = MultiGpuHybrid(fleet.devices, a, a, ExecutorOptions{}, pool);
+      ASSERT_TRUE(r.ok()) << "seed " << seed << " D=" << d << ": "
+                          << r.status().ToString();
+      EXPECT_TRUE(testutil::CsrNear(r->c, hybrid->c))
+          << "seed " << seed << " D=" << d;
+      EXPECT_EQ(r->stats.gpu_seconds.size(), static_cast<std::size_t>(d));
+      ASSERT_EQ(r->stats.per_device.size(), static_cast<std::size_t>(d));
+      int min_chunks = r->stats.per_device.front().num_gpu_chunks;
+      int max_chunks = min_chunks;
+      int total = 0;
+      for (const RunStats& per : r->stats.per_device) {
+        min_chunks = std::min(min_chunks, per.num_gpu_chunks);
+        max_chunks = std::max(max_chunks, per.num_gpu_chunks);
+        total += per.num_gpu_chunks;
+      }
+      EXPECT_LE(max_chunks - min_chunks, 1)
+          << "round-robin deal unbalanced at seed " << seed << " D=" << d;
+      EXPECT_EQ(total, r->stats.combined.num_gpu_chunks);
+    }
+  }
 }
 
 TEST(MultiGpuHybrid, EmptyDeviceListRejected) {

@@ -60,6 +60,21 @@ TEST(TraceExport, BalancedBracesAndBrackets) {
   EXPECT_EQ(brackets, 0);
 }
 
+TEST(TraceExport, DeviceIdBecomesProcessId) {
+  const std::string json = ToChromeTraceJson(MakeTrace(), 2);
+  // Chrome treats pid 0 as the idle process, so device d exports as pid d+1.
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"vgpu device 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"device\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\":1,"), std::string::npos);
+}
+
+TEST(TraceExport, DefaultDeviceIdIsZero) {
+  const std::string json = ToChromeTraceJson(MakeTrace());
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"vgpu device 0\""), std::string::npos);
+}
+
 TEST(TraceExport, WritesFile) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "oocgemm_trace_test.json")

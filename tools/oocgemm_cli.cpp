@@ -5,8 +5,8 @@
 //   oocgemm_cli multiply a.mtx [b.mtx] --executor=hybrid --device-mem=16
 //               [--ratio=0.67] [--out=c.mtx] [--trace=run.json] [--verify]
 //   oocgemm_cli serve --jobs=64 [--load=0] [--workers=4] [--queue=64]
-//               [--batch=1] [--device-mem=1] [--timeout=0] [--seed=1]
-//               [--report=r.json]
+//               [--batch=1] [--devices=1] [--span=1] [--device-mem=1]
+//               [--timeout=0] [--seed=1] [--report=r.json]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
 // C = A x A convention).  --device-mem is the virtual device memory in MiB.
@@ -16,7 +16,10 @@
 // the ServerReport JSON.  --batch=N enables operand-aware batching (up to
 // N queued jobs sharing a B operand execute as one device batch) and
 // switches the workload to shared-operand form: every job draws its B
-// from a small common pool so batches can actually form.
+// from a small common pool so batches can actually form.  --devices=D
+// serves the workload from a pool of D identical virtual GPUs (one
+// scheduler lane each; the report gains a per-device section), and
+// --span=M lets one multi-chunk hybrid job span up to M free devices.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -88,8 +91,8 @@ int Usage() {
       "cpu] [--device-mem=MiB] [--ratio=R] [--out=C.mtx] [--trace=T.json] "
       "[--verify]\n"
       "  oocgemm_cli serve [--jobs=N] [--load=JOBS_PER_VSEC] [--workers=W] "
-      "[--queue=Q] [--batch=B] [--device-mem=MiB] [--timeout=SEC] "
-      "[--seed=S] [--report=R.json] [--verify]\n");
+      "[--queue=Q] [--batch=B] [--devices=D] [--span=M] [--device-mem=MiB] "
+      "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify]\n");
   return 2;
 }
 
@@ -219,7 +222,8 @@ int Multiply(const Args& args) {
     std::printf("verify: OK\n");
   }
   if (args.Has("trace") && executor != "cpu") {
-    Status st = vgpu::WriteChromeTrace(device.trace(), args.Flag("trace", ""));
+    Status st = vgpu::WriteChromeTrace(device.trace(), args.Flag("trace", ""),
+                                       device.id());
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
@@ -249,20 +253,30 @@ int Serve(const Args& args) {
   const double mem_mib = args.FlagD("device-mem", 1.0);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.FlagD("seed", 1));
   const int batch = std::max(1, static_cast<int>(args.FlagD("batch", 1)));
+  const int num_devices =
+      std::max(1, static_cast<int>(args.FlagD("devices", 1)));
+  const int span = std::max(1, static_cast<int>(args.FlagD("span", 1)));
 
   vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
   props.memory_bytes = static_cast<std::int64_t>(mem_mib * (1 << 20));
-  vgpu::Device device(props);
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  std::vector<vgpu::Device*> device_ptrs;
+  for (int i = 0; i < num_devices; ++i) {
+    devices.push_back(std::make_unique<vgpu::Device>(props));
+    device_ptrs.push_back(devices.back().get());
+  }
   ThreadPool pool;
 
   serve::ServerConfig config;
-  config.scheduler.num_workers = static_cast<int>(args.FlagD("workers", 4));
-  config.scheduler.cpu_lanes = config.scheduler.num_workers - 1;
+  config.scheduler.num_workers =
+      static_cast<int>(args.FlagD("workers", std::max(4, num_devices + 1)));
+  config.scheduler.cpu_lanes = std::max(1, config.scheduler.num_workers - 1);
   config.scheduler.max_batch_jobs = batch;
+  config.scheduler.max_devices_per_job = span;
   config.max_queue =
       static_cast<std::size_t>(args.FlagD("queue", jobs));
   config.default_timeout_seconds = args.FlagD("timeout", 0.0);
-  serve::SpgemmServer server(device, pool, config);
+  serve::SpgemmServer server(device_ptrs, pool, config);
 
   SplitMix64 rng(seed);
 
