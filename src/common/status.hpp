@@ -25,6 +25,8 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kResourceExhausted,
+  kUnavailable,
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for a status code ("OK", "IO_ERROR"...).
@@ -63,6 +65,12 @@ class Status {
   static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,6 +98,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -47,6 +47,7 @@ StatusOr<BatchedRunResult> BatchedOutOfCoreImpl(
   device.ResetTimeline();
   vgpu::HostContext host;
   GpuWorkspace workspace(device, host, pool_bytes, max_a, max_b);
+  OOC_RETURN_IF_ERROR(workspace.init_status());
 
   // Segment orders: chunks of job i touching column panel j, flop-ordered
   // within the segment when reordering is on (Section IV-C, constrained to

@@ -7,7 +7,8 @@
 namespace oocgemm::core {
 
 DevicePool::DevicePool(std::vector<vgpu::Device*> devices)
-    : devices_(std::move(devices)) {
+    : devices_(std::move(devices)),
+      health_(devices_.size(), DeviceHealth::kHealthy) {
   arbiters_.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     devices_[i]->set_id(static_cast<int>(i));
@@ -15,11 +16,45 @@ DevicePool::DevicePool(std::vector<vgpu::Device*> devices)
   }
 }
 
+DevicePool::DeviceHealth DevicePool::health(int index) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_[static_cast<std::size_t>(index)];
+}
+
+void DevicePool::MarkUnhealthy(int index) {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_[static_cast<std::size_t>(index)] = DeviceHealth::kUnhealthy;
+  }
+  // Blocked Acquire callers must re-evaluate: if this was the last device
+  // that fit their working set, waiting can never succeed anymore.
+  released_cv_.notify_all();
+}
+
+void DevicePool::Revive(int index) {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_[static_cast<std::size_t>(index)] = DeviceHealth::kHealthy;
+  }
+  device(index).Revive();
+  released_cv_.notify_all();
+}
+
+int DevicePool::healthy_count() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  int count = 0;
+  for (DeviceHealth h : health_) {
+    if (h == DeviceHealth::kHealthy) ++count;
+  }
+  return count;
+}
+
 std::vector<int> DevicePool::CandidatesByLeastReserved(
     std::int64_t min_capacity_bytes) const {
   std::vector<std::pair<std::int64_t, int>> order;
   order.reserve(devices_.size());
   for (int i = 0; i < size(); ++i) {
+    if (health(i) != DeviceHealth::kHealthy) continue;
     if (device(i).capacity() < min_capacity_bytes) continue;
     order.emplace_back(arbiter(i).reserved_bytes(), i);
   }
@@ -39,8 +74,10 @@ DevicePool::Slot DevicePool::TryAcquire(std::int64_t min_capacity_bytes) {
 }
 
 DevicePool::Slot DevicePool::Acquire(std::int64_t min_capacity_bytes) {
-  if (!AnyDeviceFits(min_capacity_bytes)) return Slot();
   for (;;) {
+    // Re-checked every round: if the last fitting device was marked
+    // unhealthy while we waited, blocking further could never succeed.
+    if (!AnyDeviceFits(min_capacity_bytes)) return Slot();
     Slot slot = TryAcquire(min_capacity_bytes);
     if (slot.held()) return slot;
     std::unique_lock<std::mutex> lock(released_mutex_);
@@ -60,8 +97,9 @@ std::vector<DevicePool::Slot> DevicePool::TryAcquireFree(
 }
 
 bool DevicePool::AnyDeviceFits(std::int64_t bytes) const {
-  for (vgpu::Device* d : devices_) {
-    if (d->capacity() >= bytes) return true;
+  for (int i = 0; i < size(); ++i) {
+    if (health(i) != DeviceHealth::kHealthy) continue;
+    if (devices_[static_cast<std::size_t>(i)]->capacity() >= bytes) return true;
   }
   return false;
 }

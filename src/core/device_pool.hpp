@@ -105,8 +105,27 @@ class DevicePool {
   std::vector<Slot> TryAcquireFree(int max_slots,
                                    std::int64_t min_capacity_bytes = 0);
 
-  /// True when some device's capacity is at least `bytes`.
+  /// True when some *healthy* device's capacity is at least `bytes`.
   bool AnyDeviceFits(std::int64_t bytes) const;
+
+  // --- health ----------------------------------------------------------------
+
+  enum class DeviceHealth { kHealthy = 0, kUnhealthy };
+
+  DeviceHealth health(int index) const;
+
+  /// Takes a device out of placement — e.g. after its sticky status turned
+  /// into a device-lost error.  In-flight leases keep draining (the holder
+  /// notices failure via vgpu::Device::health()); no new lease is granted
+  /// until Revive.  Wakes blocked Acquire callers so they re-plan onto
+  /// surviving devices instead of waiting for a corpse.
+  void MarkUnhealthy(int index);
+
+  /// Returns a drained device to service, clearing its sticky fault state
+  /// (vgpu::Device::Revive) — the maintenance path after a repair.
+  void Revive(int index);
+
+  int healthy_count() const;
 
   // --- aggregate accounting (sums over the per-device arbiters) -----------
 
@@ -130,6 +149,9 @@ class DevicePool {
 
   std::vector<vgpu::Device*> devices_;
   std::vector<std::unique_ptr<DeviceArbiter>> arbiters_;
+
+  mutable std::mutex health_mutex_;
+  std::vector<DeviceHealth> health_;
 
   // Wakes Acquire when any Slot releases.  Waits use a short timeout as a
   // backstop so a lease released through the raw arbiter (tests do this)

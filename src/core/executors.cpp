@@ -114,6 +114,12 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
                           tag + ".payload.values", options.pinned_host);
     // "Data movement was done synchronously."
     device.StreamSynchronize(host, *stream);
+    // Sticky-error checkpoint: never assemble a payload whose numeric
+    // kernels or transfers were faulted away.
+    if (Status health = device.health(); !health.ok()) {
+      kernels::ReleaseChunk(host, source, chunk.value());
+      return health;
+    }
 
     nnz_total += chunk->nnz;
     payloads.push_back(std::move(payload));

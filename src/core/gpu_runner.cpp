@@ -80,6 +80,16 @@ GpuWorkspace::GpuWorkspace(vgpu::Device& device, vgpu::HostContext& host,
   }
 }
 
+Status GpuWorkspace::init_status() const {
+  if (!cache.init_status().ok()) return cache.init_status();
+  for (int s = 0; s < kSlots; ++s) {
+    if (pools[s] != nullptr && !pools[s]->init_status().ok()) {
+      return pools[s]->init_status();
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
                                     vgpu::HostContext& host,
                                     const PreparedProblem& prep,
@@ -95,6 +105,7 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
   const int nc = prep.plan.num_col_panels;
   constexpr int kSlots = GpuWorkspace::kSlots;
 
+  OOC_RETURN_IF_ERROR(device.health());
   std::unique_ptr<GpuWorkspace> local;
   if (workspace == nullptr) {
     local = std::make_unique<GpuWorkspace>(device, host, prep.plan.pool_bytes,
@@ -102,6 +113,7 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
                                            prep.plan.max_b_panel_bytes);
     workspace = local.get();
   }
+  OOC_RETURN_IF_ERROR(workspace->init_status());
   vgpu::Stream** streams = workspace->streams;
   std::unique_ptr<vgpu::PoolMemorySource>* sources = workspace->sources;
   PanelCache& cache = workspace->cache;
@@ -114,12 +126,23 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
   std::optional<PendingChunk> prev;  // numeric done, payload not fully issued
 
   Status sink_status = Status::Ok();
+  Status device_status = Status::Ok();
   auto finalize_slot = [&](int slot) {
     if (!slot_pending[slot]) return;
     PendingChunk& done = *slot_pending[slot];
     // All transfers of this chunk were issued on its stream; draining the
     // stream guarantees the payload landed (virtually and physically).
     device.StreamSynchronize(host, *done.stream);
+    // Sticky-error checkpoint: if anything faulted since the last check,
+    // this payload may be incomplete or corrupted — drop it rather than
+    // ever assembling a wrong C.  The run fails at the loop's next check.
+    const Status health = device.health();
+    if (!health.ok()) {
+      if (device_status.ok()) device_status = health;
+      slot_pending[slot].reset();
+      sources[slot]->Recycle();
+      return;
+    }
     out.nnz += done.product.nnz;
     if (sink != nullptr) {
       if (sink_status.ok()) sink_status = sink->Consume(std::move(done.payload));
@@ -130,19 +153,36 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
     sources[slot]->Recycle();
   };
 
+  // Mid-pipeline abort: drain what was issued, then return the workspace to
+  // a clean state — recycled pools and an invalidated panel cache — so a
+  // caller-owned workspace does not carry leaked reservations or suspect
+  // panels into its next run.
+  auto fail = [&](const Status& status) -> Status {
+    device.DeviceSynchronize(host);
+    prev.reset();
+    for (int s = 0; s < kSlots; ++s) {
+      slot_pending[s].reset();
+      sources[s]->Recycle();
+    }
+    cache.Invalidate(PanelCache::kA);
+    cache.Invalidate(PanelCache::kB);
+    return status;
+  };
+
   const bool scheduled =
       options.transfer_schedule == TransferSchedule::kScheduled;
 
   for (std::size_t k = 0; k < order.size(); ++k) {
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {
-      return Status::Cancelled("gpu runner cancelled at chunk " +
-                               std::to_string(k));
+      return fail(Status::Cancelled("gpu runner cancelled at chunk " +
+                                    std::to_string(k)));
     }
     const partition::ChunkDesc& desc =
         prep.chunks[static_cast<std::size_t>(order[k])];
     const int slot = static_cast<int>(k % kSlots);
     finalize_slot(slot);  // reuse of the slot's pool requires its drain
+    if (!device_status.ok()) return fail(device_status);
 
     // Fetch this chunk's panels (H2D engine if not cached — runs
     // concurrently with the other slot's D2H payload).
@@ -153,17 +193,20 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
         host, *streams[slot], PanelCache::kA, desc.row_panel,
         prep.a_panels[static_cast<std::size_t>(desc.row_panel)],
         options.pinned_host);
-    if (!da.ok()) return da.status();
+    if (!da.ok()) return fail(da.status());
     auto db = cache.Acquire(host, *streams[slot], PanelCache::kB,
                             desc.col_panel, prep.b_panel(desc.col_panel),
                             options.pinned_host);
-    if (!db.ok()) return db.status();
+    if (!db.ok()) return fail(db.status());
 
     ChunkPipeline pipeline(device, options.spgemm, scratch);
 
     // Stage 1 + Fig. 6 transfer #1 (this chunk's analysis info).
-    OOC_RETURN_IF_ERROR(pipeline.RunAnalysis(host, *streams[slot], da.value(),
-                                             db.value(), *sources[slot], tag));
+    if (Status st = pipeline.RunAnalysis(host, *streams[slot], da.value(),
+                                         db.value(), *sources[slot], tag);
+        !st.ok()) {
+      return fail(st);
+    }
 
     // Fig. 6 transfer #2: first portion of the previous chunk's payload,
     // overlapping this chunk's symbolic phase.
@@ -175,7 +218,9 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
     }
 
     // Stage 2 + Fig. 6 transfer #3 (this chunk's symbolic info).
-    OOC_RETURN_IF_ERROR(pipeline.RunSymbolic(host, *streams[slot]));
+    if (Status st = pipeline.RunSymbolic(host, *streams[slot]); !st.ok()) {
+      return fail(st);
+    }
 
     // Fig. 6 transfer #4: the remainder of the previous chunk's payload,
     // overlapping this chunk's numeric phase.
@@ -228,9 +273,11 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
     prev.reset();
   }
   for (int s = 0; s < kSlots; ++s) finalize_slot(s);
-  if (!sink_status.ok()) return sink_status;
+  if (!device_status.ok()) return fail(device_status);
+  if (!sink_status.ok()) return fail(sink_status);
 
   device.DeviceSynchronize(host);
+  if (Status health = device.health(); !health.ok()) return fail(health);
   out.makespan = host.now;
   out.chunks_run = static_cast<int>(order.size());
   out.b_panel_uploads = cache.misses(PanelCache::kB) - b_misses_before;

@@ -50,6 +50,10 @@ struct GpuWorkspace {
   GpuWorkspace(const GpuWorkspace&) = delete;
   GpuWorkspace& operator=(const GpuWorkspace&) = delete;
 
+  /// OK unless a fault-injected Malloc emptied one of the pools or the
+  /// panel cache at construction; RunGpuChunks checks before issuing work.
+  Status init_status() const;
+
   vgpu::Stream* streams[kSlots];
   std::unique_ptr<vgpu::MemoryPool> pools[kSlots];
   std::unique_ptr<vgpu::PoolMemorySource> sources[kSlots];

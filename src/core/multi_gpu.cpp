@@ -15,22 +15,32 @@ StatusOr<MultiGpuResult> MultiGpuHybrid(
   if (devices.empty()) {
     return Status::InvalidArgument("MultiGpuHybrid needs at least one device");
   }
-  std::int64_t min_capacity = devices[0]->capacity();
-  for (vgpu::Device* d : devices) {
-    min_capacity = std::min(min_capacity, d->capacity());
+
+  // Devices still in the deal; a device that faults mid-run is pruned and
+  // the attempt re-dealt across the survivors (failover, not retry: the
+  // OOM attempt budget is not consumed).
+  std::vector<vgpu::Device*> live = devices;
+  std::vector<int> live_ids(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    live_ids[i] = static_cast<int>(i);
   }
+  std::vector<int> failed_devices;
 
   // Retry loop mirrors the single-device executors: pool overflow re-plans
   // with a doubled safety factor.
   ExecutorOptions attempt_options = options;
   constexpr int kMaxAttempts = 4;
-  for (int attempt = 0;; ++attempt) {
+  for (int attempt = 0;;) {
+    std::int64_t min_capacity = live[0]->capacity();
+    for (vgpu::Device* d : live) {
+      min_capacity = std::min(min_capacity, d->capacity());
+    }
     auto prep_or = PrepareProblem(a, b, min_capacity, attempt_options, pool);
     if (!prep_or.ok()) return prep_or.status();
     const PreparedProblem& prep = prep_or.value();
 
     // Generalized Algorithm 4 ratio: S' = D * r/(1-r) for single-GPU ratio r.
-    const int num_devices = static_cast<int>(devices.size());
+    const int num_devices = static_cast<int>(live.size());
     const double r = std::clamp(attempt_options.gpu_ratio, 0.0, 1.0);
     double ratio_d = 1.0;
     if (r < 1.0) {
@@ -66,15 +76,27 @@ StatusOr<MultiGpuResult> MultiGpuHybrid(
     MultiGpuResult result;
     std::vector<ChunkPayload> payloads;
     bool oom = false;
+    bool pruned = false;
     Status oom_status = Status::Ok();
 
     for (int d = 0; d < num_devices && !oom; ++d) {
-      devices[static_cast<std::size_t>(d)]->ResetTimeline();
+      live[static_cast<std::size_t>(d)]->ResetTimeline();
       vgpu::HostContext host;
-      auto run = RunGpuChunks(*devices[static_cast<std::size_t>(d)], host,
+      auto run = RunGpuChunks(*live[static_cast<std::size_t>(d)], host,
                               prep, per_device[static_cast<std::size_t>(d)],
                               attempt_options);
       if (!run.ok()) {
+        // Device fault (not a planning problem): prune it and re-deal this
+        // attempt across the survivors.  RunGpuChunks already dropped every
+        // payload of the faulted run, so no partial chunk leaks through.
+        if (!live[static_cast<std::size_t>(d)]->health().ok() &&
+            num_devices > 1) {
+          failed_devices.push_back(live_ids[static_cast<std::size_t>(d)]);
+          live.erase(live.begin() + d);
+          live_ids.erase(live_ids.begin() + d);
+          pruned = true;
+          break;
+        }
         if (run.status().code() == StatusCode::kOutOfMemory &&
             attempt + 1 < kMaxAttempts) {
           oom = true;
@@ -96,14 +118,16 @@ StatusOr<MultiGpuResult> MultiGpuHybrid(
       per.num_gpu_chunks = run->chunks_run;
       per.b_panel_uploads = run->b_panel_uploads;
       per.b_panel_hits = run->b_panel_hits;
-      FillStatsFromTrace(devices[static_cast<std::size_t>(d)]->trace(), per);
+      FillStatsFromTrace(live[static_cast<std::size_t>(d)]->trace(), per);
       per.total_seconds = std::max(per.total_seconds, run->makespan);
       per.gpu_seconds = run->makespan;
       result.stats.per_device.push_back(std::move(per));
 
       for (auto& p : run->payloads) payloads.push_back(std::move(p));
     }
+    if (pruned) continue;  // failover re-deal: the OOM budget is untouched
     if (oom) {
+      ++attempt;
       attempt_options.plan.nnz_safety_factor *= 2.0;
       continue;
     }
@@ -132,6 +156,7 @@ StatusOr<MultiGpuResult> MultiGpuHybrid(
                   static_cast<double>(result.stats.combined.nnz_out)
             : 0.0;
 
+    result.stats.failed_devices = failed_devices;
     result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
                               std::move(payloads));
     return result;

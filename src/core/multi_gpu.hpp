@@ -25,11 +25,15 @@ struct MultiGpuStats {
   RunStats combined;
   /// Virtual makespan of each GPU worker.
   std::vector<double> gpu_seconds;
-  /// Per-device accounting, parallel to the `devices` argument: each entry
-  /// carries that device's chunk count, output nnz, panel traffic and
-  /// trace-derived engine times.  The round-robin deal guarantees
-  /// num_gpu_chunks across entries differs by at most one.
+  /// Per-device accounting, parallel to the *surviving* devices (the
+  /// `devices` argument minus `failed_devices`): each entry carries that
+  /// device's chunk count, output nnz, panel traffic and trace-derived
+  /// engine times.  The round-robin deal guarantees num_gpu_chunks across
+  /// entries differs by at most one.
   std::vector<RunStats> per_device;
+  /// Indices (into the `devices` argument) of devices that faulted and
+  /// were pruned mid-run; their chunks re-ran on the survivors.
+  std::vector<int> failed_devices;
 };
 
 struct MultiGpuResult {
@@ -42,6 +46,13 @@ struct MultiGpuResult {
 /// options.gpu_ratio = r, the GPUs collectively receive
 /// D*r' / (D*r' + (1-r')) of the flops where r' is the single-GPU ratio —
 /// i.e. the generalized Algorithm 4 rule.
+///
+/// Partial failure: when a device faults mid-run (its sticky health status
+/// turns non-OK) and at least one other device survives, the faulted
+/// device is pruned, its index recorded in stats.failed_devices, and the
+/// whole attempt re-deals across the survivors — no partial chunk from the
+/// faulted device is ever assembled.  Only when the *last* device faults
+/// does the call fail, with the device's typed status.
 StatusOr<MultiGpuResult> MultiGpuHybrid(
     const std::vector<vgpu::Device*>& devices, const sparse::Csr& a,
     const sparse::Csr& b, const ExecutorOptions& options, ThreadPool& pool);

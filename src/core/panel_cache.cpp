@@ -17,7 +17,12 @@ PanelCache::PanelCache(vgpu::Device& device, vgpu::HostContext& host,
   const std::int64_t a_slot = Align(max_a_bytes);
   const std::int64_t b_slot = Align(max_b_bytes);
   auto arena = device_.Malloc(host, 2 * a_slot + 2 * b_slot, "panel-cache");
-  OOC_CHECK(arena.ok() && "panel cache exceeds device capacity (planner bug)");
+  if (!arena.ok()) {
+    OOC_CHECK(arena.status().code() != StatusCode::kOutOfMemory &&
+              "panel cache exceeds device capacity (planner bug)");
+    init_status_ = arena.status();
+    return;
+  }
   arena_ = arena.value();
   slots_[kA][0].area = arena_.Slice(0, a_slot);
   slots_[kA][1].area = arena_.Slice(a_slot, a_slot);
@@ -25,12 +30,15 @@ PanelCache::PanelCache(vgpu::Device& device, vgpu::HostContext& host,
   slots_[kB][1].area = arena_.Slice(2 * a_slot + b_slot, b_slot);
 }
 
-PanelCache::~PanelCache() { device_.Free(*host_, arena_); }
+PanelCache::~PanelCache() {
+  if (!arena_.is_null()) device_.Free(*host_, arena_);
+}
 
 StatusOr<DeviceCsr> PanelCache::Acquire(vgpu::HostContext& host,
                                         vgpu::Stream& stream, Kind kind,
                                         int id, const sparse::Csr& host_panel,
                                         bool pinned) {
+  if (!init_status_.ok()) return init_status_;
   auto& kind_slots = slots_[kind];
   // Hit?
   for (Slot& slot : kind_slots) {
@@ -83,6 +91,15 @@ StatusOr<DeviceCsr> PanelCache::Acquire(vgpu::HostContext& host,
                          host_panel.nnz() *
                              static_cast<std::int64_t>(sizeof(value_t)),
                          tag + ".values", pinned);
+
+  // Commit the slot only if the uploads actually happened: a fault-injected
+  // (or dead-device) upload would otherwise cache a garbage panel under a
+  // valid id and poison every later hit.
+  const Status upload_health = device_.health();
+  if (!upload_health.ok()) {
+    victim.id = -1;
+    return upload_health;
+  }
 
   victim.id = id;
   victim.panel = d;

@@ -28,6 +28,10 @@ class PanelCache {
              std::int64_t max_a_bytes, std::int64_t max_b_bytes);
   ~PanelCache();
 
+  /// OK unless the backing Malloc was fault-injected away (genuine OOM
+  /// still aborts — that is a planner bug).  Acquire re-reports it.
+  const Status& init_status() const { return init_status_; }
+
   PanelCache(const PanelCache&) = delete;
   PanelCache& operator=(const PanelCache&) = delete;
 
@@ -72,6 +76,7 @@ class PanelCache {
   vgpu::Device& device_;
   vgpu::HostContext* host_;
   vgpu::DevicePtr arena_;
+  Status init_status_;
   std::array<std::array<Slot, 2>, 2> slots_;  // [kind][slot]
   std::array<std::int64_t, 2> hits_{0, 0};    // [kind]
   std::array<std::int64_t, 2> misses_{0, 0};  // [kind]

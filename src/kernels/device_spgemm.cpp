@@ -84,6 +84,10 @@ Status ChunkPipeline::RunAnalysis(vgpu::HostContext& host,
                          static_cast<std::int64_t>(rows) * 8,
                          tag + ".analysis.info");
   device_.StreamSynchronize(host, stream);  // host grouping needs the info
+  // Sticky-error checkpoint: a faulted kernel or info transfer leaves
+  // h_flops_ stale (possibly from the previous chunk); grouping on stale
+  // counts would size every later allocation from garbage.
+  OOC_RETURN_IF_ERROR(device_.health());
 
   product_.flops = std::accumulate(h_flops_.begin(), h_flops_.end(),
                                    static_cast<std::int64_t>(0));
@@ -138,6 +142,9 @@ Status ChunkPipeline::RunSymbolic(vgpu::HostContext& host,
                          static_cast<std::int64_t>(rows) * 8,
                          tag_ + ".symbolic.info");
   device_.StreamSynchronize(host, stream);  // allocation sizing needs counts
+  // Same checkpoint as the analysis info: never size the output arrays from
+  // a readback a fault may have skipped or scrambled.
+  OOC_RETURN_IF_ERROR(device_.health());
 
   product_.row_offsets.resize(static_cast<std::size_t>(rows) + 1);
   product_.nnz = ExclusiveScan(h_row_nnz_.data(), h_row_nnz_.size(),
@@ -275,6 +282,12 @@ StatusOr<Csr> MultiplyInCore(vgpu::Device& device, const Csr& a, const Csr& b,
                         chunk->nnz * static_cast<std::int64_t>(sizeof(value_t)),
                         "C.values");
   device.StreamSynchronize(host, *stream);
+  if (Status health = device.health(); !health.ok()) {
+    ReleaseChunk(host, source, chunk.value());
+    ReleaseCsr(host, source, da.value());
+    ReleaseCsr(host, source, db.value());
+    return health;
+  }
 
   Csr result(chunk->rows, chunk->cols, std::move(chunk->row_offsets),
              std::move(cols), std::move(vals));

@@ -75,6 +75,11 @@ struct JobMetrics {
   /// Members of the operand-sharing batch the job ran in (1 == unbatched).
   int batch_size = 1;
   int attempts = 0;
+  /// Scheduler re-plans caused by a device fault: the job was routed again
+  /// onto the surviving devices (or degraded to CPU) after a lane it held
+  /// faulted mid-run.  Distinct from `attempts`, which counts pool-overflow
+  /// replans on the *same* placement.
+  int failovers = 0;
 
   /// Pool index of the device the job (or its batch) ran on; -1 for jobs
   /// that never took a device lease (CPU-only routes, rejections).  For a

@@ -230,6 +230,7 @@ void Scheduler::RunJob(ScheduledJob& item) {
   JobMetrics& m = result.metrics;
   m.id = item.id;
   m.virtual_arrival = item.job.options.virtual_arrival;
+  m.failovers = item.failover_credit;
 
   const JobOptions& opts = item.job.options;
 
@@ -239,121 +240,6 @@ void Scheduler::RunJob(ScheduledJob& item) {
     FinishJob(item, std::move(result));
   };
 
-  // Route.  kAuto mirrors core::Multiply's policy, plus graceful
-  // degradation: a small job takes a device only if one is free this
-  // instant.  Placement is least-reserved-bytes first among the devices
-  // whose capacity holds the job's planned working set — a job never
-  // lands on a device it could not fit.
-  core::ExecutionMode mode = opts.mode;
-  core::DevicePool::Slot slot;
-  std::vector<core::DevicePool::Slot> span;
-  const std::int64_t want = item.demand.planned_device_bytes;
-  if (mode == core::ExecutionMode::kAuto) {
-    if (!item.demand.gpu_feasible) {
-      mode = core::ExecutionMode::kCpuOnly;
-    } else if (item.demand.planned_chunks <= config_.small_job_chunks) {
-      slot = devices_.TryAcquire(want);
-      mode = slot.held() ? core::ExecutionMode::kGpuOutOfCore
-                         : core::ExecutionMode::kCpuOnly;
-    } else {
-      slot = devices_.Acquire(want);
-      // Feasible by estimate but no pool device is actually large enough
-      // (heterogeneous fleet): the CPU path is the graceful route.
-      mode = slot.held() ? core::ExecutionMode::kHybrid
-                         : core::ExecutionMode::kCpuOnly;
-    }
-  } else if (NeedsDevice(mode)) {
-    slot = devices_.Acquire(want);
-    if (!slot.held()) {
-      finish(JobOutcome::kFailed,
-             Status::FailedPrecondition(
-                 "no pool device can hold the job's planned working set (" +
-                 std::to_string(want) + " bytes)"));
-      return;
-    }
-  }
-
-  // Reserve the plan's device bytes for the duration of the run.  Only what
-  // was actually reserved is returned below — CPU-only routes never touch
-  // the ledger, so reservations balance to zero by construction.
-  std::int64_t reserved = 0;
-  if (slot.held() && want > 0) {
-    if (slot.arbiter().TryReserve(want)) {
-      reserved = want;
-    } else {
-      stats_.RecordReserveShortfall();
-      if (opts.mode == core::ExecutionMode::kAuto) {
-        // Running anyway would overcommit the ledger admission relies on;
-        // degrade to the CPU path instead.
-        slot.Release();
-        mode = core::ExecutionMode::kCpuOnly;
-      } else {
-        // An explicit device mode has no CPU fallback: wait briefly for
-        // outstanding reservations to drain, then give up loudly.
-        const auto deadline =
-            std::chrono::steady_clock::now() +
-            ToSteadyDuration(std::max(0.0, config_.reserve_wait_seconds));
-        const auto poll = std::chrono::duration<double>(
-            std::max(1e-4, config_.reserve_poll_seconds));
-        while (reserved == 0 && std::chrono::steady_clock::now() < deadline) {
-          std::this_thread::sleep_for(poll);
-          if (slot.arbiter().AvailableEstimate() >= want &&
-              slot.arbiter().TryReserve(want)) {
-            reserved = want;
-          }
-        }
-        if (reserved == 0) {
-          const std::int64_t available = slot.arbiter().AvailableEstimate();
-          slot.Release();
-          finish(JobOutcome::kFailed,
-                 Status::ResourceExhausted(
-                     "device reservation unavailable: want " +
-                     std::to_string(want) + " bytes, " +
-                     std::to_string(available) + " free"));
-          return;
-        }
-      }
-    }
-  }
-
-  // A multi-chunk Hybrid job may span extra devices that are free right
-  // now (opportunistic — never waits).  Each spanned device pre-allocates
-  // its own pools, so each carries its own reservation; a device that
-  // refuses is simply dropped from the span.
-  if (slot.held() && mode == core::ExecutionMode::kHybrid &&
-      config_.max_devices_per_job > 1) {
-    span = devices_.TryAcquireFree(config_.max_devices_per_job - 1, want);
-    if (want > 0) {
-      std::vector<core::DevicePool::Slot> kept;
-      for (auto& extra : span) {
-        if (extra.arbiter().TryReserve(want)) {
-          kept.push_back(std::move(extra));
-        } else {
-          stats_.RecordReserveShortfall();
-          extra.Release();
-        }
-      }
-      span = std::move(kept);
-    }
-  }
-
-  std::vector<vgpu::Device*> devs;
-  std::vector<int> gpu_lane_indices;
-  if (slot.held()) {
-    devs.push_back(&slot.device());
-    gpu_lane_indices.push_back(slot.index());
-    for (auto& extra : span) {
-      devs.push_back(&extra.device());
-      gpu_lane_indices.push_back(extra.index());
-    }
-  }
-  m.executor = mode;
-  m.executed = true;
-  m.device_index = slot.held() ? slot.index() : -1;
-  m.devices_used = static_cast<int>(devs.size());
-
-  WatchJob(item);
-
   // Execute with scheduler-owned retry-with-replan: the executor's internal
   // retry loop is disabled, each pool overflow doubles the safety factor
   // and backs off exponentially before trying again.
@@ -362,29 +248,180 @@ void Scheduler::RunJob(ScheduledJob& item) {
   exec.max_oom_attempts = 1;
   double backoff = std::max(0.0, opts.retry_backoff_seconds);
 
+  core::ExecutionMode mode = opts.mode;
+  std::vector<int> gpu_lane_indices;
   StatusOr<core::RunResult> run = Status::Internal("not attempted");
   WallTimer wall;
-  for (int attempt = 0;; ++attempt) {
-    ++m.attempts;
-    run = Dispatch(mode, item, exec, devs);
-    const bool pool_overflow =
-        !run.ok() && run.status().code() == StatusCode::kOutOfMemory;
-    const bool cancelled = item.cancel->load(std::memory_order_relaxed);
-    if (!pool_overflow || attempt >= opts.max_retries || cancelled) break;
-    exec.plan.nnz_safety_factor *= 2.0;
-    if (backoff > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff *= 2.0;
+
+  // Failover rounds: a round whose run fails because a held device faulted
+  // marks the dead lane unhealthy and re-plans the job from scratch — the
+  // pool now excludes that lane, so the job lands on a survivor (or, for
+  // kAuto, degrades to the CPU path once no healthy device fits).
+  const int max_rounds = std::max(1, devices_.size() + 1);
+  for (int round = 0;; ++round) {
+    // Route.  kAuto mirrors core::Multiply's policy, plus graceful
+    // degradation: a small job takes a device only if one is free this
+    // instant.  Placement is least-reserved-bytes first among the devices
+    // whose capacity holds the job's planned working set — a job never
+    // lands on a device it could not fit.
+    mode = opts.mode;
+    gpu_lane_indices.clear();
+    core::DevicePool::Slot slot;
+    std::vector<core::DevicePool::Slot> span;
+    const std::int64_t want = item.demand.planned_device_bytes;
+    if (mode == core::ExecutionMode::kAuto) {
+      if (!item.demand.gpu_feasible) {
+        mode = core::ExecutionMode::kCpuOnly;
+      } else if (item.demand.planned_chunks <= config_.small_job_chunks) {
+        slot = devices_.TryAcquire(want);
+        mode = slot.held() ? core::ExecutionMode::kGpuOutOfCore
+                           : core::ExecutionMode::kCpuOnly;
+      } else {
+        slot = devices_.Acquire(want);
+        // Feasible by estimate but no pool device is actually large enough
+        // (heterogeneous fleet, or every fitting lane failed): the CPU path
+        // is the graceful route.
+        mode = slot.held() ? core::ExecutionMode::kHybrid
+                           : core::ExecutionMode::kCpuOnly;
+      }
+    } else if (NeedsDevice(mode)) {
+      slot = devices_.Acquire(want);
+      if (!slot.held()) {
+        finish(JobOutcome::kFailed,
+               Status::FailedPrecondition(
+                   "no pool device can hold the job's planned working set (" +
+                   std::to_string(want) + " bytes)"));
+        return;
+      }
     }
+
+    // Reserve the plan's device bytes for the duration of the run.  Only
+    // what was actually reserved is returned below — CPU-only routes never
+    // touch the ledger, so reservations balance to zero by construction.
+    std::int64_t reserved = 0;
+    if (slot.held() && want > 0) {
+      if (slot.arbiter().TryReserve(want)) {
+        reserved = want;
+      } else {
+        stats_.RecordReserveShortfall();
+        if (opts.mode == core::ExecutionMode::kAuto) {
+          // Running anyway would overcommit the ledger admission relies on;
+          // degrade to the CPU path instead.
+          slot.Release();
+          mode = core::ExecutionMode::kCpuOnly;
+        } else {
+          // An explicit device mode has no CPU fallback: wait briefly for
+          // outstanding reservations to drain, then give up loudly.
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              ToSteadyDuration(std::max(0.0, config_.reserve_wait_seconds));
+          const auto poll = std::chrono::duration<double>(
+              std::max(1e-4, config_.reserve_poll_seconds));
+          while (reserved == 0 && std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(poll);
+            if (slot.arbiter().AvailableEstimate() >= want &&
+                slot.arbiter().TryReserve(want)) {
+              reserved = want;
+            }
+          }
+          if (reserved == 0) {
+            const std::int64_t available = slot.arbiter().AvailableEstimate();
+            slot.Release();
+            finish(JobOutcome::kFailed,
+                   Status::ResourceExhausted(
+                       "device reservation unavailable: want " +
+                       std::to_string(want) + " bytes, " +
+                       std::to_string(available) + " free"));
+            return;
+          }
+        }
+      }
+    }
+
+    // A multi-chunk Hybrid job may span extra devices that are free right
+    // now (opportunistic — never waits).  Each spanned device pre-allocates
+    // its own pools, so each carries its own reservation; a device that
+    // refuses is simply dropped from the span.
+    if (slot.held() && mode == core::ExecutionMode::kHybrid &&
+        config_.max_devices_per_job > 1) {
+      span = devices_.TryAcquireFree(config_.max_devices_per_job - 1, want);
+      if (want > 0) {
+        std::vector<core::DevicePool::Slot> kept;
+        for (auto& extra : span) {
+          if (extra.arbiter().TryReserve(want)) {
+            kept.push_back(std::move(extra));
+          } else {
+            stats_.RecordReserveShortfall();
+            extra.Release();
+          }
+        }
+        span = std::move(kept);
+      }
+    }
+
+    std::vector<vgpu::Device*> devs;
+    if (slot.held()) {
+      devs.push_back(&slot.device());
+      gpu_lane_indices.push_back(slot.index());
+      for (auto& extra : span) {
+        devs.push_back(&extra.device());
+        gpu_lane_indices.push_back(extra.index());
+      }
+    }
+    m.executor = mode;
+    m.executed = true;
+    m.device_index = slot.held() ? slot.index() : -1;
+    m.devices_used = static_cast<int>(devs.size());
+
+    WatchJob(item);
+
+    for (int attempt = 0;; ++attempt) {
+      ++m.attempts;
+      run = Dispatch(mode, item, exec, devs);
+      const bool pool_overflow =
+          !run.ok() && run.status().code() == StatusCode::kOutOfMemory;
+      const bool cancelled = item.cancel->load(std::memory_order_relaxed);
+      if (!pool_overflow || attempt >= opts.max_retries || cancelled) break;
+      exec.plan.nnz_safety_factor *= 2.0;
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2.0;
+      }
+    }
+
+    // Inspect the held lanes' health BEFORE releasing them: a dead device
+    // is pulled from the pool (no future lease lands on it) and a faulted
+    // run becomes a failover round instead of a client-visible failure.
+    // A dead span member under a *successful* run (core::MultiGpuHybrid
+    // pruned it internally and re-dealt on the survivors) is still pulled.
+    bool device_fault = false;
+    auto inspect = [&](core::DevicePool::Slot& held) {
+      if (!held.held() || held.device().health().ok()) return;
+      if (!run.ok()) device_fault = true;
+      if (held.device().dead()) {
+        devices_.MarkUnhealthy(held.index());
+        stats_.RecordDeviceFailure(held.index());
+      }
+    };
+    inspect(slot);
+    for (auto& extra : span) inspect(extra);
+
+    if (reserved > 0) slot.arbiter().Unreserve(reserved);
+    for (auto& extra : span) {
+      if (want > 0) extra.arbiter().Unreserve(want);
+      extra.Release();
+    }
+    slot.Release();
+    UnwatchJob(item);
+
+    const bool cancelled = item.cancel->load(std::memory_order_relaxed);
+    if (!run.ok() && device_fault && !cancelled && round + 1 < max_rounds) {
+      ++m.failovers;
+      continue;
+    }
+    break;
   }
   m.wall_seconds = wall.Seconds();
-  if (reserved > 0) slot.arbiter().Unreserve(reserved);
-  for (auto& extra : span) {
-    if (want > 0) extra.arbiter().Unreserve(want);
-    extra.Release();
-  }
-  slot.Release();
-  UnwatchJob(item);
 
   if (!run.ok()) {
     if (run.status().code() == StatusCode::kCancelled) {
@@ -504,12 +541,29 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
 
   const int batch_device = slot.index();
   for (auto& item : live) UnwatchJob(*item);
+
+  // Inspect the batch device before releasing the lease: a dead lane is
+  // pulled from the pool so the members' individual re-runs (and everyone
+  // else) re-plan onto the survivors.
+  bool device_fault = false;
+  if (!run.ok() && !slot.device().health().ok()) {
+    device_fault = true;
+    if (slot.device().dead()) {
+      devices_.MarkUnhealthy(batch_device);
+      stats_.RecordDeviceFailure(batch_device);
+    }
+  }
+
   if (reserved > 0) slot.arbiter().Unreserve(reserved);
   slot.Release();
 
   if (!run.ok()) {
-    // Whole-batch failure (planning error, unrecoverable overflow): the
-    // members re-run individually where per-job policy applies.
+    // Whole-batch failure (planning error, unrecoverable overflow, device
+    // fault): the members re-run individually where per-job policy applies.
+    // A device fault counts as one failover for every member that re-runs.
+    if (device_fault) {
+      for (auto& item : live) ++item->failover_credit;
+    }
     fall_back();
     return;
   }

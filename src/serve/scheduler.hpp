@@ -88,6 +88,9 @@ struct ScheduledJob {
   std::promise<JobResult> promise;
   std::chrono::steady_clock::time_point submit_wall;
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Failovers inherited from a batch whose device faulted: when the batch
+  /// falls back to per-job runs, each member starts its metrics from here.
+  int failover_credit = 0;
 };
 
 using JobQueue = BoundedJobQueue<std::unique_ptr<ScheduledJob>>;

@@ -117,6 +117,8 @@ ServerReport SpgemmServer::Report() const {
     d.unreserve_underflows = arb.unreserve_underflows();
     d.reserved_bytes = arb.reserved_bytes();
     d.capacity_bytes = devices_.device(static_cast<int>(i)).capacity();
+    d.healthy = devices_.health(static_cast<int>(i)) ==
+                core::DevicePool::DeviceHealth::kHealthy;
     if (i < busy.size()) d.busy_seconds = busy[i];
     if (r.virtual_makespan_seconds > 0.0) {
       d.utilization = d.busy_seconds / r.virtual_makespan_seconds;

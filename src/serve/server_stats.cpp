@@ -32,6 +32,7 @@ ServerReport ServerStats::Snapshot() const {
   bool any_completed = false;
   for (const JobMetrics& m : finished_) {
     r.retries += std::max(0, m.attempts - 1);
+    r.failed_over += m.failovers;
     if (m.device_oom) ++r.device_oom_failures;
     switch (m.outcome) {
       case JobOutcome::kCompleted: {
@@ -74,6 +75,18 @@ ServerReport ServerStats::Snapshot() const {
     }
   }
 
+  r.device_failures = device_failures_;
+  if (r.devices.size() < device_failure_counts_.size()) {
+    const std::size_t old = r.devices.size();
+    r.devices.resize(device_failure_counts_.size());
+    for (std::size_t d = old; d < r.devices.size(); ++d) {
+      r.devices[d].index = static_cast<int>(d);
+    }
+  }
+  for (std::size_t d = 0; d < device_failure_counts_.size(); ++d) {
+    r.devices[d].failures = device_failure_counts_[d];
+  }
+
   if (any_completed) {
     r.virtual_makespan_seconds = max_finish - min_arrival;
     if (r.virtual_makespan_seconds > 0.0) {
@@ -106,6 +119,8 @@ std::string ServerReport::ToJson() const {
   os << "  \"failed\": " << failed << ",\n";
   os << "  \"device_oom_failures\": " << device_oom_failures << ",\n";
   os << "  \"retries\": " << retries << ",\n";
+  os << "  \"failed_over\": " << failed_over << ",\n";
+  os << "  \"device_failures\": " << device_failures << ",\n";
   os << "  \"via_cpu\": " << via_cpu << ",\n";
   os << "  \"via_gpu\": " << via_gpu << ",\n";
   os << "  \"via_hybrid\": " << via_hybrid << ",\n";
@@ -121,6 +136,8 @@ std::string ServerReport::ToJson() const {
        << ", \"unreserve_underflows\": " << d.unreserve_underflows
        << ", \"reserved_bytes\": " << d.reserved_bytes
        << ", \"capacity_bytes\": " << d.capacity_bytes
+       << ", \"failures\": " << d.failures
+       << ", \"healthy\": " << (d.healthy ? "true" : "false")
        << ", \"busy_seconds\": " << d.busy_seconds
        << ", \"utilization\": " << d.utilization << "}";
   }
@@ -159,12 +176,17 @@ std::string ServerReport::DebugString() const {
        << Fixed(avg_batch_size, 2) << ", " << b_panel_uploads
        << " B-panel uploads)";
   }
+  if (failed_over > 0 || device_failures > 0) {
+    os << "; " << failed_over << " failovers across " << device_failures
+       << " device failures";
+  }
   if (devices.size() > 1) {
     os << "; devices:";
     for (const DeviceServeReport& d : devices) {
       os << " [" << d.index << "] " << d.completed << " jobs, "
          << d.lease_count << " leases, " << Fixed(d.utilization * 100.0, 1)
          << "% busy";
+      if (!d.healthy) os << " (DEAD)";
     }
     if (via_multi_device > 0) {
       os << "; " << via_multi_device << " multi-device runs";

@@ -29,6 +29,11 @@ struct DeviceServeReport {
   /// Outstanding reservation ledger at snapshot (0 once drained).
   std::int64_t reserved_bytes = 0;
   std::int64_t capacity_bytes = 0;
+  /// Times the scheduler declared this lane dead mid-run (fault injection
+  /// or a genuine device loss) and pulled it from the pool.
+  std::int64_t failures = 0;
+  /// Pool health at snapshot time; false once the lane was pulled.
+  bool healthy = true;
   /// Virtual seconds this device's lane was booked, and that over the
   /// report's virtual makespan (0 when the makespan is 0).
   double busy_seconds = 0.0;
@@ -46,6 +51,12 @@ struct ServerReport {
   std::int64_t failed = 0;
   std::int64_t device_oom_failures = 0;  // must stay 0: admission's contract
   std::int64_t retries = 0;              // scheduler-level re-plans
+  /// Failover rounds: jobs re-planned off a faulted lane onto the
+  /// survivors (or the CPU path).  Sums JobMetrics::failovers.
+  std::int64_t failed_over = 0;
+  /// Devices the scheduler pulled from the pool after a mid-run fault
+  /// (each pull counts once, even if several jobs held the lane's span).
+  std::int64_t device_failures = 0;
 
   // Executor mix of completed jobs.
   std::int64_t via_cpu = 0;
@@ -115,6 +126,17 @@ class ServerStats {
     std::unique_lock<std::mutex> lock(mutex_);
     ++reserve_shortfalls_;
   }
+  /// The scheduler found pool device `index` dead mid-run and pulled it.
+  void RecordDeviceFailure(int index) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++device_failures_;
+    if (index >= 0) {
+      if (static_cast<std::size_t>(index) >= device_failure_counts_.size()) {
+        device_failure_counts_.resize(static_cast<std::size_t>(index) + 1, 0);
+      }
+      ++device_failure_counts_[static_cast<std::size_t>(index)];
+    }
+  }
 
   ServerReport Snapshot() const;
 
@@ -125,6 +147,8 @@ class ServerStats {
   std::int64_t batched_jobs_ = 0;
   std::int64_t batch_fallbacks_ = 0;
   std::int64_t reserve_shortfalls_ = 0;
+  std::int64_t device_failures_ = 0;
+  std::vector<std::int64_t> device_failure_counts_;
   std::vector<JobMetrics> finished_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "vgpu/fault_injector.hpp"
+
 namespace oocgemm::vgpu {
 
 namespace {
@@ -17,8 +19,28 @@ FreeListAllocator::FreeListAllocator(std::int64_t capacity, std::int64_t alignme
   if (capacity > 0) free_blocks_[0] = capacity;
 }
 
-StatusOr<DevicePtr> FreeListAllocator::Allocate(std::int64_t bytes) {
+StatusOr<DevicePtr> FreeListAllocator::Allocate(std::int64_t bytes,
+                                                const std::string& label) {
   if (bytes < 0) return Status::InvalidArgument("negative allocation size");
+  if (injector_ != nullptr) {
+    if (injector_->device_dead()) {
+      return Status::Unavailable("device lost: allocation '" + label +
+                                 "' dropped");
+    }
+    if (auto fired = injector_->Evaluate(FaultSite::kAlloc, label)) {
+      switch (fired->action) {
+        case FaultAction::kDelay:
+          break;  // bookkeeping has no timing; the record still logs it
+        case FaultAction::kKillDevice:
+          return Status::Unavailable("injected device loss: " +
+                                     fired->description);
+        case FaultAction::kFail:
+        case FaultAction::kCorrupt:
+          return Status::ResourceExhausted("injected alloc failure: " +
+                                           fired->description);
+      }
+    }
+  }
   const std::int64_t need = std::max<std::int64_t>(AlignUp(bytes, alignment_), alignment_);
   for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
     if (it->second >= need) {

@@ -31,13 +31,23 @@ struct DevicePtr {
   }
 };
 
+class FaultInjector;
+
 class FreeListAllocator {
  public:
   /// Manages [0, capacity) with all allocations aligned to `alignment`.
   explicit FreeListAllocator(std::int64_t capacity, std::int64_t alignment = 256);
 
-  /// First-fit allocation; OOM Status when no block fits.
-  StatusOr<DevicePtr> Allocate(std::int64_t bytes);
+  /// Installs (or clears, with nullptr) a fault injector consulted on every
+  /// Allocate at site kAlloc.  Injected failures surface as
+  /// kResourceExhausted (vs the genuine-OOM kOutOfMemory), mirroring a
+  /// transient cudaMalloc failure rather than a capacity-planning bug.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// First-fit allocation; OOM Status when no block fits.  `label` is only
+  /// used for fault-rule matching and diagnostics.
+  StatusOr<DevicePtr> Allocate(std::int64_t bytes,
+                               const std::string& label = "");
 
   /// Frees a pointer previously returned by Allocate; coalesces neighbours.
   /// Double free or foreign pointer aborts (programming error).
@@ -52,6 +62,7 @@ class FreeListAllocator {
   std::int64_t largest_free_block() const;
 
  private:
+  FaultInjector* injector_ = nullptr;
   std::int64_t capacity_;
   std::int64_t alignment_;
   std::int64_t used_ = 0;

@@ -30,7 +30,17 @@ Device::Device(DeviceProperties props)
 
 StatusOr<DevicePtr> Device::Malloc(HostContext& host, std::int64_t bytes,
                                    const std::string& label) {
-  auto result = allocator_.Allocate(bytes);
+  if (dead()) {
+    return Status::Unavailable("device lost: malloc '" + label + "' refused");
+  }
+  // kAlloc faults are evaluated inside the allocator (one schedule shared
+  // with allocator-level users); here we only surface a kill that fired.
+  auto result = allocator_.Allocate(bytes, label);
+  if (injector_ != nullptr && injector_->device_dead() && !dead()) {
+    MarkDead("injected device loss at alloc '" + label + "'");
+    trace_.Add({OpCategory::kFault, "fault:alloc-kill:" + label, -1,
+                Interval{host.now, host.now}, 0});
+  }
   if (!result.ok()) return result.status();
   SerializeDevice(host, props_.alloc_overhead, OpCategory::kAlloc, label);
   return result;
@@ -38,7 +48,11 @@ StatusOr<DevicePtr> Device::Malloc(HostContext& host, std::int64_t bytes,
 
 void Device::Free(HostContext& host, DevicePtr ptr) {
   if (ptr.is_null()) return;
+  // Bookkeeping always runs, even on a lost device: the host-side arena
+  // accounting must return to baseline so pools/caches can unwind cleanly
+  // after a failure.  Only the timing side effect is skipped when dead.
   allocator_.Free(ptr);
+  if (dead()) return;
   SerializeDevice(host, props_.free_overhead, OpCategory::kFree, "free");
 }
 
@@ -101,11 +115,69 @@ void Device::CheckHazards(const std::string& label, const Interval& interval,
   hazard_history_.push_back({interval, regions, label});
 }
 
+void Device::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  allocator_.set_fault_injector(injector);
+}
+
+void Device::Revive() {
+  fault_status_ = Status::Ok();
+  dead_status_ = Status::Ok();
+  if (injector_ != nullptr) injector_->Revive();
+}
+
+void Device::MarkDead(const std::string& description) {
+  if (injector_ != nullptr) injector_->KillDevice();
+  dead_status_ = Status::Unavailable("device lost: " + description);
+}
+
+void Device::ScrambleBytes(void* data, std::int64_t bytes) {
+  auto* p = static_cast<unsigned char*>(data);
+  for (std::int64_t i = 0; i < bytes; ++i) p[i] ^= 0xa5;
+}
+
+std::optional<FiredFault> Device::EvaluateFault(HostContext& host,
+                                                FaultSite site, int stream_id,
+                                                const std::string& label) {
+  if (injector_ == nullptr) return std::nullopt;
+  auto fired = injector_->Evaluate(site, label);
+  if (!fired) return std::nullopt;
+  trace_.Add({OpCategory::kFault, "fault:" + fired->description + ":" + label,
+              stream_id, Interval{host.now, host.now}, 0});
+  switch (fired->action) {
+    case FaultAction::kFail:
+      if (fault_status_.ok()) {
+        fault_status_ =
+            Status::Internal("injected fault: " + fired->description);
+      }
+      break;
+    case FaultAction::kCorrupt:
+      if (fault_status_.ok()) {
+        fault_status_ =
+            Status::DataLoss("detected corruption: " + fired->description);
+      }
+      break;
+    case FaultAction::kKillDevice:
+      MarkDead(fired->description);
+      break;
+    case FaultAction::kDelay:
+      break;
+  }
+  return fired;
+}
+
 void Device::LaunchKernel(HostContext& host, Stream& stream,
                           const std::string& label, double cost_seconds,
                           std::vector<Region> regions,
                           const std::function<void()>& body) {
   OOC_CHECK(cost_seconds >= 0.0);
+  if (dead()) return;  // lost device: launches vanish
+  if (auto fired = EvaluateFault(host, FaultSite::kKernel, stream.id(), label)) {
+    // kFail/kCorrupt/kKillDevice all suppress the body: the kernel never
+    // produced (trustworthy) output, and the sticky status records that.
+    if (fired->action != FaultAction::kDelay) return;
+    cost_seconds += fired->delay_seconds;
+  }
   body();  // eager execution: results are real
   host.now += props_.kernel_launch_overhead;
   const SimTime ready = std::max(host.now, stream.last_end());
@@ -119,7 +191,13 @@ void Device::LaunchKernelCosted(HostContext& host, Stream& stream,
                                 const std::string& label,
                                 std::vector<Region> regions,
                                 const std::function<double()>& body) {
-  const double cost_seconds = body();
+  if (dead()) return;
+  double extra_cost = 0.0;
+  if (auto fired = EvaluateFault(host, FaultSite::kKernel, stream.id(), label)) {
+    if (fired->action != FaultAction::kDelay) return;
+    extra_cost = fired->delay_seconds;
+  }
+  const double cost_seconds = body() + extra_cost;
   OOC_CHECK(cost_seconds >= 0.0);
   host.now += props_.kernel_launch_overhead;
   const SimTime ready = std::max(host.now, stream.last_end());
@@ -133,9 +211,23 @@ void Device::MemcpyH2DAsync(HostContext& host, Stream& stream, DevicePtr dst,
                             const void* src, std::int64_t bytes,
                             const std::string& label, bool pinned) {
   OOC_CHECK(bytes >= 0 && bytes <= dst.size);
+  if (dead()) return;  // lost device: transfers vanish
+  double extra_delay = 0.0;
+  bool corrupt = false;
+  if (auto fired = EvaluateFault(host, FaultSite::kH2D, stream.id(), label)) {
+    switch (fired->action) {
+      case FaultAction::kFail:
+      case FaultAction::kKillDevice:
+        return;  // no data moved; sticky status already set
+      case FaultAction::kCorrupt: corrupt = true; break;
+      case FaultAction::kDelay: extra_delay = fired->delay_seconds; break;
+    }
+  }
   if (bytes > 0) std::memcpy(Raw(dst), src, static_cast<std::size_t>(bytes));
+  if (corrupt && bytes > 0) ScrambleBytes(Raw(dst), bytes);
   double bw = props_.h2d_bandwidth * (pinned ? 1.0 : props_.pageable_bandwidth_factor);
-  const double cost = props_.transfer_latency + static_cast<double>(bytes) / bw;
+  const double cost =
+      props_.transfer_latency + static_cast<double>(bytes) / bw + extra_delay;
   const SimTime ready = std::max(host.now, stream.last_end());
   const Interval iv = h2d_.Acquire(ready, cost);
   stream.AdvanceTo(iv.end);
@@ -148,9 +240,23 @@ void Device::MemcpyD2HAsync(HostContext& host, Stream& stream, void* dst,
                             DevicePtr src, std::int64_t bytes,
                             const std::string& label, bool pinned) {
   OOC_CHECK(bytes >= 0 && bytes <= src.size);
+  if (dead()) return;
+  double extra_delay = 0.0;
+  bool corrupt = false;
+  if (auto fired = EvaluateFault(host, FaultSite::kD2H, stream.id(), label)) {
+    switch (fired->action) {
+      case FaultAction::kFail:
+      case FaultAction::kKillDevice:
+        return;
+      case FaultAction::kCorrupt: corrupt = true; break;
+      case FaultAction::kDelay: extra_delay = fired->delay_seconds; break;
+    }
+  }
   if (bytes > 0) std::memcpy(dst, Raw(src), static_cast<std::size_t>(bytes));
+  if (corrupt && bytes > 0) ScrambleBytes(dst, bytes);
   double bw = props_.d2h_bandwidth * (pinned ? 1.0 : props_.pageable_bandwidth_factor);
-  const double cost = props_.transfer_latency + static_cast<double>(bytes) / bw;
+  const double cost =
+      props_.transfer_latency + static_cast<double>(bytes) / bw + extra_delay;
   const SimTime ready = std::max(host.now, stream.last_end());
   const Interval iv = d2h_.Acquire(ready, cost);
   stream.AdvanceTo(iv.end);
@@ -172,6 +278,7 @@ void Device::MemcpyD2H(HostContext& host, void* dst, DevicePtr src,
 }
 
 void Device::ResetTimeline() {
+  fault_status_ = Status::Ok();  // transient faults clear; device-lost stays
   trace_.Clear();
   hazard_history_.clear();
   hazard_violations_.clear();

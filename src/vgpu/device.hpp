@@ -13,17 +13,28 @@
 //  * An optional hazard checker verifies that eager execution was a legal
 //    serialization: any two operations touching overlapping device-memory
 //    regions (at least one writing) must not overlap in virtual time.
+//  * Fault model (see fault_injector.hpp): when a FaultInjector is
+//    installed, operations may fail.  Because the async APIs return void
+//    (as CUDA's do), failures follow CUDA's *sticky error* semantics: a
+//    failed/corrupted op sets a sticky status on the device, the op's data
+//    effect is suppressed (or scrambled, for kCorrupt), and callers observe
+//    the error at status-returning checkpoints via health().  A transient
+//    fault clears on ResetTimeline (the per-run entry point); a kKillDevice
+//    fault marks the device lost — every subsequent op is a silent no-op —
+//    until Revive().
 #pragma once
 
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
 #include "vgpu/allocator.hpp"
+#include "vgpu/fault_injector.hpp"
 #include "vgpu/trace.hpp"
 #include "vgpu/vtime.hpp"
 
@@ -202,6 +213,29 @@ class Device {
   void MemcpyD2H(HostContext& host, void* dst, DevicePtr src,
                  std::int64_t bytes, const std::string& label = "d2h");
 
+  // --- fault injection & health ---------------------------------------------
+
+  /// Installs (or clears, with nullptr) a fault injector; not owned.  The
+  /// injector is threaded into the allocator too, so Malloc-level failures
+  /// and transfer/kernel faults share one deterministic schedule.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// CUDA-style sticky error state.  OK while the device is healthy; the
+  /// device-lost status once a kKillDevice fault fired; otherwise the first
+  /// transient fault since the last ResetTimeline/Revive.  Executors check
+  /// this at their status-returning checkpoints (after synchronizes and
+  /// before consuming readbacks).
+  Status health() const { return !dead_status_.ok() ? dead_status_ : fault_status_; }
+
+  /// True once the device is lost (kKillDevice); cleared only by Revive.
+  bool dead() const { return !dead_status_.ok(); }
+
+  /// Clears both sticky statuses and re-arms the injector's dead flag —
+  /// the maintenance path DevicePool::Revive uses to return a drained
+  /// device to service.
+  void Revive();
+
   // --- introspection ---------------------------------------------------------
 
   Trace& trace() { return trace_; }
@@ -214,7 +248,9 @@ class Device {
   }
 
   /// Resets trace, clocks and hazard history but keeps allocations (for
-  /// benchmarks that reuse a warmed-up device).
+  /// benchmarks that reuse a warmed-up device).  Also clears any transient
+  /// sticky fault — the analogue of a fresh CUDA context check at run
+  /// start — but NOT the device-lost state.
   void ResetTimeline();
 
  private:
@@ -222,6 +258,15 @@ class Device {
                        const std::string& label);
   void CheckHazards(const std::string& label, const Interval& interval,
                     const std::vector<Region>& regions);
+
+  /// Consults the injector for one op.  Returns the fired fault, already
+  /// traced; sets sticky statuses for kFail/kKillDevice.  The caller skips
+  /// the op's effect for those two, applies kCorrupt/kDelay itself.
+  std::optional<FiredFault> EvaluateFault(HostContext& host, FaultSite site,
+                                          int stream_id,
+                                          const std::string& label);
+  void MarkDead(const std::string& description);
+  void ScrambleBytes(void* data, std::int64_t bytes);
 
   DeviceProperties props_;
   int id_ = 0;
@@ -233,6 +278,9 @@ class Device {
   std::deque<Stream> streams_;
   Stream* sync_stream_ = nullptr;  // internal stream for synchronous copies
   Trace trace_;
+  FaultInjector* injector_ = nullptr;
+  Status fault_status_;  // transient sticky error (clears on ResetTimeline)
+  Status dead_status_;   // device lost (clears only on Revive)
 
   bool hazard_checking_ = true;
   struct HazardRecord {

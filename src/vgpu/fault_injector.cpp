@@ -1,0 +1,209 @@
+#include "vgpu/fault_injector.hpp"
+
+#include <cstdlib>
+
+namespace oocgemm::vgpu {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc: return "alloc";
+    case FaultSite::kH2D: return "h2d";
+    case FaultSite::kD2H: return "d2h";
+    case FaultSite::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kFail: return "fail";
+    case FaultAction::kCorrupt: return "corrupt";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kKillDevice: return "kill";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseDoubleField(const std::string& field, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<FaultSpec> FaultSpec::Parse(const std::string& text,
+                                     std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  if (text.empty()) return spec;
+  for (const std::string& rule_text : SplitOn(text, ',')) {
+    if (rule_text.empty()) continue;
+    const std::vector<std::string> fields = SplitOn(rule_text, ':');
+    FaultRule rule;
+    bool action_set = false;
+    if (fields[0] == "alloc") {
+      rule.site = FaultSite::kAlloc;
+    } else if (fields[0] == "h2d") {
+      rule.site = FaultSite::kH2D;
+    } else if (fields[0] == "d2h") {
+      rule.site = FaultSite::kD2H;
+    } else if (fields[0] == "kernel") {
+      rule.site = FaultSite::kKernel;
+    } else {
+      return Status::InvalidArgument("fault spec: unknown site '" + fields[0] +
+                                     "' in rule '" + rule_text + "'");
+    }
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      const std::string& f = fields[i];
+      if (f.rfind("p=", 0) == 0) {
+        if (!ParseDoubleField(f.substr(2), &rule.probability) ||
+            rule.probability < 0.0 || rule.probability > 1.0) {
+          return Status::InvalidArgument("fault spec: bad probability '" + f +
+                                         "'");
+        }
+      } else if (f.rfind("nth=", 0) == 0) {
+        double v = 0.0;
+        if (!ParseDoubleField(f.substr(4), &v) || v < 1.0) {
+          return Status::InvalidArgument("fault spec: bad nth '" + f + "'");
+        }
+        rule.nth = static_cast<std::int64_t>(v);
+      } else if (f.rfind("delay=", 0) == 0) {
+        if (!ParseDoubleField(f.substr(6), &rule.delay_seconds) ||
+            rule.delay_seconds < 0.0) {
+          return Status::InvalidArgument("fault spec: bad delay '" + f + "'");
+        }
+        rule.action = FaultAction::kDelay;
+        action_set = true;
+      } else if (f.rfind("label=", 0) == 0) {
+        rule.label_substr = f.substr(6);
+      } else if (f == "once") {
+        rule.one_shot = true;
+      } else if (f == "fail") {
+        rule.action = FaultAction::kFail;
+        action_set = true;
+      } else if (f == "corrupt") {
+        rule.action = FaultAction::kCorrupt;
+        action_set = true;
+      } else if (f == "delay") {
+        rule.action = FaultAction::kDelay;
+        action_set = true;
+      } else if (f == "kill") {
+        rule.action = FaultAction::kKillDevice;
+        action_set = true;
+      } else {
+        return Status::InvalidArgument("fault spec: unknown field '" + f +
+                                       "' in rule '" + rule_text + "'");
+      }
+    }
+    if (rule.probability < 0.0 && rule.nth == 0 && !rule.one_shot) {
+      return Status::InvalidArgument(
+          "fault spec: rule '" + rule_text +
+          "' needs a trigger (p=, nth=, or once)");
+    }
+    (void)action_set;  // default action is kKillDevice
+    spec.rules.push_back(std::move(rule));
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {
+  // One independent PCG32 stream per rule, all expanded from the single
+  // seed: adding or removing a rule never perturbs another rule's draws.
+  SplitMix64 expand(spec_.seed);
+  rule_rngs_.reserve(spec_.rules.size());
+  for (std::size_t i = 0; i < spec_.rules.size(); ++i) {
+    const std::uint64_t s = expand.Next();
+    rule_rngs_.emplace_back(s, /*stream=*/i * 2 + 1);
+  }
+  disarmed_.assign(spec_.rules.size(), false);
+}
+
+std::optional<FiredFault> FaultInjector::Evaluate(FaultSite site,
+                                                  const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return std::nullopt;  // lost device: schedule frozen
+  const int s = static_cast<int>(site);
+  const std::int64_t site_op = ++site_ops_[s];
+  const std::int64_t op = ++total_ops_;
+
+  std::optional<FiredFault> fired;
+  std::size_t fired_rule = 0;
+  for (std::size_t i = 0; i < spec_.rules.size(); ++i) {
+    const FaultRule& rule = spec_.rules[i];
+    if (rule.site != site) continue;
+    if (!rule.label_substr.empty() &&
+        label.find(rule.label_substr) == std::string::npos) {
+      continue;
+    }
+    bool hit = false;
+    if (rule.probability >= 0.0) {
+      // Draw unconditionally (even if disarmed or already fired) so the
+      // per-rule stream position depends only on the op sequence.
+      const bool draw = rule_rngs_[i].Bernoulli(rule.probability);
+      hit = draw && !disarmed_[i];
+    } else if (rule.nth > 0) {
+      hit = !disarmed_[i] && site_op == rule.nth;
+    } else {  // bare one-shot: first matching op
+      hit = !disarmed_[i];
+    }
+    if (!hit) continue;
+    if (rule.one_shot || rule.nth > 0) disarmed_[i] = true;
+    if (!fired) {  // first firing rule wins; later rules still drew above
+      fired = FiredFault{rule.action, rule.delay_seconds, ""};
+      fired_rule = i;
+    }
+  }
+  if (!fired) return std::nullopt;
+
+  fired->description = std::string(FaultSiteName(site)) + "#" +
+                       std::to_string(site_op) + " " +
+                       FaultActionName(fired->action) + " (rule " +
+                       std::to_string(fired_rule) + ")";
+  log_.push_back({op, site, fired->action, fired_rule, label});
+  if (fired->action == FaultAction::kKillDevice) dead_ = true;
+  return fired;
+}
+
+bool FaultInjector::device_dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+void FaultInjector::KillDevice() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = true;
+}
+
+void FaultInjector::Revive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = false;
+}
+
+std::vector<FaultRecord> FaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+std::int64_t FaultInjector::ops_seen(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return site_ops_[static_cast<int>(site)];
+}
+
+}  // namespace oocgemm::vgpu

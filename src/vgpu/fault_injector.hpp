@@ -1,0 +1,140 @@
+// Deterministic fault injection for the virtual GPU.
+//
+// A FaultInjector is a seeded, policy-driven oracle installed on a
+// vgpu::Device (and its FreeListAllocator).  Every fallible device
+// operation — allocation, H2D/D2H transfer, kernel launch — consults it
+// before executing; the injector decides, reproducibly from a single seed,
+// whether that operation fails, corrupts its payload, is delayed, or kills
+// the whole device.  This gives the serving stack a way to rehearse the
+// failures a real CUDA node produces (cudaErrorMemoryAllocation, ECC
+// errors, Xid device-lost events) without any nondeterminism: the same
+// seed always yields the same fault schedule, so failover tests are
+// bit-reproducible.
+//
+// Trigger model: a FaultSpec is a list of FaultRules.  Each rule names an
+// injection site and fires on one of three triggers:
+//   * probability  — an independent Bernoulli draw per matching operation,
+//                    from a per-rule PCG32 stream (draws happen for every
+//                    matching op whether or not the rule fires, so the
+//                    schedule is invariant to other rules);
+//   * nth          — fires exactly on the N-th matching operation at that
+//                    site (1-based, counted per site);
+//   * one-shot     — fires on the first matching operation, then disarms.
+// A probability rule may also be one-shot (disarms after its first hit).
+// Rules may further filter by a label substring.  The first firing rule
+// wins for a given operation.
+//
+// Fault semantics follow CUDA's sticky-error model (see device.hpp):
+// failed or corrupted async operations set a sticky status on the Device
+// that callers observe at status-returning checkpoints via health();
+// kKillDevice marks the device lost (every later op is a no-op) until
+// Revive().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace oocgemm::vgpu {
+
+enum class FaultSite { kAlloc = 0, kH2D, kD2H, kKernel };
+constexpr int kNumFaultSites = 4;
+
+const char* FaultSiteName(FaultSite site);
+
+enum class FaultAction {
+  kFail = 0,    // operation fails (alloc: kResourceExhausted; else sticky)
+  kCorrupt,     // transfer payload scrambled; detected (sticky kDataLoss)
+  kDelay,       // operation succeeds but costs delay_seconds extra
+  kKillDevice,  // device lost (sticky kUnavailable until Revive)
+};
+
+const char* FaultActionName(FaultAction action);
+
+struct FaultRule {
+  FaultSite site = FaultSite::kKernel;
+  FaultAction action = FaultAction::kKillDevice;
+  double probability = -1.0;   // < 0: not probability-triggered
+  std::int64_t nth = 0;        // > 0: fire on the nth op at `site` (1-based)
+  bool one_shot = false;       // disarm after first firing
+  double delay_seconds = 0.0;  // for kDelay
+  std::string label_substr;    // empty: match any label
+};
+
+/// A complete, seedable fault policy.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  /// Parses a comma-separated rule list.  Each rule is colon-separated
+  /// fields: first the site (`alloc|h2d|d2h|kernel`), then any of
+  ///   `p=<float>`   probability trigger
+  ///   `nth=<int>`   nth-occurrence trigger
+  ///   `once`        one-shot
+  ///   `delay=<s>`   delay seconds (implies action kDelay)
+  ///   `label=<sub>` label-substring filter
+  ///   `fail|corrupt|delay|kill`  the action (default: kill)
+  /// Example: "kernel:nth=40" kills the device at its 40th kernel launch;
+  /// "h2d:p=0.05:fail,alloc:nth=3:fail" fails 5% of uploads and the third
+  /// allocation.
+  static StatusOr<FaultSpec> Parse(const std::string& text,
+                                   std::uint64_t seed);
+};
+
+/// What the injector decided for one operation.
+struct FiredFault {
+  FaultAction action = FaultAction::kFail;
+  double delay_seconds = 0.0;
+  std::string description;  // "h2d#12 fail (rule 0)" — stable across runs
+};
+
+/// One log entry per fired fault; the determinism tests compare these.
+struct FaultRecord {
+  std::int64_t op_index = 0;  // global op count at firing time
+  FaultSite site = FaultSite::kKernel;
+  FaultAction action = FaultAction::kFail;
+  std::size_t rule_index = 0;
+  std::string label;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  /// Consulted by the device/allocator for every fallible operation.
+  /// Counts the op, evaluates every armed matching rule, and returns the
+  /// first firing rule's action (nullopt: proceed normally).  Dead devices
+  /// stop counting: ops on a lost device never advance the schedule.
+  std::optional<FiredFault> Evaluate(FaultSite site, const std::string& label);
+
+  /// Sticky device-lost flag (set when a kKillDevice rule fires, or
+  /// explicitly via KillDevice; cleared only by Revive).
+  bool device_dead() const;
+  void KillDevice();
+  void Revive();
+
+  /// Every fault fired so far, in firing order.
+  std::vector<FaultRecord> log() const;
+
+  /// Ops seen per site (diagnostics; includes the op a fault fired on).
+  std::int64_t ops_seen(FaultSite site) const;
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  std::vector<Pcg32> rule_rngs_;
+  std::vector<bool> disarmed_;
+  std::int64_t site_ops_[kNumFaultSites] = {0, 0, 0, 0};
+  std::int64_t total_ops_ = 0;
+  bool dead_ = false;
+  std::vector<FaultRecord> log_;
+};
+
+}  // namespace oocgemm::vgpu

@@ -16,17 +16,26 @@ MemoryPool::MemoryPool(Device& device, HostContext& host, std::int64_t bytes,
                        const std::string& label)
     : device_(device), host_(&host) {
   auto alloc = device_.Malloc(host, bytes, label);
-  OOC_CHECK(alloc.ok() && "memory pool sizing exceeded device capacity");
+  if (!alloc.ok()) {
+    // Injected failures (transient alloc fault or a lost device) are part
+    // of the fault model and must stay recoverable; a genuine capacity OOM
+    // is still a planning bug and aborts.
+    OOC_CHECK(alloc.status().code() != StatusCode::kOutOfMemory &&
+              "memory pool sizing exceeded device capacity");
+    init_status_ = alloc.status();
+    return;
+  }
   base_ = alloc.value();
 }
 
 MemoryPool::~MemoryPool() {
   // Freeing serializes the device; by destruction time the pipeline has
   // drained, so this only affects the trace tail.
-  device_.Free(*host_, base_);
+  if (!base_.is_null()) device_.Free(*host_, base_);
 }
 
 StatusOr<DevicePtr> MemoryPool::Allocate(std::int64_t bytes) {
+  if (!init_status_.ok()) return init_status_;
   if (bytes < 0) return Status::InvalidArgument("negative pool allocation");
   const std::int64_t need = std::max<std::int64_t>(AlignUp(bytes), kAlignment);
   if (cursor_ + need > base_.size) {

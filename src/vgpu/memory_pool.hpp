@@ -19,11 +19,18 @@ namespace oocgemm::vgpu {
 class MemoryPool {
  public:
   /// Grabs `bytes` from `device` (a single serializing Malloc, done once
-  /// before the pipeline starts).  Aborts on OOM at construction: sizing the
-  /// pool is the panel planner's job and failure here is a planning bug.
+  /// before the pipeline starts).  A genuine OOM here aborts — sizing the
+  /// pool is the panel planner's job and exceeding capacity is a planning
+  /// bug — but *injected* failures (kResourceExhausted / kUnavailable from
+  /// a FaultInjector) are recorded in init_status() so fault runs degrade
+  /// to a clean error instead of killing the process.
   MemoryPool(Device& device, HostContext& host, std::int64_t bytes,
              const std::string& label = "pool");
   ~MemoryPool();
+
+  /// OK unless the backing Malloc was fault-injected away; callers must
+  /// check before first use (Allocate also re-reports it).
+  const Status& init_status() const { return init_status_; }
 
   MemoryPool(const MemoryPool&) = delete;
   MemoryPool& operator=(const MemoryPool&) = delete;
@@ -52,6 +59,7 @@ class MemoryPool {
   Device& device_;
   HostContext* host_;
   DevicePtr base_;
+  Status init_status_;
   std::int64_t cursor_ = 0;
   std::int64_t high_water_ = 0;
 };

@@ -12,6 +12,7 @@ const char* OpCategoryName(OpCategory c) {
     case OpCategory::kAlloc: return "alloc";
     case OpCategory::kFree: return "free";
     case OpCategory::kHost: return "host";
+    case OpCategory::kFault: return "fault";
   }
   return "?";
 }

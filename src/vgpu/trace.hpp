@@ -18,6 +18,8 @@ enum class OpCategory {
   kAlloc,
   kFree,
   kHost,       // host-side work recorded for completeness (e.g. grouping)
+  kFault,      // injected fault fired (zero-duration marker, see
+               // fault_injector.hpp); lets Chrome traces show failures
 };
 
 const char* OpCategoryName(OpCategory c);

@@ -15,6 +15,7 @@ const char* LaneName(OpCategory c) {
     case OpCategory::kAlloc:
     case OpCategory::kFree: return "allocator";
     case OpCategory::kHost: return "host";
+    case OpCategory::kFault: return "faults";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ int LaneId(OpCategory c) {
     case OpCategory::kAlloc:
     case OpCategory::kFree: return 4;
     case OpCategory::kHost: return 5;
+    case OpCategory::kFault: return 6;
   }
   return 0;
 }
@@ -64,7 +66,8 @@ std::string ToChromeTraceJson(const Trace& trace, int device_id) {
                 pid, device_id);
   out += buf;
   for (OpCategory c : {OpCategory::kKernel, OpCategory::kH2D, OpCategory::kD2H,
-                       OpCategory::kAlloc, OpCategory::kHost}) {
+                       OpCategory::kAlloc, OpCategory::kHost,
+                       OpCategory::kFault}) {
     std::snprintf(buf, sizeof(buf),
                   ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",

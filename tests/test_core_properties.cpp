@@ -2,10 +2,16 @@
 // every path agrees with the oracle and the virtual-time invariants hold.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/executors.hpp"
+#include "core/multi_gpu.hpp"
 #include "kernels/reference_spgemm.hpp"
 #include "sparse/datasets.hpp"
 #include "test_util.hpp"
+#include "vgpu/fault_injector.hpp"
 
 namespace oocgemm::core {
 namespace {
@@ -124,6 +130,112 @@ INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
                            return "r" + std::to_string(static_cast<int>(
                                             info.param * 100));
                          });
+
+// --- fault sweeps -----------------------------------------------------------
+//
+// Under injected allocation, transfer and kernel faults an executor has
+// exactly two legal outcomes: success with the oracle's C, or a clean typed
+// error.  A wrong C (silent corruption, partial assembly) is never legal,
+// and the device arena must return to baseline either way.
+
+struct FaultSweepCase {
+  const char* name;
+  const char* spec;  // vgpu::FaultSpec rule list
+};
+
+class FaultSweep : public ::testing::TestWithParam<FaultSweepCase> {};
+
+TEST_P(FaultSweep, OutOfCoreIsCorrectOrFailsCleanly) {
+  Csr a = testutil::RandomRmat(8, 8.0, 44);
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  ThreadPool pool(2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    vgpu::Device device(vgpu::ScaledV100Properties(14));
+    vgpu::FaultInjector injector(
+        vgpu::FaultSpec::Parse(GetParam().spec, seed).value());
+    device.set_fault_injector(&injector);
+    auto r = AsyncOutOfCore(device, a, a, ExecutorOptions{}, pool);
+    if (r.ok()) {
+      EXPECT_TRUE(testutil::CsrNear(r->c, expected));
+    } else {
+      EXPECT_NE(r.status().code(), StatusCode::kOk);
+      // Injected faults must never masquerade as a planner bug.
+      EXPECT_NE(r.status().code(), StatusCode::kOutOfMemory);
+    }
+    // Error path leaks nothing: every pool and cache arena was freed.
+    EXPECT_EQ(device.used_bytes(), 0) << r.ok();
+  }
+}
+
+TEST_P(FaultSweep, MultiGpuPrunesTheFaultedDeviceAndStaysCorrect) {
+  Csr a = testutil::RandomRmat(8, 8.0, 45);
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  ThreadPool pool(2);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    std::vector<std::unique_ptr<vgpu::Device>> storage;
+    std::vector<vgpu::Device*> devices;
+    for (int i = 0; i < 3; ++i) {
+      storage.push_back(std::make_unique<vgpu::Device>(
+          vgpu::ScaledV100Properties(13)));
+      devices.push_back(storage.back().get());
+    }
+    vgpu::FaultInjector injector(
+        vgpu::FaultSpec::Parse(GetParam().spec, seed).value());
+    devices[1]->set_fault_injector(&injector);
+    auto r = MultiGpuHybrid(devices, a, a, ExecutorOptions{}, pool);
+    if (r.ok()) {
+      EXPECT_TRUE(testutil::CsrNear(r->c, expected));
+      // Either the faulted device survived its draws, or it was pruned and
+      // recorded; survivors always re-cover its chunks.
+      for (int failed : r->stats.failed_devices) EXPECT_EQ(failed, 1);
+    } else {
+      EXPECT_NE(r.status().code(), StatusCode::kOk);
+    }
+    for (vgpu::Device* d : devices) EXPECT_EQ(d->used_bytes(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, FaultSweep,
+    ::testing::Values(
+        FaultSweepCase{"alloc_fail", "alloc:p=0.05:fail"},
+        FaultSweepCase{"h2d_fail", "h2d:p=0.03:fail"},
+        FaultSweepCase{"d2h_corrupt", "d2h:p=0.03:corrupt"},
+        FaultSweepCase{"kernel_fail", "kernel:p=0.02:fail"},
+        FaultSweepCase{"kernel_kill", "kernel:nth=20:kill"},
+        FaultSweepCase{"mixed", "h2d:p=0.02:corrupt,alloc:p=0.03:fail"}),
+    [](const ::testing::TestParamInfo<FaultSweepCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FaultRecovery, ArenaReturnsToBaselineAfterFailedRunAndRerunSucceeds) {
+  // Regression for the error-path cleanup: a failed run must release every
+  // pool reservation and invalidate stale panel-cache entries, so the same
+  // device immediately serves a clean re-run with the correct result.
+  Csr a = testutil::RandomRmat(8, 8.0, 46);
+  Csr expected = kernels::ReferenceSpgemm(a, a);
+  ThreadPool pool(2);
+  vgpu::Device device(vgpu::ScaledV100Properties(14));
+  const std::int64_t baseline = device.used_bytes();
+
+  vgpu::FaultInjector injector(
+      vgpu::FaultSpec::Parse("d2h:nth=2:fail", 1).value());
+  device.set_fault_injector(&injector);
+  auto failed = AsyncOutOfCore(device, a, a, ExecutorOptions{}, pool);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(device.used_bytes(), baseline);
+  EXPECT_FALSE(device.health().ok());
+
+  // Remove the injector: the next run (which resets the timeline, clearing
+  // the transient sticky error) must be byte-correct on the same device.
+  device.set_fault_injector(nullptr);
+  auto ok = AsyncOutOfCore(device, a, a, ExecutorOptions{}, pool);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(testutil::CsrNear(ok->c, expected));
+  EXPECT_EQ(device.used_bytes(), baseline);
+}
 
 }  // namespace
 }  // namespace oocgemm::core

@@ -1,0 +1,333 @@
+// Fault-injection layer tests: trigger policies (probability / nth /
+// one-shot / label filter), spec parsing, seed determinism — the same seed
+// must reproduce the identical fault schedule — and the CUDA-style sticky
+// error semantics the injector drives on a vgpu::Device.
+#include "vgpu/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vgpu/device.hpp"
+
+namespace oocgemm::vgpu {
+namespace {
+
+DeviceProperties SmallProps() {
+  DeviceProperties p;
+  p.memory_bytes = 1 << 20;
+  return p;
+}
+
+// --- FaultSpec::Parse -------------------------------------------------------
+
+TEST(FaultSpecParse, SitesTriggersAndActions) {
+  auto spec = FaultSpec::Parse(
+      "kernel:nth=40,h2d:p=0.05:fail,alloc:once:corrupt,d2h:nth=2:delay=0.25",
+      /*seed=*/7);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->rules.size(), 4u);
+  EXPECT_EQ(spec->seed, 7u);
+
+  EXPECT_EQ(spec->rules[0].site, FaultSite::kKernel);
+  EXPECT_EQ(spec->rules[0].nth, 40);
+  EXPECT_EQ(spec->rules[0].action, FaultAction::kKillDevice);  // default
+
+  EXPECT_EQ(spec->rules[1].site, FaultSite::kH2D);
+  EXPECT_DOUBLE_EQ(spec->rules[1].probability, 0.05);
+  EXPECT_EQ(spec->rules[1].action, FaultAction::kFail);
+
+  EXPECT_EQ(spec->rules[2].site, FaultSite::kAlloc);
+  EXPECT_TRUE(spec->rules[2].one_shot);
+  EXPECT_EQ(spec->rules[2].action, FaultAction::kCorrupt);
+
+  EXPECT_EQ(spec->rules[3].site, FaultSite::kD2H);
+  EXPECT_EQ(spec->rules[3].action, FaultAction::kDelay);
+  EXPECT_DOUBLE_EQ(spec->rules[3].delay_seconds, 0.25);
+}
+
+TEST(FaultSpecParse, RejectsBadInput) {
+  EXPECT_FALSE(FaultSpec::Parse("warp:nth=1", 1).ok());      // unknown site
+  EXPECT_FALSE(FaultSpec::Parse("kernel:nth=0", 1).ok());    // nth < 1
+  EXPECT_FALSE(FaultSpec::Parse("h2d:p=1.5", 1).ok());       // p out of range
+  EXPECT_FALSE(FaultSpec::Parse("h2d:p=abc", 1).ok());       // not a number
+  EXPECT_FALSE(FaultSpec::Parse("kernel:fail", 1).ok());     // no trigger
+  EXPECT_FALSE(FaultSpec::Parse("kernel:nth=1:zap", 1).ok());  // unknown field
+}
+
+TEST(FaultSpecParse, EmptyTextMeansNoRules) {
+  auto spec = FaultSpec::Parse("", 1);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->rules.empty());
+}
+
+// --- trigger policies -------------------------------------------------------
+
+TEST(FaultInjector, NthFiresExactlyOnceOnTheNthSiteOp) {
+  FaultInjector inj(FaultSpec::Parse("kernel:nth=3:fail", 1).value());
+  for (int op = 1; op <= 10; ++op) {
+    auto fired = inj.Evaluate(FaultSite::kKernel, "k");
+    EXPECT_EQ(fired.has_value(), op == 3) << "op " << op;
+  }
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].site, FaultSite::kKernel);
+  EXPECT_EQ(inj.log()[0].action, FaultAction::kFail);
+  EXPECT_EQ(inj.ops_seen(FaultSite::kKernel), 10);
+}
+
+TEST(FaultInjector, NthCountsPerSiteNotGlobally) {
+  FaultInjector inj(FaultSpec::Parse("d2h:nth=2:fail", 1).value());
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kH2D, "up"));  // other site: no count
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kD2H, "down"));
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kH2D, "up"));
+  EXPECT_TRUE(inj.Evaluate(FaultSite::kD2H, "down"));  // 2nd d2h op
+}
+
+TEST(FaultInjector, OneShotFiresOnFirstMatchThenDisarms) {
+  FaultInjector inj(FaultSpec::Parse("h2d:once:fail", 1).value());
+  EXPECT_TRUE(inj.Evaluate(FaultSite::kH2D, "a"));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(inj.Evaluate(FaultSite::kH2D, "b"));
+  }
+}
+
+TEST(FaultInjector, LabelSubstringFilters) {
+  FaultInjector inj(
+      FaultSpec::Parse("kernel:once:label=numeric:fail", 1).value());
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kKernel, "symbolic:chunk3"));
+  auto fired = inj.Evaluate(FaultSite::kKernel, "numeric:chunk3");
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(fired->action, FaultAction::kFail);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].label, "numeric:chunk3");
+}
+
+TEST(FaultInjector, ProbabilityZeroNeverFiresProbabilityOneAlwaysFires) {
+  FaultInjector never(FaultSpec::Parse("kernel:p=0", 1).value());
+  FaultInjector always(FaultSpec::Parse("kernel:p=1:fail", 1).value());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.Evaluate(FaultSite::kKernel, "k"));
+    EXPECT_TRUE(always.Evaluate(FaultSite::kKernel, "k"));
+  }
+  EXPECT_EQ(always.log().size(), 100u);
+}
+
+TEST(FaultInjector, KillFreezesTheSchedule) {
+  FaultInjector inj(FaultSpec::Parse("kernel:nth=2:kill", 1).value());
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kKernel, "k"));
+  auto fired = inj.Evaluate(FaultSite::kKernel, "k");
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(fired->action, FaultAction::kKillDevice);
+  EXPECT_TRUE(inj.device_dead());
+  // A lost device stops counting: ops on it never advance the schedule.
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kKernel, "k"));
+  EXPECT_EQ(inj.ops_seen(FaultSite::kKernel), 2);
+  inj.Revive();
+  EXPECT_FALSE(inj.device_dead());
+  EXPECT_FALSE(inj.Evaluate(FaultSite::kKernel, "k"));
+  EXPECT_EQ(inj.ops_seen(FaultSite::kKernel), 3);
+}
+
+TEST(FaultInjector, FirstFiringRuleWins) {
+  FaultInjector inj(
+      FaultSpec::Parse("h2d:nth=1:delay=0.5,h2d:nth=1:fail", 1).value());
+  auto fired = inj.Evaluate(FaultSite::kH2D, "x");
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(fired->action, FaultAction::kDelay);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].rule_index, 0u);
+}
+
+// --- determinism ------------------------------------------------------------
+
+std::vector<FaultRecord> DriveSchedule(FaultInjector& inj) {
+  // A fixed mixed-site op sequence; probability rules must fire at the
+  // same positions every time the same seed replays it.
+  for (int i = 0; i < 200; ++i) {
+    inj.Evaluate(FaultSite::kAlloc, "a" + std::to_string(i % 7));
+    inj.Evaluate(FaultSite::kH2D, "h" + std::to_string(i % 5));
+    inj.Evaluate(FaultSite::kKernel, "k" + std::to_string(i % 3));
+    inj.Evaluate(FaultSite::kD2H, "d" + std::to_string(i % 2));
+  }
+  return inj.log();
+}
+
+bool SameSchedule(const std::vector<FaultRecord>& x,
+                  const std::vector<FaultRecord>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i].op_index != y[i].op_index || x[i].site != y[i].site ||
+        x[i].action != y[i].action || x[i].rule_index != y[i].rule_index ||
+        x[i].label != y[i].label) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjector, SameSeedReproducesTheIdenticalSchedule) {
+  const auto spec =
+      FaultSpec::Parse("h2d:p=0.1:fail,kernel:p=0.05:fail,d2h:p=0.2:corrupt",
+                       /*seed=*/42)
+          .value();
+  FaultInjector first(spec);
+  FaultInjector second(spec);
+  const auto log1 = DriveSchedule(first);
+  const auto log2 = DriveSchedule(second);
+  EXPECT_FALSE(log1.empty());  // 800 ops at these rates: some fire
+  EXPECT_TRUE(SameSchedule(log1, log2));
+}
+
+TEST(FaultInjector, DifferentSeedsProduceDifferentSchedules) {
+  const std::string rules = "h2d:p=0.1:fail,kernel:p=0.05:fail";
+  FaultInjector a(FaultSpec::Parse(rules, 1).value());
+  FaultInjector b(FaultSpec::Parse(rules, 2).value());
+  EXPECT_FALSE(SameSchedule(DriveSchedule(a), DriveSchedule(b)));
+}
+
+TEST(FaultInjector, RuleStreamsAreIndependent) {
+  // Adding an unrelated rule must not perturb where an existing
+  // probability rule fires (per-rule PCG32 streams).
+  FaultInjector lone(FaultSpec::Parse("kernel:p=0.1:fail", 9).value());
+  FaultInjector joined(
+      FaultSpec::Parse("kernel:p=0.1:fail,d2h:nth=5:fail", 9).value());
+  const auto lone_log = DriveSchedule(lone);
+  std::vector<FaultRecord> joined_kernel;
+  for (const FaultRecord& r : DriveSchedule(joined)) {
+    if (r.site == FaultSite::kKernel) joined_kernel.push_back(r);
+  }
+  ASSERT_FALSE(lone_log.empty());
+  ASSERT_EQ(lone_log.size(), joined_kernel.size());
+  for (std::size_t i = 0; i < lone_log.size(); ++i) {
+    EXPECT_EQ(lone_log[i].label, joined_kernel[i].label);
+  }
+}
+
+// --- device integration: sticky errors --------------------------------------
+
+TEST(DeviceFaults, InjectedAllocFailureIsResourceExhausted) {
+  Device d(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("alloc:nth=2:fail", 1).value());
+  d.set_fault_injector(&inj);
+  HostContext host;
+  ASSERT_TRUE(d.Malloc(host, 1024, "first").ok());
+  auto second = d.Malloc(host, 1024, "second");
+  ASSERT_FALSE(second.ok());
+  // Distinct from a genuine kOutOfMemory: pools treat OOM as a planner
+  // bug, but an injected failure is an environment fault.
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(d.dead());
+  ASSERT_TRUE(d.Malloc(host, 1024, "third").ok());
+}
+
+TEST(DeviceFaults, KernelKillMakesDeviceDeadUntilRevive) {
+  Device d(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("kernel:nth=2:kill", 1).value());
+  d.set_fault_injector(&inj);
+  HostContext host;
+  Stream* s = d.CreateStream("t");
+  int runs = 0;
+  d.LaunchKernel(host, *s, "k1", 1e-6, {}, [&] { ++runs; });
+  EXPECT_TRUE(d.health().ok());
+  d.LaunchKernel(host, *s, "k2", 1e-6, {}, [&] { ++runs; });
+  EXPECT_EQ(runs, 1);  // the killed launch's body never ran
+  EXPECT_TRUE(d.dead());
+  EXPECT_EQ(d.health().code(), StatusCode::kUnavailable);
+
+  // Dead device: later ops vanish, allocations are refused, and
+  // ResetTimeline does NOT resurrect it.
+  d.LaunchKernel(host, *s, "k3", 1e-6, {}, [&] { ++runs; });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(d.Malloc(host, 64, "post").status().code(),
+            StatusCode::kUnavailable);
+  d.ResetTimeline();
+  EXPECT_TRUE(d.dead());
+
+  d.Revive();
+  EXPECT_TRUE(d.health().ok());
+  Stream* s2 = d.CreateStream("t2");
+  d.LaunchKernel(host, *s2, "k4", 1e-6, {}, [&] { ++runs; });
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(DeviceFaults, TransientFaultClearsOnResetTimelineDeadDoesNot) {
+  Device d(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("kernel:nth=1:fail", 1).value());
+  d.set_fault_injector(&inj);
+  HostContext host;
+  Stream* s = d.CreateStream("t");
+  d.LaunchKernel(host, *s, "k", 1e-6, {}, [] {});
+  EXPECT_EQ(d.health().code(), StatusCode::kInternal);
+  EXPECT_FALSE(d.dead());
+  d.ResetTimeline();  // every executor does this at run start
+  EXPECT_TRUE(d.health().ok());
+}
+
+TEST(DeviceFaults, CorruptedTransferScramblesBytesAndSetsDataLoss) {
+  Device d(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("h2d:nth=1:corrupt", 1).value());
+  d.set_fault_injector(&inj);
+  HostContext host;
+  auto p = d.Malloc(host, 256, "buf");
+  ASSERT_TRUE(p.ok());
+  std::vector<char> src(256, 'x');
+  std::vector<char> dst(256, 0);
+  d.MemcpyH2D(host, p.value(), src.data(), 256, "up");
+  EXPECT_EQ(d.health().code(), StatusCode::kDataLoss);  // detected, never silent
+  // Disarm leaves the next transfer clean; read the corrupted bytes back.
+  d.MemcpyD2H(host, dst.data(), p.value(), 256, "down");
+  EXPECT_NE(0, std::memcmp(src.data(), dst.data(), 256));
+}
+
+TEST(DeviceFaults, DelayAddsVirtualTimeButSucceeds) {
+  Device plain(SmallProps());
+  Device slowed(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("kernel:nth=1:delay=0.125", 1).value());
+  slowed.set_fault_injector(&inj);
+  auto run = [](Device& d) {
+    HostContext host;
+    Stream* s = d.CreateStream("t");
+    bool ran = false;
+    d.LaunchKernel(host, *s, "k", 1e-6, {}, [&] { ran = true; });
+    d.DeviceSynchronize(host);
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(d.health().ok());
+    return host.now;
+  };
+  const double base = run(plain);
+  const double delayed = run(slowed);
+  EXPECT_NEAR(delayed - base, 0.125, 1e-9);
+}
+
+TEST(DeviceFaults, FiredFaultsAppearInTheTrace) {
+  Device d(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("kernel:nth=1:fail", 1).value());
+  d.set_fault_injector(&inj);
+  HostContext host;
+  Stream* s = d.CreateStream("t");
+  d.LaunchKernel(host, *s, "k", 1e-6, {}, [] {});
+  int fault_events = 0;
+  for (const TraceEvent& e : d.trace().events()) {
+    if (e.category == OpCategory::kFault) ++fault_events;
+  }
+  EXPECT_EQ(fault_events, 1);
+}
+
+TEST(DeviceFaults, FreeOnDeadDeviceStillBalancesTheArena) {
+  Device d(SmallProps());
+  FaultInjector inj(FaultSpec::Parse("kernel:once:kill", 1).value());
+  d.set_fault_injector(&inj);
+  HostContext host;
+  auto p = d.Malloc(host, 4096, "buf");
+  ASSERT_TRUE(p.ok());
+  Stream* s = d.CreateStream("t");
+  d.LaunchKernel(host, *s, "k", 1e-6, {}, [] {});
+  ASSERT_TRUE(d.dead());
+  d.Free(host, p.value());  // bookkeeping must survive device loss
+  EXPECT_EQ(d.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace oocgemm::vgpu

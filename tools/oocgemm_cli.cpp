@@ -7,6 +7,7 @@
 //   oocgemm_cli serve --jobs=64 [--load=0] [--workers=4] [--queue=64]
 //               [--batch=1] [--devices=1] [--span=1] [--device-mem=1]
 //               [--timeout=0] [--seed=1] [--report=r.json]
+//               [--fault-spec=dev1:kernel:nth=40] [--fault-seed=1]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
 // C = A x A convention).  --device-mem is the virtual device memory in MiB.
@@ -20,6 +21,12 @@
 // serves the workload from a pool of D identical virtual GPUs (one
 // scheduler lane each; the report gains a per-device section), and
 // --span=M lets one multi-chunk hybrid job span up to M free devices.
+// --fault-spec installs a deterministic FaultInjector on the named pool
+// devices: each comma-separated rule is `dev<K>:` followed by a
+// vgpu::FaultSpec rule (site, trigger, action — see fault_injector.hpp),
+// e.g. `dev1:kernel:nth=40` kills device 1 at its 40th kernel launch and
+// exercises the scheduler's failover path.  --fault-seed seeds the fault
+// schedule; the same seed reproduces the same schedule exactly.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +48,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/io.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/fault_injector.hpp"
 #include "vgpu/trace_export.hpp"
 
 namespace {
@@ -92,7 +100,8 @@ int Usage() {
       "[--verify]\n"
       "  oocgemm_cli serve [--jobs=N] [--load=JOBS_PER_VSEC] [--workers=W] "
       "[--queue=Q] [--batch=B] [--devices=D] [--span=M] [--device-mem=MiB] "
-      "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify]\n");
+      "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify] "
+      "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S]\n");
   return 2;
 }
 
@@ -264,6 +273,53 @@ int Serve(const Args& args) {
   for (int i = 0; i < num_devices; ++i) {
     devices.push_back(std::make_unique<vgpu::Device>(props));
     device_ptrs.push_back(devices.back().get());
+  }
+
+  // --fault-spec=dev1:kernel:nth=40,dev0:h2d:p=0.02:fail — group the
+  // `dev<K>:`-prefixed rules per device and install one seeded injector on
+  // each targeted device.
+  std::vector<std::unique_ptr<vgpu::FaultInjector>> injectors;
+  const std::string fault_spec = args.Flag("fault-spec", "");
+  if (!fault_spec.empty()) {
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(args.FlagD("fault-seed", 1));
+    std::vector<std::string> per_device(static_cast<std::size_t>(num_devices));
+    std::size_t start = 0;
+    while (start < fault_spec.size()) {
+      std::size_t comma = fault_spec.find(',', start);
+      if (comma == std::string::npos) comma = fault_spec.size();
+      const std::string rule = fault_spec.substr(start, comma - start);
+      start = comma + 1;
+      const std::size_t colon = rule.find(':');
+      int dev = -1;
+      if (rule.rfind("dev", 0) == 0 && colon != std::string::npos) {
+        dev = std::atoi(rule.substr(3, colon - 3).c_str());
+      }
+      if (dev < 0 || dev >= num_devices || colon + 1 >= rule.size()) {
+        std::fprintf(stderr,
+                     "bad --fault-spec rule '%s' (want dev<K>:<site>:...)\n",
+                     rule.c_str());
+        return 2;
+      }
+      std::string& rules = per_device[static_cast<std::size_t>(dev)];
+      if (!rules.empty()) rules += ',';
+      rules += rule.substr(colon + 1);
+    }
+    for (int k = 0; k < num_devices; ++k) {
+      if (per_device[static_cast<std::size_t>(k)].empty()) continue;
+      auto spec = vgpu::FaultSpec::Parse(
+          per_device[static_cast<std::size_t>(k)],
+          fault_seed + static_cast<std::uint64_t>(k));
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad --fault-spec: %s\n",
+                     spec.status().ToString().c_str());
+        return 2;
+      }
+      injectors.push_back(
+          std::make_unique<vgpu::FaultInjector>(spec.value()));
+      device_ptrs[static_cast<std::size_t>(k)]->set_fault_injector(
+          injectors.back().get());
+    }
   }
   ThreadPool pool;
 
