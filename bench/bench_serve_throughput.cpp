@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/exporters.hpp"
 #include "serve/server.hpp"
 #include "sparse/generators.hpp"
 
@@ -152,6 +153,14 @@ int main() {
       << runs.str() << "\n  ]\n}\n";
   out.close();
   std::printf("wrote BENCH_serve.json\n");
+
+  // Terminal metrics snapshot across all load points, in both exposition
+  // formats, so the bench artifacts carry the observability layer's view.
+  const obs::RegistrySnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+  (void)obs::WriteFileAtomic("BENCH_serve_metrics.prom",
+                             obs::ToPrometheusText(snap));
+  (void)obs::WriteFileAtomic("BENCH_serve_metrics.json", obs::ToJson(snap));
+  std::printf("wrote BENCH_serve_metrics.prom / BENCH_serve_metrics.json\n");
 
   if (speedup < 2.0) {
     std::fprintf(stderr, "FAIL: batch speedup %.2fx below the 2x bar\n",

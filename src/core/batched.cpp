@@ -6,6 +6,7 @@
 #include "core/assembler.hpp"
 #include "core/gpu_runner.hpp"
 #include "core/problem.hpp"
+#include "obs/metrics.hpp"
 
 namespace oocgemm::core {
 
@@ -165,6 +166,12 @@ StatusOr<BatchedRunResult> BatchedOutOfCore(vgpu::Device& device,
     auto r = BatchedOutOfCoreImpl(device, jobs, as, b, attempt_options, pool);
     if (r.ok() || r.status().code() != StatusCode::kOutOfMemory ||
         i + 1 == max_attempts) {
+      if (r.ok()) {
+        obs::MetricsRegistry::Default()
+            .GetCounter("oocgemm_core_runs", {{"executor", "batched"}},
+                        "Completed executor runs")
+            .Add(1);
+      }
       return r;
     }
     attempt_options.plan.nnz_safety_factor *= 2.0;

@@ -1,12 +1,26 @@
 #include "core/device_arbiter.hpp"
 
+#include <string>
+
 namespace oocgemm::core {
+
+void DeviceArbiter::BindMetrics(int device_index) {
+  auto& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels = {{"device", std::to_string(device_index)}};
+  std::unique_lock<std::mutex> lock(mutex_);
+  lease_metric_ = &reg.GetCounter("oocgemm_core_lease_acquires", labels,
+                                  "Exclusive device leases granted");
+  contention_metric_ =
+      &reg.GetCounter("oocgemm_core_lease_contention", labels,
+                      "TryAcquire attempts that found the device busy");
+}
 
 DeviceArbiter::Lease DeviceArbiter::Acquire() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return !leased_; });
   leased_ = true;
   ++leases_;
+  if (lease_metric_ != nullptr) lease_metric_->Add(1);
   return Lease(this);
 }
 
@@ -14,10 +28,12 @@ DeviceArbiter::Lease DeviceArbiter::TryAcquire() {
   std::unique_lock<std::mutex> lock(mutex_);
   if (leased_) {
     ++contention_;
+    if (contention_metric_ != nullptr) contention_metric_->Add(1);
     return Lease();
   }
   leased_ = true;
   ++leases_;
+  if (lease_metric_ != nullptr) lease_metric_->Add(1);
   return Lease(this);
 }
 

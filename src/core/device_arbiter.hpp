@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "vgpu/device.hpp"
 
 namespace oocgemm::core {
@@ -92,6 +93,12 @@ class DeviceArbiter {
   std::int64_t reserve_shortfalls() const;     // TryReserve calls that failed
   std::int64_t unreserve_underflows() const;   // Unreserve past zero (caller bug)
 
+  /// Mirrors lease grants and contention into the default obs registry as
+  /// oocgemm_core_lease_{acquires,contention}{device=<index>}.  Called by
+  /// DevicePool once the device's pool index is known; unbound arbiters
+  /// (unit tests, standalone use) keep only the local counters.
+  void BindMetrics(int device_index);
+
  private:
   friend class Lease;
   void ReleaseLease();
@@ -105,6 +112,8 @@ class DeviceArbiter {
   std::int64_t contention_ = 0;
   std::int64_t shortfalls_ = 0;
   std::int64_t underflows_ = 0;
+  obs::Counter* lease_metric_ = nullptr;
+  obs::Counter* contention_metric_ = nullptr;
 };
 
 }  // namespace oocgemm::core

@@ -13,6 +13,7 @@ DevicePool::DevicePool(std::vector<vgpu::Device*> devices)
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     devices_[i]->set_id(static_cast<int>(i));
     arbiters_.push_back(std::make_unique<DeviceArbiter>(*devices_[i]));
+    arbiters_.back()->BindMetrics(static_cast<int>(i));
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
 #include "core/cpu_runner.hpp"
 #include "core/gpu_runner.hpp"
 #include "core/panel_cache.hpp"
@@ -36,17 +38,56 @@ bool CancelRequested(const ExecutorOptions& options) {
          options.cancel->load(std::memory_order_relaxed);
 }
 
+obs::DoubleCounter& PhaseSeconds(const std::string& phase) {
+  return obs::MetricsRegistry::Default().GetDoubleCounter(
+      "oocgemm_core_phase_seconds", {{"phase", phase}},
+      "Time attributed to each SpGEMM phase (virtual device seconds for "
+      "analysis/symbolic/numeric, host wall seconds for assemble)");
+}
+
+/// Run-level accounting shared by every executor entry point.
+void RecordRun(const char* executor, const RunStats& stats) {
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("oocgemm_core_runs", {{"executor", executor}},
+                 "Completed executor runs")
+      .Add(1);
+  reg.GetHistogram("oocgemm_core_run_seconds", {{"executor", executor}},
+                   "Virtual end-to-end seconds per completed run")
+      .Record(stats.total_seconds);
+}
+
 void FinishStats(const PreparedProblem& prep, const vgpu::Trace* trace,
                  RunStats& stats) {
   stats.num_chunks = prep.num_chunks();
   stats.num_row_panels = prep.plan.num_row_panels;
   stats.num_col_panels = prep.plan.num_col_panels;
   stats.flops = prep.total_flops;
-  if (trace) FillStatsFromTrace(*trace, stats);
+  if (trace) {
+    FillStatsFromTrace(*trace, stats);
+    PhaseSeconds("analysis").Add(trace->BusyTimeLabeled(".analysis"));
+    PhaseSeconds("symbolic").Add(trace->BusyTimeLabeled(".symbolic"));
+    PhaseSeconds("numeric").Add(trace->BusyTimeLabeled(".numeric"));
+  }
+  auto& chunk_flops = obs::MetricsRegistry::Default().GetHistogram(
+      "oocgemm_core_chunk_flops", {}, "Flops per planned chunk");
+  for (const auto& c : prep.chunks) {
+    chunk_flops.Record(static_cast<double>(c.flops));
+  }
   stats.compression_ratio =
       stats.nnz_out > 0 ? static_cast<double>(stats.flops) /
                               static_cast<double>(stats.nnz_out)
                         : 0.0;
+}
+
+/// AssembleChunks with the host wall time booked to the assemble phase.
+sparse::Csr TimedAssemble(const partition::PanelBoundaries& row_bounds,
+                          const partition::PanelBoundaries& col_bounds,
+                          std::vector<ChunkPayload> payloads) {
+  WallTimer timer;
+  sparse::Csr c =
+      AssembleChunks(row_bounds, col_bounds, std::move(payloads));
+  PhaseSeconds("assemble").Add(timer.Seconds());
+  return c;
 }
 
 }  // namespace
@@ -136,8 +177,8 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
   result.stats.b_panel_uploads = cache.misses(PanelCache::kB);
   result.stats.b_panel_hits = cache.hits(PanelCache::kB);
   FinishStats(prep, &device.trace(), result.stats);
-  result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
-                            std::move(payloads));
+  result.c = TimedAssemble(prep.row_bounds, prep.col_bounds,
+                           std::move(payloads));
   return result;
 }
 
@@ -164,8 +205,8 @@ StatusOr<RunResult> AsyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
   result.stats.b_panel_uploads = run->b_panel_uploads;
   result.stats.b_panel_hits = run->b_panel_hits;
   FinishStats(prep, &device.trace(), result.stats);
-  result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
-                            std::move(run->payloads));
+  result.c = TimedAssemble(prep.row_bounds, prep.col_bounds,
+                           std::move(run->payloads));
   return result;
 }
 
@@ -193,6 +234,7 @@ StatusOr<RunResult> CpuMulticore(const Csr& a, const Csr& b,
   result.stats.num_chunks = 1;
   result.stats.num_cpu_chunks = 1;
   result.c = std::move(c);
+  RecordRun("cpu", result.stats);
   return result;
 }
 
@@ -244,8 +286,8 @@ StatusOr<RunResult> HybridImpl(vgpu::Device& device, const Csr& a,
 
   std::vector<ChunkPayload> payloads = std::move(gpu_run->payloads);
   for (auto& p : cpu_run.payloads) payloads.push_back(std::move(p));
-  result.c = AssembleChunks(prep.row_bounds, prep.col_bounds,
-                            std::move(payloads));
+  result.c = TimedAssemble(prep.row_bounds, prep.col_bounds,
+                           std::move(payloads));
   return result;
 }
 
@@ -301,39 +343,47 @@ StatusOr<Result> RunWithOomRetry(Fn&& attempt, ExecutorOptions options) {
 StatusOr<RunResult> SyncOutOfCore(vgpu::Device& device, const Csr& a,
                                   const Csr& b, const ExecutorOptions& options,
                                   ThreadPool& pool) {
-  return RunWithOomRetry<RunResult>(
+  auto r = RunWithOomRetry<RunResult>(
       [&](const ExecutorOptions& o) {
         return SyncOutOfCoreImpl(device, a, b, o, pool);
       },
       options);
+  if (r.ok()) RecordRun("sync", r->stats);
+  return r;
 }
 
 StatusOr<RunResult> AsyncOutOfCore(vgpu::Device& device, const Csr& a,
                                    const Csr& b,
                                    const ExecutorOptions& options,
                                    ThreadPool& pool) {
-  return RunWithOomRetry<RunResult>(
+  auto r = RunWithOomRetry<RunResult>(
       [&](const ExecutorOptions& o) {
         return AsyncOutOfCoreImpl(device, a, b, o, pool);
       },
       options);
+  if (r.ok()) RecordRun("async", r->stats);
+  return r;
 }
 
 StatusOr<RunResult> Hybrid(vgpu::Device& device, const Csr& a, const Csr& b,
                            const ExecutorOptions& options, ThreadPool& pool) {
-  return RunWithOomRetry<RunResult>(
+  auto r = RunWithOomRetry<RunResult>(
       [&](const ExecutorOptions& o) { return HybridImpl(device, a, b, o, pool); },
       options);
+  if (r.ok()) RecordRun("hybrid", r->stats);
+  return r;
 }
 
 StatusOr<StreamedRunResult> AsyncOutOfCoreStreamed(
     vgpu::Device& device, const Csr& a, const Csr& b,
     const ExecutorOptions& options, ThreadPool& pool, ChunkSink& sink) {
-  return RunWithOomRetry<StreamedRunResult>(
+  auto r = RunWithOomRetry<StreamedRunResult>(
       [&](const ExecutorOptions& o) {
         return AsyncOutOfCoreStreamedImpl(device, a, b, o, pool, sink);
       },
       options);
+  if (r.ok()) RecordRun("async-streamed", r->stats);
+  return r;
 }
 
 }  // namespace oocgemm::core

@@ -1,6 +1,36 @@
 #include "core/panel_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace oocgemm::core {
+
+namespace {
+
+// One counter pair per panel kind in the default registry; resolved once.
+obs::Counter& CacheCounter(const char* name, PanelCache::Kind kind) {
+  auto& reg = obs::MetricsRegistry::Default();
+  return reg.GetCounter(name,
+                        {{"kind", kind == PanelCache::kA ? "A" : "B"}},
+                        "Panel cache lookups by outcome");
+}
+
+obs::Counter& HitCounter(PanelCache::Kind kind) {
+  static obs::Counter* a = &CacheCounter("oocgemm_core_panel_cache_hits",
+                                         PanelCache::kA);
+  static obs::Counter* b = &CacheCounter("oocgemm_core_panel_cache_hits",
+                                         PanelCache::kB);
+  return kind == PanelCache::kA ? *a : *b;
+}
+
+obs::Counter& MissCounter(PanelCache::Kind kind) {
+  static obs::Counter* a = &CacheCounter("oocgemm_core_panel_cache_misses",
+                                         PanelCache::kA);
+  static obs::Counter* b = &CacheCounter("oocgemm_core_panel_cache_misses",
+                                         PanelCache::kB);
+  return kind == PanelCache::kA ? *a : *b;
+}
+
+}  // namespace
 
 using kernels::DeviceCsr;
 using sparse::index_t;
@@ -44,10 +74,12 @@ StatusOr<DeviceCsr> PanelCache::Acquire(vgpu::HostContext& host,
   for (Slot& slot : kind_slots) {
     if (slot.id == id) {
       ++hits_[kind];
+      HitCounter(kind).Add(1);
       return slot.panel;
     }
   }
   ++misses_[kind];
+  MissCounter(kind).Add(1);
   // Evict the least recently used slot.
   Slot& victim = kind_slots[0].last_use.time <= kind_slots[1].last_use.time
                      ? kind_slots[0]

@@ -1,0 +1,35 @@
+// Serialization of a RegistrySnapshot for scraping.
+//
+// Two formats, both deterministic (families sorted by name, points by
+// label signature) so golden-file tests and artifact diffs are stable:
+//
+//  * Prometheus text exposition v0.0.4 — counters get the `_total` suffix,
+//    histograms expand into cumulative `_bucket{le="..."}` series plus
+//    `_sum`/`_count`, label values are escaped per the spec.
+//  * JSON — one object per family with raw (unsuffixed) names and explicit
+//    kind, for tooling that wants structure instead of a scrape format.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace oocgemm::obs {
+
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+/// Escapes a label value for the Prometheus text format (backslash, double
+/// quote, newline).
+std::string EscapeLabelValue(const std::string& value);
+
+/// Prometheus/JSON number formatting: integral values print without a
+/// decimal point, everything else round-trips via %.17g.
+std::string FormatMetricValue(double value);
+
+/// Writes `contents` atomically (temp file + rename) so a concurrent scrape
+/// never sees a torn snapshot.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace oocgemm::obs

@@ -1,0 +1,56 @@
+#include "obs/snapshotter.hpp"
+
+#include <chrono>
+
+#include "obs/exporters.hpp"
+
+namespace oocgemm::obs {
+
+Snapshotter::Snapshotter(MetricsRegistry& registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.interval_seconds > 0.0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+Snapshotter::~Snapshotter() { Stop(); }
+
+Status Snapshotter::WriteNow() {
+  const RegistrySnapshot snap = registry_.Snapshot();
+  if (!options_.prometheus_path.empty()) {
+    Status st = WriteFileAtomic(options_.prometheus_path,
+                                ToPrometheusText(snap));
+    if (!st.ok()) return st;
+  }
+  if (!options_.json_path.empty()) {
+    Status st = WriteFileAtomic(options_.json_path, ToJson(snap));
+    if (!st.ok()) return st;
+  }
+  writes_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+void Snapshotter::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  WriteNow();  // terminal state always lands on disk
+}
+
+void Snapshotter::Loop() {
+  const auto interval = std::chrono::duration<double>(options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    WriteNow();
+    lock.lock();
+  }
+}
+
+}  // namespace oocgemm::obs

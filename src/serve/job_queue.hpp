@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace oocgemm::serve {
 
 template <typename T>
@@ -23,12 +25,22 @@ class BoundedJobQueue {
  public:
   explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Mirrors the live queue depth into `gauge` on every mutation (pass
+  /// nullptr to disconnect).  The gauge outlives the queue in practice —
+  /// registry instruments are never destroyed.
+  void set_depth_gauge(obs::Gauge* gauge) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    gauge_ = gauge;
+    UpdateGauge();
+  }
+
   /// Non-blocking; false when the queue is at capacity or closed.
   bool TryPush(int priority, T item) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.emplace(Key{-priority, next_seq_++}, std::move(item));
+      UpdateGauge();
     }
     cv_.notify_one();
     return true;
@@ -43,6 +55,7 @@ class BoundedJobQueue {
     auto it = items_.begin();
     T item = std::move(it->second);
     items_.erase(it);
+    UpdateGauge();
     return item;
   }
 
@@ -63,6 +76,7 @@ class BoundedJobQueue {
         ++it;
       }
     }
+    UpdateGauge();
     return out;
   }
 
@@ -82,6 +96,12 @@ class BoundedJobQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  void UpdateGauge() {  // callers hold mutex_
+    if (gauge_ != nullptr) {
+      gauge_->Set(static_cast<std::int64_t>(items_.size()));
+    }
+  }
+
   struct Key {
     int neg_priority;
     std::uint64_t seq;
@@ -97,6 +117,7 @@ class BoundedJobQueue {
   std::map<Key, T> items_;
   std::uint64_t next_seq_ = 0;
   bool closed_ = false;
+  obs::Gauge* gauge_ = nullptr;
 };
 
 }  // namespace oocgemm::serve

@@ -15,6 +15,17 @@ SpgemmServer::SpgemmServer(std::vector<vgpu::Device*> devices,
       queue_(config.max_queue),
       scheduler_(devices_, pool, config.scheduler, queue_, admission_,
                  stats_) {
+  queue_.set_depth_gauge(&obs::MetricsRegistry::Default().GetGauge(
+      "oocgemm_serve_queue_depth", {},
+      "Jobs waiting in the bounded priority queue"));
+  if (!config_.metrics_path.empty()) {
+    obs::Snapshotter::Options opts;
+    opts.interval_seconds = config_.metrics_interval_seconds;
+    opts.prometheus_path = config_.metrics_path;
+    opts.json_path = config_.metrics_path + ".json";
+    snapshotter_ = std::make_unique<obs::Snapshotter>(
+        obs::MetricsRegistry::Default(), std::move(opts));
+  }
   scheduler_.set_on_job_done([this] {
     std::unique_lock<std::mutex> lock(pending_mutex_);
     if (--pending_ == 0) pending_cv_.notify_all();
@@ -25,6 +36,10 @@ SpgemmServer::SpgemmServer(std::vector<vgpu::Device*> devices,
 SpgemmServer::~SpgemmServer() { Shutdown(); }
 
 std::future<JobResult> SpgemmServer::Reject(std::uint64_t id, Status status) {
+  static obs::Counter& rejects = obs::MetricsRegistry::Default().GetCounter(
+      "oocgemm_serve_admission_rejects", {},
+      "Submissions refused before reaching the queue");
+  rejects.Add(1);
   JobResult result;
   result.status = std::move(status);
   result.metrics.id = id;
@@ -100,6 +115,9 @@ void SpgemmServer::Shutdown() {
     shut_down_ = true;
   }
   scheduler_.Stop();  // drains the queue: every accepted job resolves
+  // Final snapshot after the scheduler quiesced: the exported files end at
+  // the terminal counter state the reconciliation checks compare against.
+  if (snapshotter_ != nullptr) snapshotter_->Stop();
 }
 
 ServerReport SpgemmServer::Report() const {

@@ -32,6 +32,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/device_pool.hpp"
+#include "obs/snapshotter.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
@@ -48,6 +49,13 @@ struct ServerConfig {
   AdmissionLimits admission;
   /// Applied when a job's own timeout_seconds is 0.
   double default_timeout_seconds = 0.0;
+
+  /// When non-empty, a background snapshotter writes the process metrics
+  /// registry to this path in Prometheus text format — and to the same
+  /// path + ".json" in JSON — every metrics_interval_seconds, plus one
+  /// final write during Shutdown.
+  std::string metrics_path;
+  double metrics_interval_seconds = 0.5;
 };
 
 class SpgemmServer {
@@ -83,6 +91,8 @@ class SpgemmServer {
   /// The first device's arbiter — the single-device view older callers use.
   core::DeviceArbiter& arbiter() { return scheduler_.arbiter(); }
   const ServerConfig& config() const { return config_; }
+  /// Non-null while metrics_path is configured (tests use WriteNow()).
+  obs::Snapshotter* snapshotter() { return snapshotter_.get(); }
 
  private:
   std::future<JobResult> Reject(std::uint64_t id, Status status);
@@ -93,6 +103,7 @@ class SpgemmServer {
   AdmissionController admission_;
   JobQueue queue_;
   Scheduler scheduler_;
+  std::unique_ptr<obs::Snapshotter> snapshotter_;
 
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex pending_mutex_;

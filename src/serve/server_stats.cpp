@@ -8,9 +8,69 @@
 
 namespace oocgemm::serve {
 
+ServerStats::ServerStats() {
+  auto& reg = obs::MetricsRegistry::Default();
+  metrics_.submitted = &reg.GetCounter("oocgemm_serve_jobs_submitted", {},
+                                       "Jobs accepted into the server");
+  metrics_.completed = &reg.GetCounter("oocgemm_serve_jobs_completed", {},
+                                       "Jobs finished successfully");
+  metrics_.rejected = &reg.GetCounter("oocgemm_serve_jobs_rejected", {},
+                                      "Jobs refused by admission");
+  metrics_.timed_out = &reg.GetCounter("oocgemm_serve_jobs_timed_out", {},
+                                       "Jobs cancelled by the watchdog");
+  metrics_.failed = &reg.GetCounter("oocgemm_serve_jobs_failed", {},
+                                    "Jobs failed after all retries");
+  metrics_.failovers = &reg.GetCounter(
+      "oocgemm_serve_failovers", {},
+      "Failover rounds: re-plans off a faulted device lane");
+  metrics_.device_failures = &reg.GetCounter(
+      "oocgemm_serve_device_failures", {},
+      "Devices pulled from the pool after a mid-run fault");
+  metrics_.batches = &reg.GetCounter("oocgemm_serve_batches", {},
+                                     "Multi-job device runs dispatched");
+  metrics_.batched_jobs = &reg.GetCounter(
+      "oocgemm_serve_batched_jobs", {}, "Jobs that rode in batched runs");
+  metrics_.batch_fallbacks = &reg.GetCounter(
+      "oocgemm_serve_batch_fallbacks", {},
+      "Batches that failed as a whole and re-ran per job");
+  metrics_.reserve_shortfalls = &reg.GetCounter(
+      "oocgemm_serve_reserve_shortfalls", {},
+      "Scheduler reservation attempts the arbiter refused");
+  metrics_.h2d_bytes = &reg.GetCounter(
+      "oocgemm_serve_h2d_bytes", {},
+      "Summed H2D bytes of completed jobs' winning runs");
+  metrics_.d2h_bytes = &reg.GetCounter(
+      "oocgemm_serve_d2h_bytes", {},
+      "Summed D2H bytes of completed jobs' winning runs");
+  metrics_.flops = &reg.GetCounter(
+      "oocgemm_serve_flops", {}, "Summed flops of completed jobs");
+  metrics_.latency = &reg.GetHistogram(
+      "oocgemm_serve_latency_seconds", {},
+      "Virtual arrival-to-finish latency of completed jobs");
+  metrics_.queue_wait = &reg.GetHistogram(
+      "oocgemm_serve_queue_seconds", {},
+      "Virtual arrival-to-start wait of completed jobs");
+  metrics_.batch_size = &reg.GetHistogram(
+      "oocgemm_serve_batch_size", {}, "Jobs per dispatched batch");
+}
+
 void ServerStats::RecordOutcome(const JobMetrics& metrics) {
   std::unique_lock<std::mutex> lock(mutex_);
   finished_.push_back(metrics);
+  if (metrics.failovers > 0) metrics_.failovers->Add(metrics.failovers);
+  switch (metrics.outcome) {
+    case JobOutcome::kCompleted:
+      metrics_.completed->Add(1);
+      metrics_.h2d_bytes->Add(metrics.stats.bytes_h2d);
+      metrics_.d2h_bytes->Add(metrics.stats.bytes_d2h);
+      metrics_.flops->Add(metrics.stats.flops);
+      metrics_.latency->Record(metrics.latency_seconds);
+      metrics_.queue_wait->Record(metrics.queue_seconds);
+      break;
+    case JobOutcome::kRejected: metrics_.rejected->Add(1); break;
+    case JobOutcome::kTimedOut: metrics_.timed_out->Add(1); break;
+    case JobOutcome::kFailed: metrics_.failed->Add(1); break;
+  }
 }
 
 ServerReport ServerStats::Snapshot() const {
@@ -52,6 +112,8 @@ ServerReport ServerStats::Snapshot() const {
         flops += static_cast<double>(m.stats.flops);
         r.b_panel_uploads += m.stats.b_panel_uploads;
         r.b_panel_hits += m.stats.b_panel_hits;
+        r.transfer_bytes_h2d += m.stats.bytes_h2d;
+        r.transfer_bytes_d2h += m.stats.bytes_d2h;
         if (!any_completed || m.virtual_arrival < min_arrival) {
           min_arrival = m.virtual_arrival;
         }
@@ -148,6 +210,8 @@ std::string ServerReport::ToJson() const {
   os << "  \"batch_fallbacks\": " << batch_fallbacks << ",\n";
   os << "  \"b_panel_uploads\": " << b_panel_uploads << ",\n";
   os << "  \"b_panel_hits\": " << b_panel_hits << ",\n";
+  os << "  \"transfer_bytes_h2d\": " << transfer_bytes_h2d << ",\n";
+  os << "  \"transfer_bytes_d2h\": " << transfer_bytes_d2h << ",\n";
   os << "  \"reserve_shortfalls\": " << reserve_shortfalls << ",\n";
   os << "  \"virtual_makespan_seconds\": " << virtual_makespan_seconds
      << ",\n";

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/job.hpp"
 
 namespace oocgemm::serve {
@@ -80,6 +81,12 @@ struct ServerReport {
   std::int64_t b_panel_uploads = 0;
   std::int64_t b_panel_hits = 0;
 
+  /// Summed transfer bytes of completed jobs' winning runs (the serving
+  /// layer's view of the device counters; the obs reconciliation test
+  /// checks the two agree exactly).
+  std::int64_t transfer_bytes_h2d = 0;
+  std::int64_t transfer_bytes_d2h = 0;
+
   /// Scheduler TryReserve attempts the arbiter refused (demand vs ledger).
   std::int64_t reserve_shortfalls = 0;
 
@@ -104,9 +111,12 @@ struct ServerReport {
 
 class ServerStats {
  public:
+  ServerStats();
+
   void RecordSubmitted() {
     std::unique_lock<std::mutex> lock(mutex_);
     ++submitted_;
+    metrics_.submitted->Add(1);
   }
   void RecordOutcome(const JobMetrics& metrics);
 
@@ -115,21 +125,27 @@ class ServerStats {
     std::unique_lock<std::mutex> lock(mutex_);
     ++batches_;
     batched_jobs_ += members;
+    metrics_.batches->Add(1);
+    metrics_.batched_jobs->Add(members);
+    metrics_.batch_size->Record(static_cast<double>(members));
   }
   /// A batch failed as a whole and its members re-ran individually.
   void RecordBatchFallback() {
     std::unique_lock<std::mutex> lock(mutex_);
     ++batch_fallbacks_;
+    metrics_.batch_fallbacks->Add(1);
   }
   /// The scheduler asked the arbiter to reserve bytes and was refused.
   void RecordReserveShortfall() {
     std::unique_lock<std::mutex> lock(mutex_);
     ++reserve_shortfalls_;
+    metrics_.reserve_shortfalls->Add(1);
   }
   /// The scheduler found pool device `index` dead mid-run and pulled it.
   void RecordDeviceFailure(int index) {
     std::unique_lock<std::mutex> lock(mutex_);
     ++device_failures_;
+    metrics_.device_failures->Add(1);
     if (index >= 0) {
       if (static_cast<std::size_t>(index) >= device_failure_counts_.size()) {
         device_failure_counts_.resize(static_cast<std::size_t>(index) + 1, 0);
@@ -141,6 +157,30 @@ class ServerStats {
   ServerReport Snapshot() const;
 
  private:
+  /// Default-registry instruments mirroring the report's counters, so the
+  /// serving layer is scrapable live (the report only exists at snapshot
+  /// time).  Resolved once in the constructor; recording is lock-free.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* timed_out = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* device_failures = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batched_jobs = nullptr;
+    obs::Counter* batch_fallbacks = nullptr;
+    obs::Counter* reserve_shortfalls = nullptr;
+    obs::Counter* h2d_bytes = nullptr;
+    obs::Counter* d2h_bytes = nullptr;
+    obs::Counter* flops = nullptr;
+    obs::LogBucketHistogram* latency = nullptr;
+    obs::LogBucketHistogram* queue_wait = nullptr;
+    obs::LogBucketHistogram* batch_size = nullptr;
+  };
+  Metrics metrics_;
+
   mutable std::mutex mutex_;
   std::int64_t submitted_ = 0;
   std::int64_t batches_ = 0;

@@ -26,6 +26,38 @@ Device::Device(DeviceProperties props)
       arena_(static_cast<std::size_t>(props_.memory_bytes)),
       allocator_(props_.memory_bytes) {
   sync_stream_ = CreateStream("sync-copies");
+  BindMetrics();
+}
+
+void Device::BindMetrics() {
+  auto& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels = {{"device", std::to_string(id_)}};
+  metrics_.h2d_bytes = &reg.GetCounter(
+      "oocgemm_vgpu_h2d_bytes", labels, "Bytes copied host-to-device");
+  metrics_.d2h_bytes = &reg.GetCounter(
+      "oocgemm_vgpu_d2h_bytes", labels, "Bytes copied device-to-host");
+  metrics_.h2d_seconds = &reg.GetDoubleCounter(
+      "oocgemm_vgpu_h2d_seconds", labels,
+      "Virtual seconds the H2D copy engine was busy");
+  metrics_.d2h_seconds = &reg.GetDoubleCounter(
+      "oocgemm_vgpu_d2h_seconds", labels,
+      "Virtual seconds the D2H copy engine was busy");
+  metrics_.kernel_launches = &reg.GetCounter(
+      "oocgemm_vgpu_kernel_launches", labels, "Kernel launches issued");
+  metrics_.kernel_seconds = &reg.GetDoubleCounter(
+      "oocgemm_vgpu_kernel_seconds", labels,
+      "Virtual seconds the compute engine was busy");
+  metrics_.allocs = &reg.GetCounter(
+      "oocgemm_vgpu_allocs", labels, "Successful device allocations");
+  metrics_.frees = &reg.GetCounter(
+      "oocgemm_vgpu_frees", labels, "Device frees");
+  metrics_.alloc_bytes = &reg.GetCounter(
+      "oocgemm_vgpu_alloc_bytes", labels,
+      "Bytes handed out by the device allocator (cumulative)");
+  metrics_.faults = &reg.GetCounter(
+      "oocgemm_vgpu_faults", labels, "Injected faults that fired");
+  metrics_.used_bytes = &reg.GetGauge(
+      "oocgemm_vgpu_used_bytes", labels, "Live device memory in use");
 }
 
 StatusOr<DevicePtr> Device::Malloc(HostContext& host, std::int64_t bytes,
@@ -40,9 +72,13 @@ StatusOr<DevicePtr> Device::Malloc(HostContext& host, std::int64_t bytes,
     MarkDead("injected device loss at alloc '" + label + "'");
     trace_.Add({OpCategory::kFault, "fault:alloc-kill:" + label, -1,
                 Interval{host.now, host.now}, 0});
+    metrics_.faults->Add(1);
   }
   if (!result.ok()) return result.status();
   SerializeDevice(host, props_.alloc_overhead, OpCategory::kAlloc, label);
+  metrics_.allocs->Add(1);
+  metrics_.alloc_bytes->Add(bytes);
+  metrics_.used_bytes->Set(allocator_.used_bytes());
   return result;
 }
 
@@ -52,6 +88,8 @@ void Device::Free(HostContext& host, DevicePtr ptr) {
   // accounting must return to baseline so pools/caches can unwind cleanly
   // after a failure.  Only the timing side effect is skipped when dead.
   allocator_.Free(ptr);
+  metrics_.frees->Add(1);
+  metrics_.used_bytes->Set(allocator_.used_bytes());
   if (dead()) return;
   SerializeDevice(host, props_.free_overhead, OpCategory::kFree, "free");
 }
@@ -144,6 +182,7 @@ std::optional<FiredFault> Device::EvaluateFault(HostContext& host,
   if (!fired) return std::nullopt;
   trace_.Add({OpCategory::kFault, "fault:" + fired->description + ":" + label,
               stream_id, Interval{host.now, host.now}, 0});
+  metrics_.faults->Add(1);
   switch (fired->action) {
     case FaultAction::kFail:
       if (fault_status_.ok()) {
@@ -185,6 +224,8 @@ void Device::LaunchKernel(HostContext& host, Stream& stream,
   stream.AdvanceTo(iv.end);
   CheckHazards(label, iv, regions);
   trace_.Add({OpCategory::kKernel, label, stream.id(), iv, 0});
+  metrics_.kernel_launches->Add(1);
+  metrics_.kernel_seconds->Add(iv.end - iv.start);
 }
 
 void Device::LaunchKernelCosted(HostContext& host, Stream& stream,
@@ -205,6 +246,8 @@ void Device::LaunchKernelCosted(HostContext& host, Stream& stream,
   stream.AdvanceTo(iv.end);
   CheckHazards(label, iv, regions);
   trace_.Add({OpCategory::kKernel, label, stream.id(), iv, 0});
+  metrics_.kernel_launches->Add(1);
+  metrics_.kernel_seconds->Add(iv.end - iv.start);
 }
 
 void Device::MemcpyH2DAsync(HostContext& host, Stream& stream, DevicePtr dst,
@@ -233,6 +276,8 @@ void Device::MemcpyH2DAsync(HostContext& host, Stream& stream, DevicePtr dst,
   stream.AdvanceTo(iv.end);
   CheckHazards(label, iv, {{dst.offset, bytes, /*write=*/true}});
   trace_.Add({OpCategory::kH2D, label, stream.id(), iv, bytes});
+  metrics_.h2d_bytes->Add(bytes);
+  metrics_.h2d_seconds->Add(iv.end - iv.start);
   if (!pinned) host.AdvanceTo(iv.end);  // pageable copies block the host
 }
 
@@ -262,6 +307,8 @@ void Device::MemcpyD2HAsync(HostContext& host, Stream& stream, void* dst,
   stream.AdvanceTo(iv.end);
   CheckHazards(label, iv, {{src.offset, bytes, /*write=*/false}});
   trace_.Add({OpCategory::kD2H, label, stream.id(), iv, bytes});
+  metrics_.d2h_bytes->Add(bytes);
+  metrics_.d2h_seconds->Add(iv.end - iv.start);
   if (!pinned) host.AdvanceTo(iv.end);
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
 #include "vgpu/allocator.hpp"
 #include "vgpu/fault_injector.hpp"
 #include "vgpu/trace.hpp"
@@ -109,7 +110,10 @@ class Device {
   /// core::DevicePool to the device's pool index; trace export stamps it
   /// on every emitted event so multi-device runs stay attributable.
   int id() const { return id_; }
-  void set_id(int id) { id_ = id; }
+  void set_id(int id) {
+    id_ = id;
+    BindMetrics();
+  }
 
   // --- memory -------------------------------------------------------------
 
@@ -254,6 +258,24 @@ class Device {
   void ResetTimeline();
 
  private:
+  /// Instruments in the default obs registry, labeled {device=<id>}.  They
+  /// are recorded exactly where trace events are added, so per-run counter
+  /// deltas reconcile with the trace-derived RunStats.
+  struct DeviceMetrics {
+    obs::Counter* h2d_bytes = nullptr;
+    obs::Counter* d2h_bytes = nullptr;
+    obs::DoubleCounter* h2d_seconds = nullptr;
+    obs::DoubleCounter* d2h_seconds = nullptr;
+    obs::Counter* kernel_launches = nullptr;
+    obs::DoubleCounter* kernel_seconds = nullptr;
+    obs::Counter* allocs = nullptr;
+    obs::Counter* frees = nullptr;
+    obs::Counter* alloc_bytes = nullptr;
+    obs::Counter* faults = nullptr;
+    obs::Gauge* used_bytes = nullptr;
+  };
+  void BindMetrics();
+
   void SerializeDevice(HostContext& host, double overhead, OpCategory category,
                        const std::string& label);
   void CheckHazards(const std::string& label, const Interval& interval,
@@ -270,6 +292,7 @@ class Device {
 
   DeviceProperties props_;
   int id_ = 0;
+  DeviceMetrics metrics_;
   std::vector<std::byte> arena_;
   FreeListAllocator allocator_;
   Resource compute_{"compute"};

@@ -82,5 +82,68 @@ TEST(RunningStat, EmptyIsSafe) {
   EXPECT_EQ(rs.variance(), 0.0);
 }
 
+// ---- Edge-case backfill (PR 5): the quantile property tests in
+// test_obs_metrics.cpp lean on Summarize as the exact oracle, so its own
+// degenerate inputs are pinned here.
+
+TEST(Summarize, EmptyPercentilesAreZero) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p90, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Summarize, SingleValueAllPercentilesCollapse) {
+  Summary s = Summarize({-2.5});
+  EXPECT_EQ(s.p50, -2.5);
+  EXPECT_EQ(s.p90, -2.5);
+  EXPECT_EQ(s.p95, -2.5);
+  EXPECT_EQ(s.p99, -2.5);
+  EXPECT_EQ(s.total, -2.5);
+}
+
+TEST(Summarize, ConstantInput) {
+  Summary s = Summarize(std::vector<double>(64, 7.0));
+  EXPECT_EQ(s.count, 64u);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-12);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.p99, 7.0);
+  EXPECT_DOUBLE_EQ(s.total, 64 * 7.0);
+}
+
+TEST(Summarize, UnsortedInputIsSortedInternally) {
+  Summary s = Summarize({9.0, 1.0, 5.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_EQ(s.p50, 5.0);
+}
+
+TEST(RunningStat, MinMaxBeforeFirstAddAreZero) {
+  // Documented quirk: min()/max() read 0.0 until the first Add seeds them.
+  RunningStat rs;
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+  EXPECT_EQ(rs.mean(), 0.0);
+}
+
+TEST(RunningStat, FirstAddSeedsMinMaxEvenWhenNegative) {
+  RunningStat rs;
+  rs.Add(-3.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_EQ(rs.min(), -3.0);
+  EXPECT_EQ(rs.max(), -3.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.Add(2.0);
+  EXPECT_EQ(rs.min(), -3.0);
+  EXPECT_EQ(rs.max(), 2.0);
+}
+
 }  // namespace
 }  // namespace oocgemm

@@ -8,6 +8,7 @@
 //               [--batch=1] [--devices=1] [--span=1] [--device-mem=1]
 //               [--timeout=0] [--seed=1] [--report=r.json]
 //               [--fault-spec=dev1:kernel:nth=40] [--fault-seed=1]
+//               [--metrics-out=m.prom] [--metrics-interval=0.5]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
 // C = A x A convention).  --device-mem is the virtual device memory in MiB.
@@ -27,6 +28,9 @@
 // e.g. `dev1:kernel:nth=40` kills device 1 at its 40th kernel launch and
 // exercises the scheduler's failover path.  --fault-seed seeds the fault
 // schedule; the same seed reproduces the same schedule exactly.
+// --metrics-out=PATH exports the live metrics registry: Prometheus text at
+// PATH and JSON at PATH.json, rewritten every --metrics-interval seconds
+// while serving plus once at shutdown (see src/obs/).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -101,7 +105,8 @@ int Usage() {
       "  oocgemm_cli serve [--jobs=N] [--load=JOBS_PER_VSEC] [--workers=W] "
       "[--queue=Q] [--batch=B] [--devices=D] [--span=M] [--device-mem=MiB] "
       "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify] "
-      "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S]\n");
+      "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S] "
+      "[--metrics-out=M.prom] [--metrics-interval=SEC]\n");
   return 2;
 }
 
@@ -332,6 +337,8 @@ int Serve(const Args& args) {
   config.max_queue =
       static_cast<std::size_t>(args.FlagD("queue", jobs));
   config.default_timeout_seconds = args.FlagD("timeout", 0.0);
+  config.metrics_path = args.Flag("metrics-out", "");
+  config.metrics_interval_seconds = args.FlagD("metrics-interval", 0.5);
   serve::SpgemmServer server(device_ptrs, pool, config);
 
   SplitMix64 rng(seed);
@@ -426,6 +433,13 @@ int Serve(const Args& args) {
   if (args.Has("verify")) {
     if (verify_failures > 0) return 1;
     std::printf("verify: OK\n");
+  }
+  if (args.Has("metrics-out")) {
+    // The server's Shutdown writes the terminal snapshot; trigger it now so
+    // the exported files are complete before we report the paths.
+    server.Shutdown();
+    std::printf("metrics: %s (+ .json)\n",
+                args.Flag("metrics-out", "").c_str());
   }
   return report.device_oom_failures == 0 ? 0 : 1;
 }
