@@ -122,7 +122,13 @@ int main() {
                   HumanSeconds(report.virtual_makespan_seconds),
                   HumanSeconds(report.latency_p95), leases.str()});
 
+    const double uploads_per_job =
+        report.completed > 0
+            ? static_cast<double>(report.b_panel_uploads) /
+                  static_cast<double>(report.completed)
+            : 0.0;
     runs << (i == 0 ? "" : ",\n") << "    {\"devices\": " << d
+         << ", \"b_panel_uploads_per_job\": " << uploads_per_job
          << ", \"report\": " << report.ToJson() << "}";
   }
   table.Print();

@@ -132,8 +132,14 @@ int main() {
                   HumanSeconds(report.latency_p99),
                   std::to_string(report.rejected)});
 
+    const double uploads_per_job =
+        report.completed > 0
+            ? static_cast<double>(report.b_panel_uploads) /
+                  static_cast<double>(report.completed)
+            : 0.0;
     if (li > 0) runs << ",\n";
     runs << "    {\"offered_load_jobs_per_second\": " << load
+         << ", \"b_panel_uploads_per_job\": " << uploads_per_job
          << ", \"report\": " << report.ToJson() << "}";
   }
   table.Print();

@@ -20,6 +20,12 @@ std::string HumanSeconds(double seconds);
 /// Fixed-point with `digits` decimals.
 std::string Fixed(double v, int digits = 2);
 
+/// `s` as a quoted JSON string literal: quotes/backslashes escaped, control
+/// characters emitted as \uXXXX.  Every hand-rolled JSON emitter in the
+/// repo must route externally-supplied strings (tenant ids, labels, paths)
+/// through this — a hostile tenant id must not be able to malform a report.
+std::string JsonEscape(const std::string& s);
+
 /// Column-aligned plain-text table.  Usage:
 ///   TablePrinter t({"matrix", "GFLOPS"}); t.AddRow({"nlp", "2.42"}); t.Print();
 class TablePrinter {

@@ -1,0 +1,46 @@
+#include "fleet/placement.hpp"
+
+#include <cstddef>
+
+#include "fleet/ring.hpp"
+
+namespace oocgemm::fleet {
+namespace {
+
+// How many positions of each structure array contribute to the digest.
+constexpr std::size_t kStructureSamples = 32;
+
+std::uint64_t Combine(std::uint64_t h, std::uint64_t v) {
+  // boost::hash_combine-style fold through the ring's SplitMix64 finalizer.
+  return ConsistentHashRing::MixHash(h ^ (v + 0x9E3779B97F4A7C15ull +
+                                          (h << 6) + (h >> 2)));
+}
+
+template <typename Vec>
+std::uint64_t SampleArray(std::uint64_t h, const Vec& arr) {
+  const std::size_t n = arr.size();
+  if (n == 0) return Combine(h, 0);
+  const std::size_t stride =
+      n <= kStructureSamples ? 1 : n / kStructureSamples;
+  for (std::size_t i = 0; i < n; i += stride) {
+    h = Combine(h, static_cast<std::uint64_t>(arr[i]));
+  }
+  // The last entry always participates (row_offsets.back() is the nnz —
+  // and trailing structure differences should not be sampled away).
+  h = Combine(h, static_cast<std::uint64_t>(arr[n - 1]));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t OperandPlacementKey(const sparse::Csr& m) {
+  std::uint64_t h = 0x006f6f6367656d6dull;  // "oocgemm" salt
+  h = Combine(h, static_cast<std::uint64_t>(m.rows()));
+  h = Combine(h, static_cast<std::uint64_t>(m.cols()));
+  h = Combine(h, static_cast<std::uint64_t>(m.nnz()));
+  h = SampleArray(h, m.row_offsets());
+  h = SampleArray(h, m.col_ids());
+  return h;
+}
+
+}  // namespace oocgemm::fleet

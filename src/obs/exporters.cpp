@@ -78,7 +78,15 @@ std::string EscapeLabelValue(const std::string& value) {
       case '\\': out += "\\\\"; break;
       case '"': out += "\\\""; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      default:
+        // The exposition format only defines the three escapes above; any
+        // other control byte (tenant ids are arbitrary) would corrupt the
+        // line structure, so replace it instead of passing it through.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += '_';
+        } else {
+          out += c;
+        }
     }
   }
   return out;

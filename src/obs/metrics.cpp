@@ -181,12 +181,9 @@ MetricsRegistry& MetricsRegistry::Default() {
   return *registry;
 }
 
-MetricsRegistry::Instrument& MetricsRegistry::Resolve(const std::string& name,
-                                                      const Labels& labels,
-                                                      const std::string& help,
-                                                      MetricKind kind,
-                                                      bool floating) {
-  std::unique_lock<std::mutex> lock(mutex_);
+MetricsRegistry::Instrument& MetricsRegistry::ResolveLocked(
+    const std::string& name, const Labels& labels, const std::string& help,
+    MetricKind kind, bool floating) {
   Family& family = families_[name];
   if (family.by_labels.empty()) {
     family.kind = kind;
@@ -208,8 +205,9 @@ MetricsRegistry::Instrument& MetricsRegistry::Resolve(const std::string& name,
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels,
                                      const std::string& help) {
+  std::unique_lock<std::mutex> lock(mutex_);
   Instrument& inst =
-      Resolve(name, labels, help, MetricKind::kCounter, /*floating=*/false);
+      ResolveLocked(name, labels, help, MetricKind::kCounter, /*floating=*/false);
   if (!inst.counter) inst.counter = std::make_unique<Counter>(&enabled_);
   return *inst.counter;
 }
@@ -217,8 +215,9 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 DoubleCounter& MetricsRegistry::GetDoubleCounter(const std::string& name,
                                                  const Labels& labels,
                                                  const std::string& help) {
+  std::unique_lock<std::mutex> lock(mutex_);
   Instrument& inst =
-      Resolve(name, labels, help, MetricKind::kCounter, /*floating=*/true);
+      ResolveLocked(name, labels, help, MetricKind::kCounter, /*floating=*/true);
   if (!inst.double_counter) {
     inst.double_counter = std::make_unique<DoubleCounter>(&enabled_);
   }
@@ -227,8 +226,9 @@ DoubleCounter& MetricsRegistry::GetDoubleCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
                                  const std::string& help) {
+  std::unique_lock<std::mutex> lock(mutex_);
   Instrument& inst =
-      Resolve(name, labels, help, MetricKind::kGauge, /*floating=*/false);
+      ResolveLocked(name, labels, help, MetricKind::kGauge, /*floating=*/false);
   if (!inst.gauge) inst.gauge = std::make_unique<Gauge>(&enabled_);
   return *inst.gauge;
 }
@@ -237,8 +237,9 @@ LogBucketHistogram& MetricsRegistry::GetHistogram(const std::string& name,
                                                   const Labels& labels,
                                                   const std::string& help,
                                                   int buckets_per_pow2) {
-  Instrument& inst =
-      Resolve(name, labels, help, MetricKind::kHistogram, /*floating=*/false);
+  std::unique_lock<std::mutex> lock(mutex_);
+  Instrument& inst = ResolveLocked(name, labels, help, MetricKind::kHistogram,
+                                   /*floating=*/false);
   if (!inst.histogram) {
     inst.histogram =
         std::make_unique<LogBucketHistogram>(&enabled_, buckets_per_pow2);

@@ -288,8 +288,11 @@ class MetricsRegistry {
     std::map<std::string, Instrument> by_labels;  // key: serialized labels
   };
 
-  Instrument& Resolve(const std::string& name, const Labels& labels,
-                      const std::string& help, MetricKind kind, bool floating);
+  // Requires mutex_ held: callers create the missing instrument under the
+  // same critical section, so racing Get*s resolve to one object.
+  Instrument& ResolveLocked(const std::string& name, const Labels& labels,
+                            const std::string& help, MetricKind kind,
+                            bool floating);
 
   mutable std::mutex mutex_;
   std::map<std::string, Family> families_;

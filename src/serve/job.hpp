@@ -19,6 +19,12 @@ struct JobOptions {
   /// Larger values dispatch first; ties break FIFO.
   int priority = 0;
 
+  /// Free-form tenant id for multi-tenant attribution (per-tenant report
+  /// sections and metric labels).  Arbitrary bytes are tolerated: every
+  /// emitter escapes it (JsonEscape / the prom label escaper), so a
+  /// hostile id cannot malform a report.  Empty = unattributed.
+  std::string tenant;
+
   /// Wall-clock execution budget in seconds; 0 disables the timeout.  The
   /// scheduler's watchdog cancels the job cooperatively once exceeded
   /// (whether still queued or mid-execution).
@@ -64,6 +70,8 @@ const char* JobOutcomeName(JobOutcome outcome);
 
 struct JobMetrics {
   std::uint64_t id = 0;
+  /// Copied from JobOptions::tenant at finish time.
+  std::string tenant;
   JobOutcome outcome = JobOutcome::kFailed;
   /// The path that actually ran (kAuto never appears here for completed
   /// jobs; meaningless for rejected ones).

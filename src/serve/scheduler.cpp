@@ -183,6 +183,7 @@ double Scheduler::BookGpuSpan(int device_index, double arrival,
 
 void Scheduler::FinishJob(ScheduledJob& item, JobResult result) {
   admission_.Release(item.demand);
+  result.metrics.tenant = item.job.options.tenant;
   stats_.RecordOutcome(result.metrics);
   item.promise.set_value(std::move(result));
 }

@@ -15,8 +15,12 @@ SpgemmServer::SpgemmServer(std::vector<vgpu::Device*> devices,
       queue_(config.max_queue),
       scheduler_(devices_, pool, config.scheduler, queue_, admission_,
                  stats_) {
+  const obs::Labels queue_labels =
+      config_.instance_label.empty()
+          ? obs::Labels{}
+          : obs::Labels{{"shard", config_.instance_label}};
   queue_.set_depth_gauge(&obs::MetricsRegistry::Default().GetGauge(
-      "oocgemm_serve_queue_depth", {},
+      "oocgemm_serve_queue_depth", queue_labels,
       "Jobs waiting in the bounded priority queue"));
   if (!config_.metrics_path.empty()) {
     obs::Snapshotter::Options opts;
@@ -35,7 +39,8 @@ SpgemmServer::SpgemmServer(std::vector<vgpu::Device*> devices,
 
 SpgemmServer::~SpgemmServer() { Shutdown(); }
 
-std::future<JobResult> SpgemmServer::Reject(std::uint64_t id, Status status) {
+std::future<JobResult> SpgemmServer::Reject(std::uint64_t id, Status status,
+                                            const std::string& tenant) {
   static obs::Counter& rejects = obs::MetricsRegistry::Default().GetCounter(
       "oocgemm_serve_admission_rejects", {},
       "Submissions refused before reaching the queue");
@@ -43,6 +48,7 @@ std::future<JobResult> SpgemmServer::Reject(std::uint64_t id, Status status) {
   JobResult result;
   result.status = std::move(status);
   result.metrics.id = id;
+  result.metrics.tenant = tenant;
   result.metrics.outcome = JobOutcome::kRejected;
   stats_.RecordOutcome(result.metrics);
   std::promise<JobResult> promise;
@@ -52,20 +58,23 @@ std::future<JobResult> SpgemmServer::Reject(std::uint64_t id, Status status) {
 
 std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
   const std::uint64_t id = next_id_.fetch_add(1);
-  stats_.RecordSubmitted();
+  stats_.RecordSubmitted(job.options.tenant);
 
   {
     std::unique_lock<std::mutex> lock(pending_mutex_);
     if (shut_down_) {
       lock.unlock();
-      return Reject(id, Status::FailedPrecondition("server is shut down"));
+      return Reject(id, Status::FailedPrecondition("server is shut down"),
+                    job.options.tenant);
     }
   }
   if (!job.a || !job.b) {
-    return Reject(id, Status::InvalidArgument("job is missing an operand"));
+    return Reject(id, Status::InvalidArgument("job is missing an operand"),
+                  job.options.tenant);
   }
   if (job.a->cols() != job.b->rows()) {
-    return Reject(id, Status::InvalidArgument("dimension mismatch"));
+    return Reject(id, Status::InvalidArgument("dimension mismatch"),
+                  job.options.tenant);
   }
   if (job.options.timeout_seconds <= 0.0) {
     job.options.timeout_seconds = config_.default_timeout_seconds;
@@ -75,7 +84,7 @@ std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
       *job.a, *job.b, devices_.max_device_capacity(), job.options.exec);
   Status admitted = admission_.Admit(demand, job.options.mode);
   if (!admitted.ok()) {
-    return Reject(id, std::move(admitted));
+    return Reject(id, std::move(admitted), job.options.tenant);
   }
 
   auto item = std::make_unique<ScheduledJob>();
@@ -84,6 +93,7 @@ std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
   item->submit_wall = std::chrono::steady_clock::now();
   item->cancel = std::make_shared<std::atomic<bool>>(false);
   const int priority = job.options.priority;
+  const std::string tenant = job.options.tenant;
   item->job = std::move(job);
   std::future<JobResult> future = item->promise.get_future();
 
@@ -97,9 +107,11 @@ std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
       if (--pending_ == 0) pending_cv_.notify_all();
     }
     admission_.Release(demand);
-    return Reject(id, Status::ResourceExhausted(
-                          "job queue is full (" +
-                          std::to_string(queue_.capacity()) + " pending)"));
+    return Reject(id,
+                  Status::ResourceExhausted(
+                      "job queue is full (" +
+                      std::to_string(queue_.capacity()) + " pending)"),
+                  tenant);
   }
   return future;
 }
@@ -118,6 +130,19 @@ void SpgemmServer::Shutdown() {
   // Final snapshot after the scheduler quiesced: the exported files end at
   // the terminal counter state the reconciliation checks compare against.
   if (snapshotter_ != nullptr) snapshotter_->Stop();
+}
+
+ShardProbe SpgemmServer::Probe() const {
+  ShardProbe p;
+  p.queue_depth = queue_.size();
+  p.queue_capacity = queue_.capacity();
+  p.healthy_devices = devices_.healthy_count();
+  p.total_devices = devices_.size();
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    p.accepting = !shut_down_;
+  }
+  return p;
 }
 
 ServerReport SpgemmServer::Report() const {

@@ -56,6 +56,35 @@ struct ServerConfig {
   /// final write during Shutdown.
   std::string metrics_path;
   double metrics_interval_seconds = 0.5;
+
+  /// When non-empty, per-instance metrics (the queue-depth gauge) carry a
+  /// {"shard": instance_label} label instead of sharing the process-wide
+  /// unlabeled point.  A fleet of in-process servers needs this: unlabeled,
+  /// every shard's queue would scribble over one gauge.
+  std::string instance_label;
+};
+
+/// Cheap routing-time health summary of one server, read lock-free off the
+/// queue and the device pool.  The fleet router probes shards with this
+/// before placing a job, so obviously-doomed placements (dead pool, queue
+/// at the rejection threshold) are skipped instead of bounced.
+struct ShardProbe {
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  int healthy_devices = 0;
+  int total_devices = 0;
+  bool accepting = false;  // false once Shutdown began
+
+  /// Routable = accepting, at least one healthy device, and queue depth
+  /// under `pressure_limit` of capacity (1.0 = only skip when full).
+  bool Routable(double pressure_limit = 1.0) const {
+    const double limit = queue_capacity == 0
+                             ? 0.0
+                             : pressure_limit *
+                                   static_cast<double>(queue_capacity);
+    return accepting && healthy_devices > 0 &&
+           static_cast<double>(queue_depth) < limit;
+  }
 };
 
 class SpgemmServer {
@@ -86,6 +115,9 @@ class SpgemmServer {
   /// device (lease/reservation/shortfall counters read off the arbiters,
   /// lane busy seconds and utilization from the scheduler's timeline).
   ServerReport Report() const;
+  /// Routing-time health summary; thread-safe and cheap (two atomic-ish
+  /// reads), suitable for the fleet router's per-submit probe.
+  ShardProbe Probe() const;
   core::DevicePool& device_pool() { return devices_; }
   const core::DevicePool& device_pool() const { return devices_; }
   /// The first device's arbiter — the single-device view older callers use.
@@ -95,7 +127,8 @@ class SpgemmServer {
   obs::Snapshotter* snapshotter() { return snapshotter_.get(); }
 
  private:
-  std::future<JobResult> Reject(std::uint64_t id, Status status);
+  std::future<JobResult> Reject(std::uint64_t id, Status status,
+                                const std::string& tenant);
 
   core::DevicePool devices_;
   ServerConfig config_;
@@ -106,7 +139,7 @@ class SpgemmServer {
   std::unique_ptr<obs::Snapshotter> snapshotter_;
 
   std::atomic<std::uint64_t> next_id_{1};
-  std::mutex pending_mutex_;
+  mutable std::mutex pending_mutex_;
   std::condition_variable pending_cv_;
   std::int64_t pending_ = 0;
   bool shut_down_ = false;

@@ -54,6 +54,20 @@ ServerStats::ServerStats() {
       "oocgemm_serve_batch_size", {}, "Jobs per dispatched batch");
 }
 
+void ServerStats::RecordSubmitted(const std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++submitted_;
+  metrics_.submitted->Add(1);
+  if (!tenant.empty()) {
+    ++tenant_submitted_[tenant];
+    // Labeled live mirror; the registry escapes the tenant id on export.
+    obs::MetricsRegistry::Default()
+        .GetCounter("oocgemm_serve_tenant_submitted", {{"tenant", tenant}},
+                    "Submissions per tenant id")
+        .Add(1);
+  }
+}
+
 void ServerStats::RecordOutcome(const JobMetrics& metrics) {
   std::unique_lock<std::mutex> lock(mutex_);
   finished_.push_back(metrics);
@@ -157,6 +171,27 @@ ServerReport ServerStats::Snapshot() const {
       r.total_gflops = flops / r.virtual_makespan_seconds / 1e9;
     }
   }
+  {
+    std::map<std::string, TenantServeReport> tenants;
+    for (const auto& [tenant, count] : tenant_submitted_) {
+      TenantServeReport& t = tenants[tenant];
+      t.tenant = tenant;
+      t.submitted = count;
+    }
+    for (const JobMetrics& m : finished_) {
+      if (m.tenant.empty()) continue;
+      TenantServeReport& t = tenants[m.tenant];
+      t.tenant = m.tenant;
+      switch (m.outcome) {
+        case JobOutcome::kCompleted: ++t.completed; break;
+        case JobOutcome::kRejected: ++t.rejected; break;
+        case JobOutcome::kTimedOut: ++t.timed_out; break;
+        case JobOutcome::kFailed: ++t.failed; break;
+      }
+    }
+    for (auto& [tenant, t] : tenants) r.tenants.push_back(std::move(t));
+  }
+
   Summary lat = Summarize(latencies);
   r.latency_p50 = lat.p50;
   r.latency_p95 = lat.p95;
@@ -204,6 +239,20 @@ std::string ServerReport::ToJson() const {
        << ", \"utilization\": " << d.utilization << "}";
   }
   os << (devices.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantServeReport& t = tenants[i];
+    os << (i == 0 ? "\n" : ",\n");
+    // JsonEscape: tenant ids are caller bytes and must not break the
+    // document no matter what they contain.
+    os << "    {\"tenant\": " << JsonEscape(t.tenant)
+       << ", \"submitted\": " << t.submitted
+       << ", \"completed\": " << t.completed
+       << ", \"rejected\": " << t.rejected
+       << ", \"timed_out\": " << t.timed_out
+       << ", \"failed\": " << t.failed << "}";
+  }
+  os << (tenants.empty() ? "],\n" : "\n  ],\n");
   os << "  \"batches\": " << batches << ",\n";
   os << "  \"batched_jobs\": " << batched_jobs << ",\n";
   os << "  \"avg_batch_size\": " << avg_batch_size << ",\n";

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -41,6 +42,18 @@ struct DeviceServeReport {
   double utilization = 0.0;
 };
 
+/// One tenant's slice of the serving report.  Tenant ids are arbitrary
+/// caller-supplied bytes; every emitter escapes them (JsonEscape, the prom
+/// label escaper), so the slice is safe to render whatever the id holds.
+struct TenantServeReport {
+  std::string tenant;
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t failed = 0;
+};
+
 struct ServerReport {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
@@ -71,6 +84,10 @@ struct ServerReport {
   /// SpgemmServer::Report(); a bare ServerStats::Snapshot() sizes the
   /// vector to the largest device index seen and fills the job counts only.
   std::vector<DeviceServeReport> devices;
+
+  /// Per-tenant sections, name-sorted; jobs with an empty tenant id are
+  /// unattributed and appear only in the aggregate counters.
+  std::vector<TenantServeReport> tenants;
 
   // Operand-aware batching.
   std::int64_t batches = 0;       // multi-job device runs dispatched
@@ -113,11 +130,7 @@ class ServerStats {
  public:
   ServerStats();
 
-  void RecordSubmitted() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ++submitted_;
-    metrics_.submitted->Add(1);
-  }
+  void RecordSubmitted(const std::string& tenant = std::string());
   void RecordOutcome(const JobMetrics& metrics);
 
   /// A multi-job device run was dispatched with `members` jobs.
@@ -189,6 +202,8 @@ class ServerStats {
   std::int64_t reserve_shortfalls_ = 0;
   std::int64_t device_failures_ = 0;
   std::vector<std::int64_t> device_failure_counts_;
+  /// Submissions per non-empty tenant id (outcomes come from finished_).
+  std::map<std::string, std::int64_t> tenant_submitted_;
   std::vector<JobMetrics> finished_;
 };
 

@@ -93,6 +93,33 @@ TEST(MetricsExporters, EscapeLabelValue) {
   EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
   EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
   EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  // Control bytes outside the three defined escapes would corrupt the
+  // exposition line structure; they are replaced, not passed through.
+  EXPECT_EQ(EscapeLabelValue("a\rb\tc\x01"
+                             "d"),
+            "a_b_c_d");
+}
+
+// A tenant id is arbitrary caller bytes.  Pin the full exposition of the
+// nastiest id we can type: both formats must stay machine-parseable.
+TEST(MetricsExporters, HostileTenantLabelGolden) {
+  MetricsRegistry reg;
+  const std::string hostile = "t\"x\\y\nz\r\x7f{},=";
+  reg.GetCounter("test_hostile", {{"tenant", hostile}}, "Hostile labels")
+      .Add(1);
+  const std::string prom =
+      "# HELP test_hostile_total Hostile labels\n"
+      "# TYPE test_hostile_total counter\n"
+      "test_hostile_total{tenant=\"t\\\"x\\\\y\\nz_\x7f{},=\"} 1\n";
+  EXPECT_EQ(ToPrometheusText(reg.Snapshot()), prom);
+  const std::string json =
+      "{\"metrics\":["
+      "{\"name\":\"test_hostile\",\"kind\":\"counter\","
+      "\"help\":\"Hostile labels\","
+      "\"points\":[{\"labels\":{\"tenant\":\"t\\\"x\\\\y\\nz\\r\x7f{},=\"},"
+      "\"value\":1}]}"
+      "]}";
+  EXPECT_EQ(ToJson(reg.Snapshot()), json);
 }
 
 TEST(MetricsExporters, FormatMetricValue) {

@@ -114,6 +114,7 @@ TEST(MetricsReconcile, FaultInjectedServeRunMatchesServerReport) {
   const obs::RegistrySnapshot before = reg.Snapshot();
   std::vector<std::shared_ptr<const Csr>> as;
   std::vector<std::future<serve::JobResult>> futures;
+  std::int64_t device_failures_total = 0;
   {
     serve::SpgemmServer server(devices, pool, config);
 
@@ -171,6 +172,8 @@ TEST(MetricsReconcile, FaultInjectedServeRunMatchesServerReport) {
     EXPECT_GE(report.failed_over, 1);
     EXPECT_EQ(delta("oocgemm_serve_device_failures"), report.device_failures);
     EXPECT_EQ(report.device_failures, 1);
+    device_failures_total =
+        static_cast<std::int64_t>(after.Value("oocgemm_serve_device_failures"));
     EXPECT_EQ(delta("oocgemm_serve_h2d_bytes"), report.transfer_bytes_h2d);
     EXPECT_EQ(delta("oocgemm_serve_d2h_bytes"), report.transfer_bytes_d2h);
     EXPECT_GT(report.transfer_bytes_h2d, 0);
@@ -193,7 +196,10 @@ TEST(MetricsReconcile, FaultInjectedServeRunMatchesServerReport) {
   const std::string prom = ReadFile(config.metrics_path);
   EXPECT_NE(prom.find("oocgemm_serve_jobs_completed_total"),
             std::string::npos);
-  EXPECT_NE(prom.find("oocgemm_serve_device_failures_total 1"),
+  // The registry is process-wide, so earlier tests in the same process may
+  // have contributed device failures; the file must carry the full total.
+  EXPECT_NE(prom.find("oocgemm_serve_device_failures_total " +
+                      std::to_string(device_failures_total)),
             std::string::npos)
       << prom.substr(0, 400);
   const std::string json = ReadFile(config.metrics_path + ".json");

@@ -2,8 +2,10 @@
 // rejection, the timeout watchdog, and scheduler-level retry-with-replan.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "kernels/reference_spgemm.hpp"
@@ -228,6 +230,53 @@ TEST(SpgemmServer, PriorityDispatchOrder) {
   // the single CPU lane.
   EXPECT_LT(r_high.metrics.virtual_start, r_low.metrics.virtual_start);
   (void)fb.get();
+}
+
+// Tenant attribution flows submit -> scheduler -> report, and a hostile
+// tenant id (quotes, backslashes, newlines, control bytes) cannot malform
+// the report JSON: it comes back escaped, in a document that still parses.
+TEST(SpgemmServer, TenantSectionsEscapeHostileIds) {
+  vgpu::Device device(vgpu::ScaledV100Properties(14));
+  ThreadPool pool(2);
+  SpgemmServer server(device, pool, {});
+
+  const std::string hostile = "evil\"tenant\\\n\x01";
+  auto m = Shared(testutil::RandomCsr(48, 48, 3.0, 7));
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    SpgemmJob job{m, m, {}};
+    job.options.tenant = i < 2 ? "alice" : hostile;
+    futures.push_back(server.Submit(std::move(job)));
+  }
+  // A rejected submission must attribute to its tenant too.
+  SpgemmJob bad;
+  bad.a = m;  // missing b
+  bad.options.tenant = hostile;
+  futures.push_back(server.Submit(std::move(bad)));
+  server.Drain();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(futures[i].get().ok());
+  EXPECT_FALSE(futures[3].get().ok());
+
+  const ServerReport report = server.Report();
+  ASSERT_EQ(report.tenants.size(), 2u);  // name-sorted: alice, then evil...
+  EXPECT_EQ(report.tenants[0].tenant, "alice");
+  EXPECT_EQ(report.tenants[0].submitted, 2);
+  EXPECT_EQ(report.tenants[0].completed, 2);
+  EXPECT_EQ(report.tenants[1].tenant, hostile);
+  EXPECT_EQ(report.tenants[1].submitted, 2);
+  EXPECT_EQ(report.tenants[1].completed, 1);
+  EXPECT_EQ(report.tenants[1].rejected, 1);
+
+  const std::string json = report.ToJson();
+  // The raw hostile bytes never appear; the escaped form does.
+  EXPECT_EQ(json.find(hostile), std::string::npos);
+  EXPECT_NE(json.find("evil\\\"tenant\\\\\\n\\u0001"), std::string::npos);
+  // Structural sanity: balanced braces/brackets and an even quote count
+  // mean the hostile id did not break out of its string literal.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
 }
 
 }  // namespace

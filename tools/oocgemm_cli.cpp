@@ -9,6 +9,7 @@
 //               [--timeout=0] [--seed=1] [--report=r.json]
 //               [--fault-spec=dev1:kernel:nth=40] [--fault-seed=1]
 //               [--metrics-out=m.prom] [--metrics-interval=0.5]
+//               [--shards=N] [--replication=R] [--route=affinity|random]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
 // C = A x A convention).  --device-mem is the virtual device memory in MiB.
@@ -31,6 +32,19 @@
 // --metrics-out=PATH exports the live metrics registry: Prometheus text at
 // PATH and JSON at PATH.json, rewritten every --metrics-interval seconds
 // while serving plus once at shutdown (see src/obs/).
+// --shards=N (N >= 2) serves through the fleet router instead of a single
+// server: N in-process shards of --devices GPUs each, consistent-hash
+// B-operand placement (--route=affinity, the default) or a uniform random
+// baseline (--route=random), and --replication=R spreading hot operands
+// over R ring successors.  The workload switches to shared-operand form
+// with per-job tenants ("tenant-0".."tenant-3") and explicit out-of-core
+// device jobs so placement is the lever being exercised.  --fault-spec
+// device indices are global: dev<K> is shard K/D, local device K%D for
+// --devices=D per shard — `--shards=3 --fault-spec=dev1:kernel:nth=6:kill`
+// kills shard 1's only device and exercises cross-shard failover.
+// --report writes the FleetReport JSON (per-shard sections included); the
+// exit code is nonzero if any device OOM slipped through or the fleet
+// totals fail to reconcile with the per-shard reports.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +60,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/executors.hpp"
+#include "fleet/router.hpp"
 #include "kernels/reference_spgemm.hpp"
 #include "serve/server.hpp"
 #include "sparse/analysis.hpp"
@@ -106,7 +121,8 @@ int Usage() {
       "[--queue=Q] [--batch=B] [--devices=D] [--span=M] [--device-mem=MiB] "
       "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify] "
       "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S] "
-      "[--metrics-out=M.prom] [--metrics-interval=SEC]\n");
+      "[--metrics-out=M.prom] [--metrics-interval=SEC] "
+      "[--shards=N] [--replication=R] [--route=affinity|random]\n");
   return 2;
 }
 
@@ -258,10 +274,191 @@ int Multiply(const Args& args) {
   return 0;
 }
 
+// --fault-spec=dev1:kernel:nth=40,dev0:h2d:p=0.02:fail — group the
+// `dev<K>:`-prefixed rules per device and install one seeded injector on
+// each targeted device.  Indices are positions in `device_ptrs` (in the
+// fleet path, shard-major global indices).  Returns 0, or the process
+// exit code on a malformed spec.
+int InstallFaultInjectors(
+    const Args& args, std::vector<vgpu::Device*>& device_ptrs,
+    std::vector<std::unique_ptr<vgpu::FaultInjector>>& injectors) {
+  const std::string fault_spec = args.Flag("fault-spec", "");
+  if (fault_spec.empty()) return 0;
+  const int num_devices = static_cast<int>(device_ptrs.size());
+  const std::uint64_t fault_seed =
+      static_cast<std::uint64_t>(args.FlagD("fault-seed", 1));
+  std::vector<std::string> per_device(static_cast<std::size_t>(num_devices));
+  std::size_t start = 0;
+  while (start < fault_spec.size()) {
+    std::size_t comma = fault_spec.find(',', start);
+    if (comma == std::string::npos) comma = fault_spec.size();
+    const std::string rule = fault_spec.substr(start, comma - start);
+    start = comma + 1;
+    const std::size_t colon = rule.find(':');
+    int dev = -1;
+    if (rule.rfind("dev", 0) == 0 && colon != std::string::npos) {
+      dev = std::atoi(rule.substr(3, colon - 3).c_str());
+    }
+    if (dev < 0 || dev >= num_devices || colon + 1 >= rule.size()) {
+      std::fprintf(stderr,
+                   "bad --fault-spec rule '%s' (want dev<K>:<site>:...)\n",
+                   rule.c_str());
+      return 2;
+    }
+    std::string& rules = per_device[static_cast<std::size_t>(dev)];
+    if (!rules.empty()) rules += ',';
+    rules += rule.substr(colon + 1);
+  }
+  for (int k = 0; k < num_devices; ++k) {
+    if (per_device[static_cast<std::size_t>(k)].empty()) continue;
+    auto spec = vgpu::FaultSpec::Parse(
+        per_device[static_cast<std::size_t>(k)],
+        fault_seed + static_cast<std::uint64_t>(k));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    injectors.push_back(std::make_unique<vgpu::FaultInjector>(spec.value()));
+    device_ptrs[static_cast<std::size_t>(k)]->set_fault_injector(
+        injectors.back().get());
+  }
+  return 0;
+}
+
+// Sharded serving through the fleet router: a shared-operand multi-tenant
+// workload (every job draws its B from a small common pool, so affinity
+// placement has batches and panel reuse to win) in explicit out-of-core
+// device mode, so a shard whose pool died must fail over across the ring.
+int ServeFleet(const Args& args) {
+  const int jobs = static_cast<int>(args.FlagD("jobs", 64));
+  const double load = args.FlagD("load", 0.0);
+  const double mem_mib = args.FlagD("device-mem", 1.0);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.FlagD("seed", 1));
+  const int batch = std::max(1, static_cast<int>(args.FlagD("batch", 8)));
+  const int shards = static_cast<int>(args.FlagD("shards", 2));
+  const int devices_per_shard =
+      std::max(1, static_cast<int>(args.FlagD("devices", 1)));
+  const int replication =
+      std::max(1, static_cast<int>(args.FlagD("replication", 1)));
+  const std::string route = args.Flag("route", "affinity");
+  if (shards < 2) {
+    std::fprintf(stderr, "--shards=%d: a fleet needs at least 2 shards\n",
+                 shards);
+    return 2;
+  }
+  if (route != "affinity" && route != "random") {
+    std::fprintf(stderr, "--route=%s: want affinity or random\n",
+                 route.c_str());
+    return 2;
+  }
+
+  vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
+  props.memory_bytes = static_cast<std::int64_t>(mem_mib * (1 << 20));
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  std::vector<vgpu::Device*> device_ptrs;  // shard-major global indices
+  std::vector<std::vector<vgpu::Device*>> shard_devices;
+  for (int s = 0; s < shards; ++s) {
+    shard_devices.emplace_back();
+    for (int d = 0; d < devices_per_shard; ++d) {
+      devices.push_back(std::make_unique<vgpu::Device>(props));
+      device_ptrs.push_back(devices.back().get());
+      shard_devices.back().push_back(devices.back().get());
+    }
+  }
+  std::vector<std::unique_ptr<vgpu::FaultInjector>> injectors;
+  if (int rc = InstallFaultInjectors(args, device_ptrs, injectors)) return rc;
+  ThreadPool pool;
+
+  fleet::FleetConfig config;
+  config.shard.scheduler.num_workers = static_cast<int>(
+      args.FlagD("workers", std::max(2, devices_per_shard + 1)));
+  config.shard.scheduler.cpu_lanes =
+      std::max(1, config.shard.scheduler.num_workers - 1);
+  config.shard.scheduler.max_batch_jobs = batch;
+  config.shard.max_queue = static_cast<std::size_t>(args.FlagD("queue", jobs));
+  config.shard.default_timeout_seconds = args.FlagD("timeout", 0.0);
+  config.policy = route == "random" ? fleet::RoutingPolicy::kRandom
+                                    : fleet::RoutingPolicy::kAffinity;
+  config.replication.replication = replication;
+  fleet::FleetRouter router(std::move(shard_devices), pool, config);
+
+  SplitMix64 rng(seed);
+  std::vector<std::shared_ptr<const sparse::Csr>> shared_bs;
+  for (int i = 0; i < 4; ++i) {
+    sparse::RmatParams p;
+    p.scale = 8;
+    p.edge_factor = 8.0;
+    p.seed = rng.Next();
+    shared_bs.push_back(
+        std::make_shared<const sparse::Csr>(sparse::GenerateRmat(p)));
+  }
+
+  struct Pending {
+    std::shared_ptr<const sparse::Csr> a;
+    std::shared_ptr<const sparse::Csr> b;
+    std::future<serve::JobResult> future;
+  };
+  std::vector<Pending> pending;
+  for (int i = 0; i < jobs; ++i) {
+    serve::SpgemmJob job;
+    const auto& b = shared_bs[rng.Next() % shared_bs.size()];
+    sparse::ErdosRenyiParams p;
+    p.rows = p.cols = b->rows();
+    p.avg_degree = 4.0;
+    p.seed = rng.Next();
+    job.a = std::make_shared<const sparse::Csr>(sparse::GenerateErdosRenyi(p));
+    job.b = b;
+    job.options.mode = core::ExecutionMode::kGpuOutOfCore;
+    job.options.priority = static_cast<int>(rng.Next() % 4);
+    job.options.tenant = "tenant-" + std::to_string(i % 4);
+    job.options.virtual_arrival = load > 0.0 ? i / load : 0.0;
+    pending.push_back({job.a, job.b, router.Submit(std::move(job))});
+  }
+  router.Drain();
+
+  int verify_failures = 0;
+  for (auto& p : pending) {
+    serve::JobResult r = p.future.get();
+    if (!r.ok()) {
+      std::printf("job %llu: %s (%s)\n",
+                  static_cast<unsigned long long>(r.metrics.id),
+                  serve::JobOutcomeName(r.metrics.outcome),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    if (args.Has("verify") &&
+        !r.c.ApproxEquals(kernels::ReferenceSpgemm(*p.a, *p.b))) {
+      std::fprintf(stderr, "VERIFY FAILED: job %llu\n",
+                   static_cast<unsigned long long>(r.metrics.id));
+      ++verify_failures;
+    }
+  }
+
+  fleet::FleetReport report = router.Report();
+  std::printf("%s\n", report.DebugString().c_str());
+  if (args.Has("report")) {
+    std::ofstream out(args.Flag("report", ""));
+    out << report.ToJson() << "\n";
+    std::printf("report: %s\n", args.Flag("report", "").c_str());
+  }
+  if (args.Has("verify")) {
+    if (verify_failures > 0) return 1;
+    std::printf("verify: OK\n");
+  }
+  if (!report.Reconciles()) {
+    std::fprintf(stderr,
+                 "FLEET REPORT DOES NOT RECONCILE with per-shard reports\n");
+    return 1;
+  }
+  return report.totals.device_oom_failures == 0 ? 0 : 1;
+}
+
 // Synthetic open-loop workload against the serving runtime: a deterministic
 // mix of small ER products, medium R-MAT squarings and an occasional large
 // one, with randomized priorities and executor preferences.
 int Serve(const Args& args) {
+  if (args.Has("shards")) return ServeFleet(args);
   const int jobs = static_cast<int>(args.FlagD("jobs", 64));
   const double load = args.FlagD("load", 0.0);
   const double mem_mib = args.FlagD("device-mem", 1.0);
@@ -280,52 +477,8 @@ int Serve(const Args& args) {
     device_ptrs.push_back(devices.back().get());
   }
 
-  // --fault-spec=dev1:kernel:nth=40,dev0:h2d:p=0.02:fail — group the
-  // `dev<K>:`-prefixed rules per device and install one seeded injector on
-  // each targeted device.
   std::vector<std::unique_ptr<vgpu::FaultInjector>> injectors;
-  const std::string fault_spec = args.Flag("fault-spec", "");
-  if (!fault_spec.empty()) {
-    const std::uint64_t fault_seed =
-        static_cast<std::uint64_t>(args.FlagD("fault-seed", 1));
-    std::vector<std::string> per_device(static_cast<std::size_t>(num_devices));
-    std::size_t start = 0;
-    while (start < fault_spec.size()) {
-      std::size_t comma = fault_spec.find(',', start);
-      if (comma == std::string::npos) comma = fault_spec.size();
-      const std::string rule = fault_spec.substr(start, comma - start);
-      start = comma + 1;
-      const std::size_t colon = rule.find(':');
-      int dev = -1;
-      if (rule.rfind("dev", 0) == 0 && colon != std::string::npos) {
-        dev = std::atoi(rule.substr(3, colon - 3).c_str());
-      }
-      if (dev < 0 || dev >= num_devices || colon + 1 >= rule.size()) {
-        std::fprintf(stderr,
-                     "bad --fault-spec rule '%s' (want dev<K>:<site>:...)\n",
-                     rule.c_str());
-        return 2;
-      }
-      std::string& rules = per_device[static_cast<std::size_t>(dev)];
-      if (!rules.empty()) rules += ',';
-      rules += rule.substr(colon + 1);
-    }
-    for (int k = 0; k < num_devices; ++k) {
-      if (per_device[static_cast<std::size_t>(k)].empty()) continue;
-      auto spec = vgpu::FaultSpec::Parse(
-          per_device[static_cast<std::size_t>(k)],
-          fault_seed + static_cast<std::uint64_t>(k));
-      if (!spec.ok()) {
-        std::fprintf(stderr, "bad --fault-spec: %s\n",
-                     spec.status().ToString().c_str());
-        return 2;
-      }
-      injectors.push_back(
-          std::make_unique<vgpu::FaultInjector>(spec.value()));
-      device_ptrs[static_cast<std::size_t>(k)]->set_fault_injector(
-          injectors.back().get());
-    }
-  }
+  if (int rc = InstallFaultInjectors(args, device_ptrs, injectors)) return rc;
   ThreadPool pool;
 
   serve::ServerConfig config;
