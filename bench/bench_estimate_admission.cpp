@@ -1,0 +1,153 @@
+// Estimation-based admission benchmark (extension beyond the paper's
+// evaluation, following the OCEAN observation that output estimation is
+// orders of magnitude cheaper than the analysis pass it replaces): price
+// the same serve-scale workload through the exact admission path
+// (TotalFlops + sampled-symbolic EstimateRowNnz + exact-analysis panel
+// planning) and through the structure-only sampling estimator, and compare
+// host analysis seconds and output-nnz accuracy against the symbolic
+// oracle.
+//
+// Expected: >=5x less analysis time in estimate mode with the mean
+// output-nnz relative error inside the estimator's 15% property-test bar.
+// Emits BENCH_estimate.json; the exit code enforces both bars.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/admission.hpp"
+#include "sparse/analysis.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace oocgemm;
+
+sparse::Csr Rmat(int scale, double edge_factor, std::uint64_t seed) {
+  sparse::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  return sparse::GenerateRmat(p);
+}
+
+sparse::Csr Er(sparse::index_t n, double degree, std::uint64_t seed) {
+  sparse::ErdosRenyiParams p;
+  p.rows = p.cols = n;
+  p.avg_degree = degree;
+  p.seed = seed;
+  return sparse::GenerateErdosRenyi(p);
+}
+
+// Serve-scale operands: big enough that the exact analysis pass dominates
+// a submission and the estimator's row sample clears its reliability bar.
+std::vector<sparse::Csr> Workload() {
+  std::vector<sparse::Csr> mats;
+  for (int i = 0; i < 6; ++i) mats.push_back(Rmat(12, 8.0, 100 + i));
+  for (int i = 0; i < 6; ++i) mats.push_back(Er(4096, 8.0, 200 + i));
+  for (int i = 0; i < 4; ++i) mats.push_back(Rmat(11, 16.0, 300 + i));
+  return mats;
+}
+
+constexpr std::int64_t kDeviceCapacity = 4ll << 20;
+constexpr int kReps = 3;  // per-path repetitions; wall clock takes the sum
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension - estimation-based admission (OCEAN sampling)",
+      "PAPERS.md OCEAN (beyond: serve admission off the analysis pass)",
+      ">=5x less analysis time than exact admission; mean output-nnz error "
+      "<= 15%");
+
+  const std::vector<sparse::Csr> mats = Workload();
+  const core::ExecutorOptions exec;
+  const estimate::EstimatorOptions est_opts;
+
+  double exact_seconds = 0.0, estimate_seconds = 0.0;
+  double err_sum = 0.0, err_max = 0.0;
+  int fallbacks = 0;
+  std::ostringstream per_job;
+
+  TablePrinter table({"matrix", "exact s", "estimate s", "speedup",
+                      "nnz err", "fallback"});
+  for (std::size_t m = 0; m < mats.size(); ++m) {
+    const sparse::Csr& a = mats[m];
+    double job_exact = 0.0, job_estimate = 0.0;
+    serve::JobDemand sampled;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const serve::JobDemand exact =
+          serve::EstimateJobDemand(a, a, kDeviceCapacity, exec);
+      job_exact += exact.analysis_seconds;
+      sampled =
+          serve::EstimateJobDemandSampled(a, a, kDeviceCapacity, exec,
+                                          est_opts);
+      job_estimate += sampled.analysis_seconds;
+    }
+    exact_seconds += job_exact;
+    estimate_seconds += job_estimate;
+    if (sampled.estimator_fallback) ++fallbacks;
+
+    const double oracle = static_cast<double>(sparse::SymbolicNnz(a, a));
+    const double err =
+        oracle > 0.0 ? std::abs(sampled.est_nnz_out - oracle) / oracle : 0.0;
+    err_sum += err;
+    err_max = std::max(err_max, err);
+
+    table.AddRow({a.DebugString(), Fixed(job_exact * 1e3, 3) + " ms",
+                  Fixed(job_estimate * 1e3, 3) + " ms",
+                  Fixed(job_exact / std::max(job_estimate, 1e-12), 1) + "x",
+                  Fixed(err * 100.0, 1) + "%",
+                  sampled.estimator_fallback ? "yes" : "no"});
+    if (m > 0) per_job << ",\n";
+    per_job << "    {\"rows\": " << a.rows() << ", \"nnz\": " << a.nnz()
+            << ", \"exact_seconds\": " << job_exact
+            << ", \"estimate_seconds\": " << job_estimate
+            << ", \"nnz_rel_error\": " << err
+            << ", \"fallback\": " << (sampled.estimator_fallback ? 1 : 0)
+            << "}";
+  }
+  table.Print();
+
+  const double speedup = exact_seconds / std::max(estimate_seconds, 1e-12);
+  const double mean_err = err_sum / static_cast<double>(mats.size());
+  std::printf(
+      "\nexact admission: %s; estimate admission: %s (%sx less analysis "
+      "time); mean nnz error %s%%, max %s%%, %d/%zu fallbacks\n",
+      HumanSeconds(exact_seconds).c_str(),
+      HumanSeconds(estimate_seconds).c_str(), Fixed(speedup, 1).c_str(),
+      Fixed(mean_err * 100.0, 1).c_str(), Fixed(err_max * 100.0, 1).c_str(),
+      fallbacks, mats.size());
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"estimate_admission\",\n"
+       << "  \"jobs\": " << mats.size() << ",\n"
+       << "  \"reps_per_job\": " << kReps << ",\n"
+       << "  \"exact_analysis_seconds\": " << exact_seconds << ",\n"
+       << "  \"estimate_analysis_seconds\": " << estimate_seconds << ",\n"
+       << "  \"analysis_speedup\": " << speedup << ",\n"
+       << "  \"mean_nnz_rel_error\": " << mean_err << ",\n"
+       << "  \"max_nnz_rel_error\": " << err_max << ",\n"
+       << "  \"fallbacks\": " << fallbacks << ",\n"
+       << "  \"per_job\": [\n"
+       << per_job.str() << "\n  ]\n}\n";
+  if (!bench::WriteBenchJson("BENCH_estimate.json", json.str())) return 1;
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: estimate-mode analysis only %.1fx faster than exact "
+                 "(bar: 5x)\n",
+                 speedup);
+    return 1;
+  }
+  if (mean_err > 0.15) {
+    std::fprintf(stderr,
+                 "FAIL: mean output-nnz error %.1f%% exceeds the 15%% bar\n",
+                 mean_err * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Saturating std::int64_t arithmetic for capacity/demand accounting.
+//
+// Admission control forms byte and flop products from user-supplied shapes
+// (rows * cols, nnz * entry_bytes).  A hostile or merely huge synthetic
+// shape (10M x 10M) overflows int64 products, wraps negative, and then
+// *passes* every "demand <= budget" check.  These helpers clamp to
+// [INT64_MIN, INT64_MAX] instead of wrapping, so demand math stays monotone
+// and oversized jobs are rejected rather than admitted by accident.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace oocgemm::common {
+
+inline constexpr std::int64_t kInt64Max =
+    std::numeric_limits<std::int64_t>::max();
+
+/// a + b clamped to the int64 range.
+inline std::int64_t SaturatingAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? kInt64Max : std::numeric_limits<std::int64_t>::min();
+  }
+  return out;
+}
+
+/// a * b clamped to the int64 range.
+inline std::int64_t SaturatingMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return ((a > 0) == (b > 0)) ? kInt64Max
+                                : std::numeric_limits<std::int64_t>::min();
+  }
+  return out;
+}
+
+/// double -> int64 with clamping.  NaN maps to 0 (an unknown quantity
+/// should not look infinitely large to an admission check).
+inline std::int64_t SaturatingCast(double v) {
+  if (std::isnan(v)) return 0;
+  // 2^63 is exactly representable as a double; INT64_MAX is not.
+  if (v >= 9223372036854775808.0) return kInt64Max;
+  if (v <= -9223372036854775808.0) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+/// True when the value sits at either saturation rail — the signal that an
+/// upstream product clamped and the real quantity is unrepresentable.
+inline bool IsSaturated(std::int64_t v) {
+  return v == kInt64Max || v == std::numeric_limits<std::int64_t>::min();
+}
+
+}  // namespace oocgemm::common

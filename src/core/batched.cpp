@@ -16,6 +16,7 @@ namespace {
 struct JobAccum {
   std::vector<ChunkPayload> payloads;
   std::int64_t nnz = 0;
+  std::int64_t flops = 0;  // exact, from the runners' per-chunk tallies
   int chunks_run = 0;
   std::int64_t b_uploads = 0;
   std::int64_t b_hits = 0;
@@ -95,6 +96,7 @@ StatusOr<BatchedRunResult> BatchedOutOfCoreImpl(
         acc[i].payloads.push_back(std::move(p));
       }
       acc[i].nnz += run->nnz;
+      acc[i].flops += run->flops;
       acc[i].chunks_run += run->chunks_run;
       acc[i].b_uploads += run->b_panel_uploads;
       acc[i].b_hits += run->b_panel_hits;
@@ -124,7 +126,10 @@ StatusOr<BatchedRunResult> BatchedOutOfCoreImpl(
     rr.stats.num_chunks = preps[i].num_chunks();
     rr.stats.num_row_panels = preps[i].plan.num_row_panels;
     rr.stats.num_col_panels = nc;
-    rr.stats.flops = preps[i].total_flops;
+    // Estimate-seeded plans carry provisional flops; the runners tallied
+    // the exact per-chunk counts as segments executed.
+    rr.stats.flops =
+        preps[i].plan.estimated ? acc[i].flops : preps[i].total_flops;
     rr.stats.compression_ratio =
         rr.stats.nnz_out > 0 ? static_cast<double>(rr.stats.flops) /
                                    static_cast<double>(rr.stats.nnz_out)

@@ -1,8 +1,28 @@
 #include "core/cpu_runner.hpp"
 
+#include <cmath>
+
 #include "kernels/cpu_spgemm.hpp"
+#include "obs/metrics.hpp"
 
 namespace oocgemm::core {
+
+namespace {
+
+/// Exact multiply flops of one chunk: O(nnz(a_panel)) walk over A's column
+/// ids against the B panel's row lengths.  Only paid on estimate-seeded
+/// plans, where ChunkDesc::flops is a prediction — the exact count both
+/// feeds the cost model and corrects the run stats lazily.
+std::int64_t ExactChunkFlops(const sparse::Csr& a_panel,
+                             const sparse::Csr& b_panel) {
+  std::int64_t products = 0;
+  for (sparse::index_t k : a_panel.col_ids()) {
+    products += b_panel.row_nnz(k);
+  }
+  return 2 * products;
+}
+
+}  // namespace
 
 CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
                           const std::vector<int>& order,
@@ -10,6 +30,10 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
   CpuRunOutput out;
   const kernels::CostModel& cm = options.spgemm.cost_model;
   kernels::CpuSpgemmOptions cpu_options;  // hash accumulator, as in the paper
+  auto& chunk_err = obs::MetricsRegistry::Default().GetHistogram(
+      "oocgemm_estimate_chunk_flops_rel_error", {},
+      "Relative error |estimated - exact| / exact of per-chunk flop "
+      "predictions on estimate-seeded plans");
 
   for (int id : order) {
     if (options.cancel != nullptr &&
@@ -23,11 +47,20 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
     const sparse::Csr& b_panel = prep.b_panel(desc.col_panel);
     sparse::Csr c = kernels::CpuSpgemm(a_panel, b_panel, pool, cpu_options);
 
-    const double cr = c.nnz() > 0 ? static_cast<double>(desc.flops) /
+    std::int64_t chunk_flops = desc.flops;
+    if (prep.plan.estimated) {
+      chunk_flops = ExactChunkFlops(a_panel, b_panel);
+      if (chunk_flops > 0) {
+        chunk_err.Record(
+            std::abs(static_cast<double>(desc.flops - chunk_flops)) /
+            static_cast<double>(chunk_flops));
+      }
+    }
+    const double cr = c.nnz() > 0 ? static_cast<double>(chunk_flops) /
                                         static_cast<double>(c.nnz())
                                   : 1.0;
-    out.busy_seconds += cm.CpuChunkSeconds(desc.flops, cr);
-    out.flops += desc.flops;
+    out.busy_seconds += cm.CpuChunkSeconds(chunk_flops, cr);
+    out.flops += chunk_flops;
     out.nnz += c.nnz();
     ++out.chunks_run;
 

@@ -1,6 +1,7 @@
 #include "core/executors.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/timer.hpp"
@@ -56,12 +57,41 @@ void RecordRun(const char* executor, const RunStats& stats) {
       .Record(stats.total_seconds);
 }
 
+/// `exact_flops` is the runners' per-chunk exact tally (from the device
+/// analysis phase / the CPU runner's nnz(A)-walk), or -1 when no tally is
+/// available.  On estimate-seeded plans it lazily corrects the provisional
+/// planned flops and feeds the estimate-vs-actual error histograms; exact
+/// plans ignore it (planned == exact already).
 void FinishStats(const PreparedProblem& prep, const vgpu::Trace* trace,
-                 RunStats& stats) {
+                 std::int64_t exact_flops, RunStats& stats) {
   stats.num_chunks = prep.num_chunks();
   stats.num_row_panels = prep.plan.num_row_panels;
   stats.num_col_panels = prep.plan.num_col_panels;
   stats.flops = prep.total_flops;
+  if (prep.plan.estimated) {
+    auto& reg = obs::MetricsRegistry::Default();
+    if (exact_flops >= 0) {
+      if (exact_flops > 0) {
+        reg.GetHistogram("oocgemm_estimate_rel_error",
+                         {{"quantity", "flops"}},
+                         "Relative error |estimated - actual| / actual of "
+                         "whole-run estimator predictions")
+            .Record(std::abs(static_cast<double>(prep.total_flops -
+                                                 exact_flops)) /
+                    static_cast<double>(exact_flops));
+      }
+      stats.flops = exact_flops;
+    }
+    if (stats.nnz_out > 0) {
+      std::int64_t planned_nnz = 0;
+      for (const auto& c : prep.chunks) planned_nnz += c.estimated_nnz;
+      reg.GetHistogram("oocgemm_estimate_rel_error", {{"quantity", "nnz"}},
+                       "Relative error |estimated - actual| / actual of "
+                       "whole-run estimator predictions")
+          .Record(std::abs(static_cast<double>(planned_nnz - stats.nnz_out)) /
+                  static_cast<double>(stats.nnz_out));
+    }
+  }
   if (trace) {
     FillStatsFromTrace(*trace, stats);
     PhaseSeconds("analysis").Add(trace->BusyTimeLabeled(".analysis"));
@@ -116,6 +146,7 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
 
   std::vector<ChunkPayload> payloads;
   std::int64_t nnz_total = 0;
+  std::int64_t flops_total = 0;
 
   // Algorithm 3: row-major double loop, transfer after each chunk.
   for (const partition::ChunkDesc& desc : prep.chunks) {
@@ -163,6 +194,7 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
     }
 
     nnz_total += chunk->nnz;
+    flops_total += chunk->flops;
     payloads.push_back(std::move(payload));
     kernels::ReleaseChunk(host, source, chunk.value());
   }
@@ -176,7 +208,7 @@ StatusOr<RunResult> SyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
   result.stats.device_peak_bytes = device.peak_bytes();
   result.stats.b_panel_uploads = cache.misses(PanelCache::kB);
   result.stats.b_panel_hits = cache.hits(PanelCache::kB);
-  FinishStats(prep, &device.trace(), result.stats);
+  FinishStats(prep, &device.trace(), flops_total, result.stats);
   result.c = TimedAssemble(prep.row_bounds, prep.col_bounds,
                            std::move(payloads));
   return result;
@@ -204,7 +236,7 @@ StatusOr<RunResult> AsyncOutOfCoreImpl(vgpu::Device& device, const Csr& a,
   result.stats.device_peak_bytes = device.peak_bytes();
   result.stats.b_panel_uploads = run->b_panel_uploads;
   result.stats.b_panel_hits = run->b_panel_hits;
-  FinishStats(prep, &device.trace(), result.stats);
+  FinishStats(prep, &device.trace(), run->flops, result.stats);
   result.c = TimedAssemble(prep.row_bounds, prep.col_bounds,
                            std::move(run->payloads));
   return result;
@@ -278,7 +310,8 @@ StatusOr<RunResult> HybridImpl(vgpu::Device& device, const Csr& a,
   result.stats.device_peak_bytes = device.peak_bytes();
   result.stats.b_panel_uploads = gpu_run->b_panel_uploads;
   result.stats.b_panel_hits = gpu_run->b_panel_hits;
-  FinishStats(prep, &device.trace(), result.stats);
+  FinishStats(prep, &device.trace(), gpu_run->flops + cpu_run.flops,
+              result.stats);
   // The trace only covers the GPU side; the hybrid makespan may be CPU-bound.
   result.stats.total_seconds =
       std::max(result.stats.total_seconds,
@@ -312,7 +345,7 @@ StatusOr<StreamedRunResult> AsyncOutOfCoreStreamedImpl(
   result.stats.device_peak_bytes = device.peak_bytes();
   result.stats.b_panel_uploads = run->b_panel_uploads;
   result.stats.b_panel_hits = run->b_panel_hits;
-  FinishStats(prep, &device.trace(), result.stats);
+  FinishStats(prep, &device.trace(), run->flops, result.stats);
   result.row_bounds = prep.row_bounds;
   result.col_bounds = prep.col_bounds;
   return result;

@@ -1,10 +1,12 @@
 #include "core/gpu_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 
 #include "core/panel_cache.hpp"
+#include "obs/metrics.hpp"
 #include "kernels/device_csr.hpp"
 #include "kernels/device_spgemm.hpp"
 #include "vgpu/memory_pool.hpp"
@@ -249,7 +251,19 @@ StatusOr<GpuRunOutput> RunGpuChunks(vgpu::Device& device,
     cur.payload.row_offsets = cur.product.row_offsets;
     cur.payload.col_ids.resize(static_cast<std::size_t>(cur.product.nnz));
     cur.payload.values.resize(static_cast<std::size_t>(cur.product.nnz));
+    // product.flops is exact (from the device analysis phase): on
+    // estimate-seeded plans this is the lazy correction of desc.flops.
     out.flops += cur.product.flops;
+    if (prep.plan.estimated && cur.product.flops > 0) {
+      static obs::LogBucketHistogram& chunk_err =
+          obs::MetricsRegistry::Default().GetHistogram(
+              "oocgemm_estimate_chunk_flops_rel_error", {},
+              "Relative error |estimated - exact| / exact of per-chunk flop "
+              "predictions on estimate-seeded plans");
+      chunk_err.Record(
+          std::abs(static_cast<double>(desc.flops - cur.product.flops)) /
+          static_cast<double>(cur.product.flops));
+    }
 
     if (scheduled) {
       prev = std::move(cur);

@@ -2,6 +2,28 @@
 
 namespace oocgemm::core {
 
+namespace {
+
+/// Chunk grid for a prepared plan: the estimate-seeded grid (no exact
+/// nnz(A)-walk) when the plan came from the sampling estimator, otherwise
+/// the exact AnalyzeChunks pass.  Executors treat estimated chunk flops as
+/// provisional and correct run stats from exact per-chunk counts lazily.
+std::vector<partition::ChunkDesc> ChunksForPlan(
+    const sparse::Csr& a, const sparse::Csr& b,
+    const partition::PanelPlan& plan) {
+  if (plan.estimated) {
+    return partition::EstimateChunks(
+        plan.row_bounds, plan.col_bounds, plan.row_nnz_estimate,
+        plan.row_products_estimate,
+        partition::ColPanelNnz(b, plan.col_bounds), b.nnz());
+  }
+  return partition::AnalyzeChunks(
+      a, plan.row_bounds, b, plan.col_bounds,
+      plan.row_nnz_estimate.empty() ? nullptr : &plan.row_nnz_estimate);
+}
+
+}  // namespace
+
 StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
                                          const sparse::Csr& b,
                                          std::int64_t device_capacity,
@@ -22,10 +44,7 @@ StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
   prep.a_panels = partition::PartitionRows(a, prep.row_bounds);
   prep.b_panels = std::make_shared<const std::vector<sparse::Csr>>(
       partition::PartitionColsParallel(b, prep.col_bounds, pool));
-  prep.chunks = partition::AnalyzeChunks(
-      a, prep.row_bounds, b, prep.col_bounds,
-      prep.plan.row_nnz_estimate.empty() ? nullptr
-                                         : &prep.plan.row_nnz_estimate);
+  prep.chunks = ChunksForPlan(a, b, prep.plan);
   for (const auto& c : prep.chunks) prep.total_flops += c.flops;
   return prep;
 }
@@ -59,10 +78,7 @@ StatusOr<std::vector<PreparedProblem>> PrepareSharedOperandProblems(
     prep.col_bounds = prep.plan.col_bounds;
     prep.a_panels = partition::PartitionRows(*as[i], prep.row_bounds);
     prep.b_panels = b_panels;
-    prep.chunks = partition::AnalyzeChunks(
-        *as[i], prep.row_bounds, b, prep.col_bounds,
-        prep.plan.row_nnz_estimate.empty() ? nullptr
-                                           : &prep.plan.row_nnz_estimate);
+    prep.chunks = ChunksForPlan(*as[i], b, prep.plan);
     for (const auto& c : prep.chunks) prep.total_flops += c.flops;
     preps.push_back(std::move(prep));
   }

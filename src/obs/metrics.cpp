@@ -134,7 +134,13 @@ void LogBucketHistogram::ResetForTest() {
 
 std::pair<double, double> HistogramSnapshot::QuantileBounds(double q) const {
   if (count <= 0 || buckets.empty()) return {0.0, 0.0};
+  // NaN would survive std::clamp and turn the rank cast into UB.
+  if (std::isnan(q)) return {0.0, 0.0};
   q = std::clamp(q, 0.0, 1.0);
+  // One sample: every quantile is that sample.  The bucket walk below
+  // would mis-handle a single value <= 0 — the zero bucket's [0, 0] range
+  // clamps against a negative min/max and reports 0, not the sample.
+  if (count == 1) return {min, max};
   const std::int64_t rank = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(
              std::ceil(q * static_cast<double>(count))));

@@ -157,7 +157,11 @@ struct HistogramSnapshot {
   double growth = 0.0;
 
   /// Bounds of the bucket holding the q-quantile (rank ceil(q*count)),
-  /// clamped to the observed [min, max].  {0, 0} when empty.
+  /// clamped to the observed [min, max].  Well-defined on every input:
+  /// {0, 0} when the histogram is empty or q is NaN; {min, max} (i.e. the
+  /// sample itself) when exactly one value was recorded; q outside [0, 1]
+  /// clamps to the nearest end, so q=0.0 reports the min bucket and q=1.0
+  /// the max bucket.  Never indexes outside the bucket array.
   std::pair<double, double> QuantileBounds(double q) const;
   /// Point estimate: the upper bound of the quantile bucket (clamped).
   double Quantile(double q) const { return QuantileBounds(q).second; }

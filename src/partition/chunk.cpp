@@ -86,6 +86,61 @@ std::vector<ChunkDesc> AnalyzeChunks(
   return chunks;
 }
 
+std::vector<ChunkDesc> EstimateChunks(
+    const PanelBoundaries& row_bounds, const PanelBoundaries& col_bounds,
+    const std::vector<double>& row_nnz, const std::vector<double>& row_products,
+    const std::vector<std::int64_t>& col_panel_nnz, std::int64_t b_nnz_total) {
+  OOC_CHECK(row_nnz.size() == row_products.size());
+  const int nr = row_bounds.num_panels();
+  const int nc = col_bounds.num_panels();
+  OOC_CHECK(col_panel_nnz.size() == static_cast<std::size_t>(nc));
+
+  // Per-row-panel rollups of the estimate: O(rows) once for all chunks.
+  std::vector<double> panel_products(static_cast<std::size_t>(nr), 0.0);
+  std::vector<double> panel_nnz(static_cast<std::size_t>(nr), 0.0);
+  for (int rp = 0; rp < nr; ++rp) {
+    const index_t r0 = row_bounds.panel_begin(rp);
+    const index_t r1 = row_bounds.panel_end(rp);
+    for (index_t r = r0; r < r1 && static_cast<std::size_t>(r) < row_nnz.size();
+         ++r) {
+      panel_products[static_cast<std::size_t>(rp)] +=
+          row_products[static_cast<std::size_t>(r)];
+      panel_nnz[static_cast<std::size_t>(rp)] +=
+          row_nnz[static_cast<std::size_t>(r)];
+    }
+  }
+
+  std::vector<ChunkDesc> chunks(static_cast<std::size_t>(nr) *
+                                static_cast<std::size_t>(nc));
+  for (int rp = 0; rp < nr; ++rp) {
+    const std::int64_t panel_rows = row_bounds.panel_width(rp);
+    for (int cp = 0; cp < nc; ++cp) {
+      ChunkDesc& c = chunks[static_cast<std::size_t>(rp) *
+                                static_cast<std::size_t>(nc) +
+                            static_cast<std::size_t>(cp)];
+      c.row_panel = rp;
+      c.col_panel = cp;
+      const double share =
+          b_nnz_total > 0
+              ? static_cast<double>(col_panel_nnz[static_cast<std::size_t>(cp)]) /
+                    static_cast<double>(b_nnz_total)
+              : 0.0;
+      // The dense bound is the only *true* upper bound available without an
+      // exact pass; pool planning stays at estimate * safety, and OOM
+      // retries can keep doubling toward this bound.
+      c.upper_bound_nnz = panel_rows * col_bounds.panel_width(cp);
+      c.flops = static_cast<std::int64_t>(
+          2.0 * panel_products[static_cast<std::size_t>(rp)] * share);
+      c.estimated_nnz = std::min(
+          c.upper_bound_nnz,
+          static_cast<std::int64_t>(
+              panel_nnz[static_cast<std::size_t>(rp)] * share) +
+              1);
+    }
+  }
+  return chunks;
+}
+
 namespace {
 /// Work class of a chunk: logarithmic buckets 30% apart.  Sorting by class
 /// instead of by exact flops keeps Algorithm 3's row-major order (and so

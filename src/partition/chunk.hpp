@@ -42,6 +42,21 @@ std::vector<ChunkDesc> AnalyzeChunks(
     const sparse::Csr& b, const PanelBoundaries& col_bounds,
     const std::vector<double>* row_nnz_estimate = nullptr);
 
+/// Estimate-seeded chunk analysis: builds the same row-major ChunkDesc grid
+/// as AnalyzeChunks from per-row *estimates* (estimate::EstimateProduct)
+/// instead of an exact nnz(A)-walk — cost O(rows + nr * nc), never touching
+/// A's column ids.  Each row panel's estimated products/nnz are spread over
+/// column panels by B's per-panel nnz share (`col_panel_nnz` from
+/// ColPanelNnz; `b_nnz_total` its sum).  upper_bound_nnz is the *dense*
+/// bound (panel rows x panel width): a true bound, so the executors'
+/// OOM-retry safety-factor doubling still terminates even when the
+/// estimate is low.  Chunk flops are estimates too; executors correct the
+/// run stats lazily from exact per-chunk counts as chunks execute.
+std::vector<ChunkDesc> EstimateChunks(
+    const PanelBoundaries& row_bounds, const PanelBoundaries& col_bounds,
+    const std::vector<double>& row_nnz, const std::vector<double>& row_products,
+    const std::vector<std::int64_t>& col_panel_nnz, std::int64_t b_nnz_total);
+
 /// Indices of `chunks` sorted by decreasing flops (stable: equal-flop
 /// chunks keep Algorithm 4's row-major order).
 std::vector<int> OrderByFlopsDecreasing(const std::vector<ChunkDesc>& chunks);

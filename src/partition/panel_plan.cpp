@@ -31,33 +31,19 @@ struct ChunkSizing {
   std::int64_t max_working_set = 0;
 };
 
-ChunkSizing SizeChunks(const sparse::Csr& a, const PanelBoundaries& row_bounds,
-                       const sparse::Csr& b, const PanelBoundaries& col_bounds,
-                       const std::vector<double>* row_nnz_estimate,
-                       double nnz_safety_factor) {
-  ChunkSizing s;
-  const int nr = row_bounds.num_panels();
-  const int nc = col_bounds.num_panels();
-
-  std::vector<std::int64_t> a_bytes(static_cast<std::size_t>(nr));
-  for (int rp = 0; rp < nr; ++rp) {
+void SizeAPanels(const sparse::Csr& a, const PanelBoundaries& row_bounds,
+                 ChunkSizing* s) {
+  for (int rp = 0; rp < row_bounds.num_panels(); ++rp) {
     const std::int64_t rows = row_bounds.panel_width(rp);
     const std::int64_t nnz = a.row_begin(row_bounds.panel_end(rp)) -
                              a.row_begin(row_bounds.panel_begin(rp));
-    a_bytes[static_cast<std::size_t>(rp)] = PanelBytes(rows, nnz);
-    s.max_a = std::max(s.max_a, a_bytes[static_cast<std::size_t>(rp)]);
+    s->max_a = std::max(s->max_a, PanelBytes(rows, nnz));
   }
+}
 
-  std::vector<std::int64_t> b_nnz = ColPanelNnz(b, col_bounds);
-  std::vector<std::int64_t> b_bytes(static_cast<std::size_t>(nc));
-  for (int cp = 0; cp < nc; ++cp) {
-    b_bytes[static_cast<std::size_t>(cp)] =
-        PanelBytes(b.rows(), b_nnz[static_cast<std::size_t>(cp)]);
-    s.max_b = std::max(s.max_b, b_bytes[static_cast<std::size_t>(cp)]);
-  }
-
-  std::vector<ChunkDesc> chunks =
-      AnalyzeChunks(a, row_bounds, b, col_bounds, row_nnz_estimate);
+void SizeOutputChunks(const std::vector<ChunkDesc>& chunks,
+                      const PanelBoundaries& row_bounds,
+                      double nnz_safety_factor, ChunkSizing* s) {
   for (const ChunkDesc& c : chunks) {
     const std::int64_t rows = row_bounds.panel_width(c.row_panel);
     // Pipeline scratch: per-row flops + per-row nnz (int64 each).
@@ -68,9 +54,51 @@ ChunkSizing SizeChunks(const sparse::Csr& a, const PanelBoundaries& row_bounds,
                                   nnz_safety_factor) +
             1);
     const std::int64_t out = PanelBytes(rows, planned_nnz);
-    s.max_out = std::max(s.max_out, out);
-    s.max_working_set = std::max(s.max_working_set, scratch + out);
+    s->max_out = std::max(s->max_out, out);
+    s->max_working_set = std::max(s->max_working_set, scratch + out);
   }
+}
+
+ChunkSizing SizeChunks(const sparse::Csr& a, const PanelBoundaries& row_bounds,
+                       const sparse::Csr& b, const PanelBoundaries& col_bounds,
+                       const std::vector<double>* row_nnz_estimate,
+                       double nnz_safety_factor) {
+  ChunkSizing s;
+  const int nc = col_bounds.num_panels();
+  SizeAPanels(a, row_bounds, &s);
+
+  std::vector<std::int64_t> b_nnz = ColPanelNnz(b, col_bounds);
+  for (int cp = 0; cp < nc; ++cp) {
+    s.max_b = std::max(
+        s.max_b, PanelBytes(b.rows(), b_nnz[static_cast<std::size_t>(cp)]));
+  }
+
+  std::vector<ChunkDesc> chunks =
+      AnalyzeChunks(a, row_bounds, b, col_bounds, row_nnz_estimate);
+  SizeOutputChunks(chunks, row_bounds, nnz_safety_factor, &s);
+  return s;
+}
+
+/// Estimate-mode sizing: identical working-set accounting, but chunk stats
+/// come from EstimateChunks (O(rows + nr*nc)) and B's per-panel nnz is
+/// computed once per column candidate by the caller — no O(nnz) walk per
+/// row-search probe, which is where the exact planner spends its time.
+ChunkSizing SizeChunksEstimated(const sparse::Csr& a,
+                                const PanelBoundaries& row_bounds,
+                                const sparse::Csr& b,
+                                const PanelBoundaries& col_bounds,
+                                const std::vector<std::int64_t>& b_col_nnz,
+                                const estimate::ProductEstimate& est,
+                                double nnz_safety_factor) {
+  ChunkSizing s;
+  SizeAPanels(a, row_bounds, &s);
+  for (std::int64_t nnz : b_col_nnz) {
+    s.max_b = std::max(s.max_b, PanelBytes(b.rows(), nnz));
+  }
+  std::vector<ChunkDesc> chunks =
+      EstimateChunks(row_bounds, col_bounds, est.row_nnz, est.row_products,
+                     b_col_nnz, b.nnz());
+  SizeOutputChunks(chunks, row_bounds, nnz_safety_factor, &s);
   return s;
 }
 
@@ -113,10 +141,30 @@ StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
 
   // Sampled-symbolic row-nnz prediction (full output width; independent of
   // the panel boundaries, so computed once for the whole search).  The same
-  // per-row weights drive the work-balanced row boundaries.
+  // per-row weights drive the work-balanced row boundaries.  In estimate
+  // mode the structure-only sampling estimator replaces the exact walk
+  // (reusing admission's estimate via the hint when shapes match).
   std::vector<double> row_estimate;
   const std::vector<double>* estimate_ptr = nullptr;
-  if (options.nnz_sample_fraction > 0.0) {
+  estimate::ProductEstimate local_est;
+  const estimate::ProductEstimate* sampled_est = nullptr;
+  if (options.use_sampling_estimator) {
+    if (options.estimate_hint != nullptr &&
+        options.estimate_hint->row_nnz.size() ==
+            static_cast<std::size_t>(a.rows())) {
+      sampled_est = options.estimate_hint.get();
+    } else {
+      estimate::EstimatorOptions eopts;
+      if (options.nnz_sample_fraction > 0.0) {
+        eopts.row_sample_fraction = options.nnz_sample_fraction;
+      }
+      eopts.seed = options.estimator_seed;
+      local_est = estimate::EstimateProduct(a, b, eopts);
+      sampled_est = &local_est;
+    }
+    row_estimate = sampled_est->row_nnz;
+    estimate_ptr = &row_estimate;
+  } else if (options.nnz_sample_fraction > 0.0) {
     row_estimate =
         sparse::EstimateRowNnz(a, b, options.nnz_sample_fraction).per_row;
     estimate_ptr = &row_estimate;
@@ -151,10 +199,19 @@ StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
     const int max_nr =
         std::min<int>(options.max_panels_per_dim, std::max(1, a.rows()));
 
+    // Estimate mode hoists the O(nnz(B)) column sweep out of the row
+    // search: every probe below is then O(rows + nr * nc).
+    std::vector<std::int64_t> b_col_nnz;
+    if (sampled_est != nullptr) b_col_nnz = ColPanelNnz(b, cb);
+
     auto fits = [&](int nr, ChunkSizing* out_sizing) {
       PanelBoundaries rb = row_bounds_for(nr);
       ChunkSizing s =
-          SizeChunks(a, rb, b, cb, estimate_ptr, options.nnz_safety_factor);
+          sampled_est != nullptr
+              ? SizeChunksEstimated(a, rb, b, cb, b_col_nnz, *sampled_est,
+                                    options.nnz_safety_factor)
+              : SizeChunks(a, rb, b, cb, estimate_ptr,
+                           options.nnz_safety_factor);
       if (out_sizing) *out_sizing = s;
       // Panel cache: two slots per matrix so uploads can double-buffer.
       return 2 * (s.max_a + s.max_b) + s.max_working_set * options.buffers <=
@@ -189,6 +246,11 @@ StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
     plan.max_b_panel_bytes = s.max_b;
     plan.max_output_bytes = s.max_out;
     plan.row_nnz_estimate = row_estimate;
+    if (sampled_est != nullptr) {
+      plan.estimated = true;
+      plan.row_products_estimate = sampled_est->row_products;
+      plan.estimate_rel_stderr = sampled_est->rel_stderr;
+    }
     return plan;
   }
   return Status::FailedPrecondition(

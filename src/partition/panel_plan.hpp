@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.hpp"
+#include "estimate/estimator.hpp"
 #include "partition/chunk.hpp"
 #include "partition/panels.hpp"
 #include "sparse/csr.hpp"
@@ -39,6 +41,19 @@ struct PlanOptions {
   /// every job so a cached B panel stays valid from job to job; the planner
   /// then fails outright if no row split fits under that choice.
   int forced_col_panels = 0;
+  /// Estimation-based planning (OCEAN): replace the sampled-symbolic
+  /// analysis (EstimateRowNnz + AnalyzeChunks, O(nnz) walks per search
+  /// probe) with the structure-only estimate::EstimateProduct.  Panel
+  /// balancing, pool sizing and chunk seeding then come from estimates;
+  /// PanelPlan::estimated marks the result so executors correct run stats
+  /// from exact per-chunk counts as they execute.
+  bool use_sampling_estimator = false;
+  /// Seed for the sampling estimator (estimates are deterministic in it).
+  std::uint64_t estimator_seed = 1;
+  /// Optional precomputed estimate for this exact (A, B) pair — admission
+  /// already paid for one; shared_ptr so the hint survives job copies.
+  /// Ignored (recomputed) when its row count does not match A.
+  std::shared_ptr<const estimate::ProductEstimate> estimate_hint;
 };
 
 struct PanelPlan {
@@ -60,6 +75,16 @@ struct PanelPlan {
   std::int64_t max_a_panel_bytes = 0;
   std::int64_t max_b_panel_bytes = 0;
   std::int64_t max_output_bytes = 0;
+
+  /// True when the plan was built by the sampling estimator: row_nnz_estimate
+  /// / row_products_estimate are estimate::EstimateProduct outputs, chunk
+  /// stats seeded from them are estimates, and executors report exact flops
+  /// from per-chunk counts instead of trusting the plan.
+  bool estimated = false;
+  /// Per-row estimated multiply counts (only when estimated).
+  std::vector<double> row_products_estimate;
+  /// The estimate's SRS relative standard error (only when estimated).
+  double estimate_rel_stderr = 0.0;
 
   std::string DebugString() const;
 };

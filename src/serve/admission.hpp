@@ -16,16 +16,37 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 
+#include "common/saturating.hpp"
 #include "common/status.hpp"
 #include "core/executor_options.hpp"
 #include "core/spgemm.hpp"
+#include "estimate/estimator.hpp"
 #include "sparse/csr.hpp"
 
 namespace oocgemm::serve {
 
-/// Estimated resource footprint of one SpGEMM job.
+/// How Submit prices a job before admitting it.
+///  * kExact — the original path: sparse::TotalFlops + the sampled-symbolic
+///    EstimateRowNnz (runs real symbolic multiplies on sampled rows) + an
+///    exact-analysis panel plan.  O(nnz) and then some, per submission.
+///  * kEstimate — the OCEAN path: estimate::EstimateProduct (structure-only
+///    strided draws) + an estimate-seeded panel plan.  Falls back to kExact
+///    per job when the estimator's own variance check says the sample is
+///    unreliable.
+enum class AdmissionMode { kExact, kEstimate };
+
+const char* AdmissionModeName(AdmissionMode mode);
+/// Parses "exact" / "estimate"; returns false on anything else.
+bool ParseAdmissionMode(const std::string& text, AdmissionMode* mode);
+
+/// Estimated resource footprint of one SpGEMM job.  All byte/flop sums are
+/// saturating: demand formed from huge synthetic shapes clamps to
+/// INT64_MAX instead of wrapping negative (and then passing every budget
+/// check) — Admit rejects saturated demand outright.
 struct JobDemand {
   std::int64_t flops = 0;
   double est_nnz_out = 0.0;
@@ -34,8 +55,18 @@ struct JobDemand {
   /// Estimated host bytes of the assembled product.
   std::int64_t est_bytes_out = 0;
   /// Inputs + estimated output: what one in-flight copy of the job pins in
-  /// host memory.
-  std::int64_t host_bytes() const { return bytes_a + bytes_b + est_bytes_out; }
+  /// host memory.  Saturating.
+  std::int64_t host_bytes() const {
+    return common::SaturatingAdd(common::SaturatingAdd(bytes_a, bytes_b),
+                                 est_bytes_out);
+  }
+  /// True when any byte quantity clamped at the int64 rail: the real
+  /// footprint is unrepresentable, so the job can never be admitted.
+  bool overflowed() const {
+    return common::IsSaturated(bytes_a) || common::IsSaturated(bytes_b) ||
+           common::IsSaturated(est_bytes_out) ||
+           common::IsSaturated(host_bytes());
+  }
 
   /// True when the panel planner found a partitioning that fits the device.
   bool gpu_feasible = false;
@@ -44,12 +75,35 @@ struct JobDemand {
   /// Device bytes the asynchronous pipeline will pre-allocate under that
   /// plan: double-buffered chunk pools plus the panel-cache slots.
   std::int64_t planned_device_bytes = 0;
+
+  /// True when the demand was priced by the sampling estimator.
+  bool estimated = false;
+  /// True when estimate mode was requested but the estimator's variance
+  /// check failed and the exact path priced the job instead.
+  bool estimator_fallback = false;
+  /// The estimator's relative standard error (estimated demand only).
+  double est_rel_stderr = 0.0;
+  /// Host wall seconds the demand analysis took (either path) — the
+  /// quantity the estimate path is built to shrink.
+  double analysis_seconds = 0.0;
+  /// The structure estimate behind an estimated demand; the server threads
+  /// it into ExecutorOptions::plan as the planner's hint so the job's run
+  /// never re-estimates.
+  std::shared_ptr<const estimate::ProductEstimate> estimate;
 };
 
-/// Runs the estimators; never touches the device.
+/// Runs the exact estimators; never touches the device.
 JobDemand EstimateJobDemand(const sparse::Csr& a, const sparse::Csr& b,
                             std::int64_t device_capacity,
                             const core::ExecutorOptions& exec);
+
+/// The estimate-mode path: prices the job from estimate::EstimateProduct
+/// and an estimate-seeded plan; falls back to EstimateJobDemand (setting
+/// estimator_fallback) when the sample is unreliable.
+JobDemand EstimateJobDemandSampled(const sparse::Csr& a, const sparse::Csr& b,
+                                   std::int64_t device_capacity,
+                                   const core::ExecutorOptions& exec,
+                                   const estimate::EstimatorOptions& opts);
 
 struct AdmissionLimits {
   /// Ceiling on the summed host_bytes() of admitted, not-yet-finished jobs.

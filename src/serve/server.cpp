@@ -80,8 +80,27 @@ std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
     job.options.timeout_seconds = config_.default_timeout_seconds;
   }
 
-  JobDemand demand = EstimateJobDemand(
-      *job.a, *job.b, devices_.max_device_capacity(), job.options.exec);
+  const bool use_estimate = config_.admission_mode == AdmissionMode::kEstimate;
+  JobDemand demand =
+      use_estimate
+          ? EstimateJobDemandSampled(*job.a, *job.b,
+                                     devices_.max_device_capacity(),
+                                     job.options.exec, config_.estimator)
+          : EstimateJobDemand(*job.a, *job.b, devices_.max_device_capacity(),
+                              job.options.exec);
+  obs::MetricsRegistry::Default()
+      .GetCounter("oocgemm_estimate_admissions_total",
+                  {{"mode", demand.estimated ? "estimate" : "exact"}},
+                  "Admission decisions by the demand path that priced them "
+                  "(estimate-mode fallbacks count as exact)")
+      .Add(1);
+  if (demand.estimated) {
+    // The run should plan and order chunks from the estimate admission
+    // already paid for — not re-run the exact analysis.
+    job.options.exec.plan.use_sampling_estimator = true;
+    job.options.exec.plan.estimator_seed = config_.estimator.seed;
+    job.options.exec.plan.estimate_hint = demand.estimate;
+  }
   Status admitted = admission_.Admit(demand, job.options.mode);
   if (!admitted.ok()) {
     return Reject(id, std::move(admitted), job.options.tenant);

@@ -47,6 +47,14 @@ struct ServerConfig {
   /// Bound of the pending-job queue; pushes beyond it are rejections.
   std::size_t max_queue = 64;
   AdmissionLimits admission;
+  /// How Submit prices jobs: kExact runs the full analysis pass per
+  /// submission; kEstimate prices from the OCEAN sampling estimator (with
+  /// per-job fallback to exact when the sample is unreliable) and seeds the
+  /// job's panel plan and chunk order from the same estimate.
+  AdmissionMode admission_mode = AdmissionMode::kExact;
+  /// Sampling estimator configuration for kEstimate (seed, sample rate,
+  /// variance cutoff).
+  estimate::EstimatorOptions estimator;
   /// Applied when a job's own timeout_seconds is 0.
   double default_timeout_seconds = 0.0;
 

@@ -161,6 +161,48 @@ TEST(MetricsHistogram, EmptyQuantileIsZero) {
   EXPECT_EQ(snap.count, 0);
   EXPECT_EQ(snap.Quantile(0.5), 0.0);
   EXPECT_EQ(snap.Mean(), 0.0);
+  // Degenerate q on an empty histogram stays {0, 0} too.
+  EXPECT_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_EQ(snap.Quantile(1.0), 0.0);
+  EXPECT_EQ(snap.Quantile(std::nan("")), 0.0);
+}
+
+// Regression: a single recorded sample used to hit the bucket arithmetic
+// with rank 0 at q=0.0 (reading bucket -1) and, for a negative sample, the
+// min/max clamp inverted against the zero bucket's [0, 0] bounds.  One
+// sample must simply report itself at every q.
+TEST(MetricsHistogram, SingleSampleQuantileIsTheSample) {
+  for (double v : {3.75, -2.5, 0.0}) {
+    SCOPED_TRACE("sample=" + std::to_string(v));
+    LogBucketHistogram hist(&kOn);
+    hist.Record(v);
+    const HistogramSnapshot snap = hist.Snapshot();
+    ASSERT_EQ(snap.count, 1);
+    for (double q : {0.0, 0.25, 0.5, 1.0}) {
+      const auto bounds = snap.QuantileBounds(q);
+      EXPECT_EQ(bounds.first, v) << "q=" << q;
+      EXPECT_EQ(bounds.second, v) << "q=" << q;
+    }
+  }
+}
+
+// q outside [0, 1] clamps; q=0.0 reports the min bucket, q=1.0 the max
+// bucket, and NaN q returns {0, 0} instead of poisoning the rank index.
+TEST(MetricsHistogram, QuantileEdgeArgumentsAreWellDefined) {
+  LogBucketHistogram hist(&kOn);
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) hist.Record(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+
+  const auto lo = snap.QuantileBounds(0.0);
+  EXPECT_LE(lo.first, 1.0);
+  EXPECT_GE(lo.second * snap.growth, 1.0);
+  const auto hi = snap.QuantileBounds(1.0);
+  EXPECT_EQ(hi.second, snap.max);
+  EXPECT_EQ(snap.QuantileBounds(-3.0), snap.QuantileBounds(0.0));
+  EXPECT_EQ(snap.QuantileBounds(7.0), snap.QuantileBounds(1.0));
+  const auto nan_bounds = snap.QuantileBounds(std::nan(""));
+  EXPECT_EQ(nan_bounds.first, 0.0);
+  EXPECT_EQ(nan_bounds.second, 0.0);
 }
 
 TEST(MetricsRegistryApi, InstrumentsAccumulateAndSnapshotReads) {

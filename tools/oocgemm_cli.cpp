@@ -9,6 +9,8 @@
 //               [--timeout=0] [--seed=1] [--report=r.json]
 //               [--fault-spec=dev1:kernel:nth=40] [--fault-seed=1]
 //               [--metrics-out=m.prom] [--metrics-interval=0.5]
+//               [--admission=exact|estimate] [--estimator-seed=S]
+//               [--estimator-sample=F]
 //               [--shards=N] [--replication=R] [--route=affinity|random]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
@@ -32,6 +34,14 @@
 // --metrics-out=PATH exports the live metrics registry: Prometheus text at
 // PATH and JSON at PATH.json, rewritten every --metrics-interval seconds
 // while serving plus once at shutdown (see src/obs/).
+// --admission=estimate prices submissions with the OCEAN-style sampling
+// estimator (src/estimate/) instead of the exact analysis pass, falling
+// back to exact per job when the sample's variance check fails;
+// --estimator-seed seeds the sampling draws (same seed, same estimates)
+// and --estimator-sample overrides the row-sample fraction (default 0.05).
+// Serve flags are validated up front: an unknown --route or --admission
+// value, or a non-positive --shards or --replication, prints the usage
+// text and exits nonzero instead of being silently clamped.
 // --shards=N (N >= 2) serves through the fleet router instead of a single
 // server: N in-process shards of --devices GPUs each, consistent-hash
 // B-operand placement (--route=affinity, the default) or a uniform random
@@ -122,6 +132,8 @@ int Usage() {
       "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify] "
       "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S] "
       "[--metrics-out=M.prom] [--metrics-interval=SEC] "
+      "[--admission=exact|estimate] [--estimator-seed=S] "
+      "[--estimator-sample=F] "
       "[--shards=N] [--replication=R] [--route=affinity|random]\n");
   return 2;
 }
@@ -326,11 +338,66 @@ int InstallFaultInjectors(
   return 0;
 }
 
+// Admission configuration shared by the single-server and fleet paths,
+// parsed and validated once before any devices are built.
+struct ServeAdmission {
+  serve::AdmissionMode mode = serve::AdmissionMode::kExact;
+  estimate::EstimatorOptions estimator;
+};
+
+// Strict up-front validation of the serve flags: an unknown --route or
+// --admission value, or a non-positive --shards or --replication, is a
+// usage error (exit 2), not something to clamp quietly.  Fills `adm` from
+// --admission / --estimator-seed / --estimator-sample on success.
+int ValidateServeFlags(const Args& args, ServeAdmission* adm) {
+  const std::string admission = args.Flag("admission", "exact");
+  if (!serve::ParseAdmissionMode(admission, &adm->mode)) {
+    std::fprintf(stderr, "--admission=%s: want exact or estimate\n",
+                 admission.c_str());
+    return Usage();
+  }
+  adm->estimator.seed =
+      static_cast<std::uint64_t>(args.FlagD("estimator-seed", 1));
+  if (args.Has("estimator-sample")) {
+    const double sample = args.FlagD("estimator-sample", 0.05);
+    if (!(sample > 0.0) || sample > 1.0) {
+      std::fprintf(stderr,
+                   "--estimator-sample=%s: want a fraction in (0, 1]\n",
+                   args.Flag("estimator-sample", "").c_str());
+      return Usage();
+    }
+    adm->estimator.row_sample_fraction = sample;
+  }
+  const std::string route = args.Flag("route", "affinity");
+  if (route != "affinity" && route != "random") {
+    std::fprintf(stderr, "--route=%s: want affinity or random\n",
+                 route.c_str());
+    return Usage();
+  }
+  if (args.Has("shards")) {
+    const int shards = static_cast<int>(args.FlagD("shards", 2));
+    if (shards < 2) {
+      std::fprintf(stderr, "--shards=%d: a fleet needs at least 2 shards\n",
+                   shards);
+      return Usage();
+    }
+  }
+  if (args.Has("replication")) {
+    const int replication = static_cast<int>(args.FlagD("replication", 1));
+    if (replication <= 0) {
+      std::fprintf(stderr, "--replication=%d: want a positive replica count\n",
+                   replication);
+      return Usage();
+    }
+  }
+  return 0;
+}
+
 // Sharded serving through the fleet router: a shared-operand multi-tenant
 // workload (every job draws its B from a small common pool, so affinity
 // placement has batches and panel reuse to win) in explicit out-of-core
 // device mode, so a shard whose pool died must fail over across the ring.
-int ServeFleet(const Args& args) {
+int ServeFleet(const Args& args, const ServeAdmission& adm) {
   const int jobs = static_cast<int>(args.FlagD("jobs", 64));
   const double load = args.FlagD("load", 0.0);
   const double mem_mib = args.FlagD("device-mem", 1.0);
@@ -339,19 +406,8 @@ int ServeFleet(const Args& args) {
   const int shards = static_cast<int>(args.FlagD("shards", 2));
   const int devices_per_shard =
       std::max(1, static_cast<int>(args.FlagD("devices", 1)));
-  const int replication =
-      std::max(1, static_cast<int>(args.FlagD("replication", 1)));
+  const int replication = static_cast<int>(args.FlagD("replication", 1));
   const std::string route = args.Flag("route", "affinity");
-  if (shards < 2) {
-    std::fprintf(stderr, "--shards=%d: a fleet needs at least 2 shards\n",
-                 shards);
-    return 2;
-  }
-  if (route != "affinity" && route != "random") {
-    std::fprintf(stderr, "--route=%s: want affinity or random\n",
-                 route.c_str());
-    return 2;
-  }
 
   vgpu::DeviceProperties props = vgpu::ScaledV100Properties(10);
   props.memory_bytes = static_cast<std::int64_t>(mem_mib * (1 << 20));
@@ -378,6 +434,8 @@ int ServeFleet(const Args& args) {
   config.shard.scheduler.max_batch_jobs = batch;
   config.shard.max_queue = static_cast<std::size_t>(args.FlagD("queue", jobs));
   config.shard.default_timeout_seconds = args.FlagD("timeout", 0.0);
+  config.shard.admission_mode = adm.mode;
+  config.shard.estimator = adm.estimator;
   config.policy = route == "random" ? fleet::RoutingPolicy::kRandom
                                     : fleet::RoutingPolicy::kAffinity;
   config.replication.replication = replication;
@@ -458,7 +516,9 @@ int ServeFleet(const Args& args) {
 // mix of small ER products, medium R-MAT squarings and an occasional large
 // one, with randomized priorities and executor preferences.
 int Serve(const Args& args) {
-  if (args.Has("shards")) return ServeFleet(args);
+  ServeAdmission adm;
+  if (int rc = ValidateServeFlags(args, &adm)) return rc;
+  if (args.Has("shards")) return ServeFleet(args, adm);
   const int jobs = static_cast<int>(args.FlagD("jobs", 64));
   const double load = args.FlagD("load", 0.0);
   const double mem_mib = args.FlagD("device-mem", 1.0);
@@ -490,6 +550,8 @@ int Serve(const Args& args) {
   config.max_queue =
       static_cast<std::size_t>(args.FlagD("queue", jobs));
   config.default_timeout_seconds = args.FlagD("timeout", 0.0);
+  config.admission_mode = adm.mode;
+  config.estimator = adm.estimator;
   config.metrics_path = args.Flag("metrics-out", "");
   config.metrics_interval_seconds = args.FlagD("metrics-interval", 0.5);
   serve::SpgemmServer server(device_ptrs, pool, config);
