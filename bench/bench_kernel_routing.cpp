@@ -1,0 +1,142 @@
+// Adaptive kernel routing vs forced single-strategy SpGEMM (PR 8).
+//
+// The registry routes each work class of rows to the accumulator the cost
+// model picks (kernel_registry.hpp); this bench measures what that routing
+// buys on three structural classes — skewed (R-MAT power law), uniform
+// (Erdos-Renyi) and banded (regular stencil) — against forcing each single
+// strategy everywhere.  Expectation: adaptive tracks the best forced
+// strategy on every class (no single strategy wins all three), and on the
+// skewed input it beats the best *single* forced choice because heavy and
+// tiny rows want different kernels.
+//
+// Emits BENCH_routing.json; exits nonzero when adaptive is more than 10%
+// slower than the best forced strategy on any class (the routing-matrix CI
+// gate).
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "kernels/cpu_spgemm.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "sparse/generators.hpp"
+
+int main() {
+  using namespace oocgemm;
+  bench::PrintHeader(
+      "Adaptive kernel routing vs forced accumulator strategies",
+      "registry cost-model routing (Liu-Vinter binning over Sec. II-B)",
+      "adaptive within 10% of the best forced strategy on every class; "
+      "no forced strategy is best on all classes");
+
+  struct InputClass {
+    std::string name;
+    sparse::Csr a;
+  };
+  std::vector<InputClass> classes;
+  {
+    sparse::RmatParams p;
+    p.scale = 17;
+    p.edge_factor = 4.0;
+    p.seed = 21;
+    classes.push_back({"skewed", sparse::GenerateRmat(p)});
+  }
+  {
+    sparse::ErdosRenyiParams p;
+    p.rows = p.cols = 4096;
+    p.avg_degree = 14.0;
+    p.seed = 22;
+    classes.push_back({"uniform", sparse::GenerateErdosRenyi(p)});
+  }
+  {
+    sparse::BandedParams p;
+    p.n = 4096;
+    p.half_bandwidth = 12;
+    p.seed = 23;
+    classes.push_back({"banded", sparse::GenerateBanded(p)});
+  }
+
+  ThreadPool pool;
+  auto run_once = [&](const sparse::Csr& a, kernels::AccumulatorKind kind) {
+    kernels::CpuSpgemmOptions options;
+    options.accumulator = kind;
+    WallTimer timer;
+    sparse::Csr c = kernels::CpuSpgemm(a, a, pool, options);
+    return timer.Seconds();
+  };
+
+  TablePrinter table({"class", "rows", "nnz(A)", "adaptive", "hash", "dense",
+                      "sort", "merge", "best forced", "adaptive/best"});
+  std::ostringstream per_class;
+  bool gate_ok = true;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const InputClass& input = classes[i];
+    // Small inputs get more repetitions: their few-ms runs are the ones
+    // machine noise can swamp.  Rounds interleave all five configurations
+    // (best-of per configuration) so load drift hits each one equally, and
+    // an untimed warmup absorbs first-touch costs.
+    const int reps = input.a.rows() <= 8192 ? 7 : 2;
+    (void)run_once(input.a, kernels::AccumulatorKind::kAuto);
+    double adaptive = 1e300;
+    std::vector<std::pair<std::string, double>> forced;
+    for (kernels::AccumulatorKind kind : kernels::kAllStrategies) {
+      forced.emplace_back(kernels::AccumulatorKindName(kind), 1e300);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      adaptive = std::min(
+          adaptive, run_once(input.a, kernels::AccumulatorKind::kAuto));
+      for (std::size_t k = 0; k < kernels::kAllStrategies.size(); ++k) {
+        forced[k].second = std::min(
+            forced[k].second, run_once(input.a, kernels::kAllStrategies[k]));
+      }
+    }
+    double best_forced = 1e300;
+    std::string best_name;
+    for (const auto& [name, t] : forced) {
+      if (t < best_forced) {
+        best_forced = t;
+        best_name = name;
+      }
+    }
+    const double ratio = adaptive / best_forced;
+    gate_ok = gate_ok && ratio <= 1.10;
+    table.AddRow({input.name, std::to_string(input.a.rows()),
+                  std::to_string(input.a.nnz()), HumanSeconds(adaptive),
+                  HumanSeconds(forced[0].second), HumanSeconds(forced[1].second),
+                  HumanSeconds(forced[2].second), HumanSeconds(forced[3].second),
+                  best_name, Fixed(ratio, 3)});
+    if (i > 0) per_class << ",\n";
+    per_class << "    {\"class\": \"" << input.name << "\""
+              << ", \"rows\": " << input.a.rows()
+              << ", \"nnz\": " << input.a.nnz()
+              << ", \"adaptive_seconds\": " << adaptive
+              << ", \"best_forced\": \"" << best_name << "\""
+              << ", \"best_forced_seconds\": " << best_forced
+              << ", \"adaptive_over_best_forced\": " << ratio;
+    for (const auto& [name, t] : forced) {
+      per_class << ", \"" << name << "_seconds\": " << t;
+    }
+    per_class << "}";
+  }
+  table.Print();
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"kernel_routing\",\n"
+       << "  \"tolerance\": 1.10,\n"
+       << "  \"gate_ok\": " << (gate_ok ? 1 : 0) << ",\n"
+       << "  \"per_class\": [\n"
+       << per_class.str() << "\n  ]\n}\n";
+  if (!bench::WriteBenchJson("BENCH_routing.json", json.str())) return 1;
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive routing more than 10%% slower than the best "
+                 "forced strategy on at least one class\n");
+    return 1;
+  }
+  std::printf("\nadaptive within 10%% of best forced on every class\n");
+  return 0;
+}

@@ -29,7 +29,8 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
                           const ExecutorOptions& options, ThreadPool& pool) {
   CpuRunOutput out;
   const kernels::CostModel& cm = options.spgemm.cost_model;
-  kernels::CpuSpgemmOptions cpu_options;  // hash accumulator, as in the paper
+  kernels::CpuSpgemmOptions cpu_options;
+  cpu_options.accumulator = prep.plan.accumulator;  // route as planned
   auto& chunk_err = obs::MetricsRegistry::Default().GetHistogram(
       "oocgemm_estimate_chunk_flops_rel_error", {},
       "Relative error |estimated - exact| / exact of per-chunk flop "

@@ -34,7 +34,11 @@ StatusOr<PreparedProblem> PrepareProblem(const sparse::Csr& a,
                                    a.DebugString() + ", B is " +
                                    b.DebugString());
   }
-  auto plan = partition::PlanPanels(a, b, device_capacity, options.plan);
+  // The executor's kernel choice rides on the plan so every later stage
+  // (GPU pipeline, CPU runner, serve retries) routes the same way.
+  partition::PlanOptions plan_options = options.plan;
+  plan_options.accumulator = options.spgemm.accumulator;
+  auto plan = partition::PlanPanels(a, b, device_capacity, plan_options);
   if (!plan.ok()) return plan.status();
 
   PreparedProblem prep;
@@ -60,8 +64,10 @@ StatusOr<std::vector<PreparedProblem>> PrepareSharedOperandProblems(
           b.DebugString());
     }
   }
+  partition::PlanOptions plan_options = options.plan;
+  plan_options.accumulator = options.spgemm.accumulator;
   auto plans = partition::PlanSharedOperandPanels(as, b, device_capacity,
-                                                  options.plan);
+                                                  plan_options);
   if (!plans.ok()) return plans.status();
 
   // One partition of B for the whole batch (every plan's col_bounds agree).

@@ -55,15 +55,13 @@ double SolveEffectiveWidth(double distinct, double products) {
   return std::sqrt(lo * hi);
 }
 
-// Occupancy extrapolation: expected distinct count after `products` draws
-// into an effective width `w`.
+}  // namespace
+
 double OccupancyDistinct(double w, double products) {
   if (!std::isfinite(w)) return products;
   if (w <= 0.0) return 0.0;
   return w * (1.0 - std::exp(-products / w));
 }
-
-}  // namespace
 
 ProductEstimate EstimateProduct(const sparse::Csr& a, const sparse::Csr& b,
                                 const EstimatorOptions& opts) {

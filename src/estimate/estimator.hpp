@@ -97,4 +97,11 @@ struct PanelTotals {
 PanelTotals AccumulatePanels(const ProductEstimate& est,
                              const std::vector<sparse::index_t>& bounds);
 
+/// Occupancy extrapolation: expected distinct count after `products` draws
+/// into an effective width `effective_width` — D = W*(1 - exp(-P/W)).  The
+/// same model the estimator fits per sampled row; exported so the kernel
+/// router can turn a row's product count into an expected output density
+/// without a symbolic pass.
+double OccupancyDistinct(double effective_width, double products);
+
 }  // namespace oocgemm::estimate

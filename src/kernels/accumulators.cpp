@@ -9,6 +9,12 @@ std::int64_t NextPow2(std::int64_t v) {
   return p;
 }
 
+int Log2Pow2(std::int64_t pow2) {
+  int lg = 0;
+  while ((static_cast<std::int64_t>(1) << lg) < pow2) ++lg;
+  return lg;
+}
+
 std::uint64_t MixHash(index_t col) {
   // Fibonacci hashing of the column id.
   return static_cast<std::uint64_t>(static_cast<std::uint32_t>(col)) *
@@ -23,8 +29,16 @@ void HashAccumulator::Reserve(std::int64_t max_entries) {
 
 std::int64_t HashAccumulator::FindSlot(index_t col) {
   const std::int64_t mask = capacity() - 1;
-  std::int64_t slot = static_cast<std::int64_t>(MixHash(col) >> 32) & mask;
+  // Top bits of the Fibonacci product, not middle bits masked off: the
+  // multiply pushes its best-mixed bits to the top of the word, and taking
+  // `(hash >> 32) & mask` instead selects a fixed middle window on which
+  // structured key families (e.g. column ids a constant stride apart, or
+  // powers of two) coincide — every such key then lands in one slot and
+  // linear probing degrades to an O(n^2) crawl.  See the crafted-key
+  // regression test in test_kernels_accumulators.cpp.
+  std::int64_t slot = static_cast<std::int64_t>(MixHash(col) >> shift_);
   for (;;) {
+    ++probes_;
     const index_t k = keys_[static_cast<std::size_t>(slot)];
     if (k == col || k == kEmpty) return slot;
     slot = (slot + 1) & mask;
@@ -39,6 +53,7 @@ void HashAccumulator::Grow(std::int64_t min_capacity) {
                    NextPow2(std::max<std::int64_t>(16, min_capacity))),
                kEmpty);
   vals_.assign(keys_.size(), 0.0);
+  shift_ = 64 - Log2Pow2(capacity());
   used_.clear();
   used_.reserve(keys_.size() / 2);
   for (std::int64_t slot : old_used) {
@@ -60,6 +75,17 @@ void HashAccumulator::Add(index_t col, value_t v) {
 }
 
 void HashAccumulator::AddSymbolic(index_t col) { Add(col, 0.0); }
+
+void HashAccumulator::AddRun(const index_t* cols, const value_t* vals,
+                             offset_t n, value_t scale) {
+  for (offset_t i = 0; i < n; ++i) {
+    Add(cols[i], vals ? scale * vals[i] : 0.0);
+  }
+}
+
+void HashAccumulator::AddRunSymbolic(const index_t* cols, offset_t n) {
+  AddRun(cols, nullptr, n, 0.0);
+}
 
 std::int64_t HashAccumulator::ExtractSorted(index_t* cols_out,
                                             value_t* vals_out) {
@@ -100,6 +126,17 @@ void DenseAccumulator::Add(index_t col, value_t v) {
 
 void DenseAccumulator::AddSymbolic(index_t col) { Add(col, 0.0); }
 
+void DenseAccumulator::AddRun(const index_t* cols, const value_t* vals,
+                              offset_t n, value_t scale) {
+  for (offset_t i = 0; i < n; ++i) {
+    Add(cols[i], vals ? scale * vals[i] : 0.0);
+  }
+}
+
+void DenseAccumulator::AddRunSymbolic(const index_t* cols, offset_t n) {
+  AddRun(cols, nullptr, n, 0.0);
+}
+
 std::int64_t DenseAccumulator::ExtractSorted(index_t* cols_out,
                                              value_t* vals_out) {
   std::sort(touched_.begin(), touched_.end());
@@ -119,6 +156,172 @@ void DenseAccumulator::Clear() {
     stamp_.assign(stamp_.size(), 0);
     generation_ = 1;
   }
+}
+
+void SortMergeAccumulator::Reserve(std::int64_t max_entries) {
+  entries_.reserve(static_cast<std::size_t>(std::max<std::int64_t>(0, max_entries)));
+}
+
+void SortMergeAccumulator::Add(index_t col, value_t v) {
+  entries_.emplace_back(col, v);
+  finalized_ = false;
+}
+
+void SortMergeAccumulator::AddRun(const index_t* cols, const value_t* vals,
+                                  offset_t n, value_t scale) {
+  for (offset_t i = 0; i < n; ++i) {
+    entries_.emplace_back(cols[i], vals ? scale * vals[i] : 0.0);
+  }
+  if (n > 0) finalized_ = false;
+}
+
+void SortMergeAccumulator::AddRunSymbolic(const index_t* cols, offset_t n) {
+  AddRun(cols, nullptr, n, 0.0);
+}
+
+void SortMergeAccumulator::Finalize() {
+  if (finalized_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const std::pair<index_t, value_t>& a,
+               const std::pair<index_t, value_t>& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].first == entries_[i].first) {
+      entries_[out - 1].second += entries_[i].second;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+  finalized_ = true;
+}
+
+std::int64_t SortMergeAccumulator::size() {
+  Finalize();
+  return static_cast<std::int64_t>(entries_.size());
+}
+
+std::int64_t SortMergeAccumulator::ExtractSorted(index_t* cols_out,
+                                                 value_t* vals_out) {
+  Finalize();
+  std::int64_t n = 0;
+  for (const auto& [col, val] : entries_) {
+    cols_out[n] = col;
+    if (vals_out) vals_out[n] = val;
+    ++n;
+  }
+  return n;
+}
+
+void SortMergeAccumulator::Clear() {
+  entries_.clear();
+  finalized_ = false;
+}
+
+void RowMergeAccumulator::Reserve(std::int64_t max_entries) {
+  const std::size_t want =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, max_entries));
+  cols_.reserve(want);
+  vals_.reserve(want);
+}
+
+void RowMergeAccumulator::Add(index_t col, value_t v) {
+  run_begin_.push_back(cols_.size());
+  cols_.push_back(col);
+  vals_.push_back(v);
+  finalized_ = false;
+}
+
+void RowMergeAccumulator::AddRun(const index_t* cols, const value_t* vals,
+                                 offset_t n, value_t scale) {
+  if (n <= 0) return;
+  run_begin_.push_back(cols_.size());
+  cols_.insert(cols_.end(), cols, cols + n);
+  if (vals) {
+    for (offset_t i = 0; i < n; ++i) vals_.push_back(scale * vals[i]);
+  } else {
+    vals_.insert(vals_.end(), static_cast<std::size_t>(n), 0.0);
+  }
+  finalized_ = false;
+}
+
+void RowMergeAccumulator::AddRunSymbolic(const index_t* cols, offset_t n) {
+  AddRun(cols, nullptr, n, 0.0);
+}
+
+void RowMergeAccumulator::AppendRun(std::size_t lo, std::size_t hi,
+                                    std::size_t tail_begin) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (merge_cols_.size() > tail_begin && merge_cols_.back() == cols_[i]) {
+      merge_vals_.back() += vals_[i];
+    } else {
+      merge_cols_.push_back(cols_[i]);
+      merge_vals_.push_back(vals_[i]);
+    }
+  }
+}
+
+void RowMergeAccumulator::Finalize() {
+  if (finalized_) return;
+  // Pairwise (binary) merge rounds: each round halves the run count,
+  // merging adjacent sorted runs two at a time and summing equal columns
+  // where they meet.  All passes are sequential scans.
+  while (run_begin_.size() > 1) {
+    merge_cols_.clear();
+    merge_vals_.clear();
+    std::vector<std::size_t> next_begin;
+    run_begin_.push_back(cols_.size());  // sentinel for this round
+    for (std::size_t r = 0; r + 1 < run_begin_.size(); r += 2) {
+      next_begin.push_back(merge_cols_.size());
+      const std::size_t tail = merge_cols_.size();
+      if (r + 2 < run_begin_.size()) {
+        std::size_t i = run_begin_[r], iend = run_begin_[r + 1];
+        std::size_t j = run_begin_[r + 1], jend = run_begin_[r + 2];
+        while (i < iend && j < jend) {
+          std::size_t* take = cols_[i] <= cols_[j] ? &i : &j;
+          if (merge_cols_.size() > tail && merge_cols_.back() == cols_[*take]) {
+            merge_vals_.back() += vals_[*take];
+          } else {
+            merge_cols_.push_back(cols_[*take]);
+            merge_vals_.push_back(vals_[*take]);
+          }
+          ++*take;
+        }
+        AppendRun(i, iend, tail);
+        AppendRun(j, jend, tail);
+      } else {
+        AppendRun(run_begin_[r], run_begin_[r + 1], tail);  // odd run out
+      }
+    }
+    cols_.swap(merge_cols_);
+    vals_.swap(merge_vals_);
+    run_begin_ = std::move(next_begin);
+  }
+  finalized_ = true;
+}
+
+std::int64_t RowMergeAccumulator::size() {
+  Finalize();
+  return static_cast<std::int64_t>(cols_.size());
+}
+
+std::int64_t RowMergeAccumulator::ExtractSorted(index_t* cols_out,
+                                                value_t* vals_out) {
+  Finalize();
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    cols_out[n] = cols_[i];
+    if (vals_out) vals_out[n] = vals_[i];
+    ++n;
+  }
+  return n;
+}
+
+void RowMergeAccumulator::Clear() {
+  cols_.clear();
+  vals_.clear();
+  run_begin_.clear();
+  finalized_ = false;
 }
 
 }  // namespace oocgemm::kernels

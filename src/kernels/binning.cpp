@@ -1,6 +1,10 @@
 #include "kernels/binning.hpp"
 
+#include <cmath>
 #include <cstdio>
+
+#include "kernels/kernel_registry.hpp"
+#include "obs/kernel_metrics.hpp"
 
 namespace oocgemm::kernels {
 
@@ -29,6 +33,98 @@ std::string RowGroups::DebugString() const {
   }
   out += ")";
   return out;
+}
+
+std::string RoutedGroups::DebugString() const {
+  std::string out = "RoutedGroups(";
+  for (int g = 0; g < kNumRowGroups; ++g) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s%zu:%s", g ? ", " : "",
+                  groups.groups[static_cast<std::size_t>(g)].size(),
+                  AccumulatorKindName(strategy[static_cast<std::size_t>(g)]));
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+RoutedGroups RouteRows(const std::int64_t* group_key,
+                       const std::int64_t* row_flops,
+                       const std::int64_t* row_nnz, std::size_t n,
+                       sparse::index_t b_cols, AccumulatorKind forced) {
+  RoutedGroups routed;
+  routed.groups = GroupRowsByWork(group_key, n);
+  for (int g = 0; g < kNumRowGroups; ++g) {
+    const auto& rows = routed.groups.groups[static_cast<std::size_t>(g)];
+    AccumulatorKind kind;
+    if (forced != AccumulatorKind::kAuto) {
+      kind = KernelRegistry::StrategyFeasible(forced, b_cols)
+                 ? forced
+                 : AccumulatorKind::kHash;
+    } else if (rows.empty()) {
+      kind = AccumulatorKind::kHash;
+    } else {
+      // Route the class from its mean row: the groups are narrow (factor-16
+      // flop bands) so the mean is representative, and one registry query
+      // per class keeps the routing pass O(groups) after binning.
+      std::int64_t flops_sum = 0, nnz_sum = 0;
+      for (sparse::index_t r : rows) {
+        flops_sum += row_flops[r];
+        if (row_nnz) nnz_sum += row_nnz[r];
+      }
+      const auto count = static_cast<std::int64_t>(rows.size());
+      const std::int64_t mean_flops = flops_sum / count;
+      const std::int64_t mean_nnz = row_nnz ? nnz_sum / count : -1;
+      kind = KernelRegistry::RouteRow(mean_flops, b_cols, mean_nnz);
+    }
+    routed.strategy[static_cast<std::size_t>(g)] = kind;
+  }
+  return routed;
+}
+
+void RecordRoutedRows(const RoutedGroups& routed) {
+  for (int g = 0; g < kNumRowGroups; ++g) {
+    const auto& rows = routed.groups.groups[static_cast<std::size_t>(g)];
+    if (rows.empty()) continue;
+    const AccumulatorKind kind = routed.strategy[static_cast<std::size_t>(g)];
+    obs::KernelMetricsFor(AccumulatorKindName(kind))
+        .rows_total->Add(static_cast<std::int64_t>(rows.size()));
+  }
+}
+
+void RecordRoutingQuality(const RoutedGroups& routed,
+                          const std::int64_t* row_flops,
+                          const std::int64_t* row_nnz,
+                          sparse::index_t b_cols) {
+  obs::LogBucketHistogram& ratio_hist = obs::KernelMisrouteCostRatio();
+  for (int g = 0; g < kNumRowGroups; ++g) {
+    const auto& rows = routed.groups.groups[static_cast<std::size_t>(g)];
+    if (rows.empty()) continue;
+    const AccumulatorKind chosen = routed.strategy[static_cast<std::size_t>(g)];
+    std::int64_t misroutes = 0;
+    for (sparse::index_t r : rows) {
+      const AccumulatorKind best =
+          KernelRegistry::RouteRow(row_flops[r], b_cols, row_nnz[r]);
+      if (best == chosen) continue;
+      ++misroutes;
+      const double nnz = static_cast<double>(row_nnz[r]);
+      const double chosen_cost =
+          KernelRegistry::ModeledRowCost(chosen, row_flops[r], nnz, b_cols);
+      const double best_cost =
+          KernelRegistry::ModeledRowCost(best, row_flops[r], nnz, b_cols);
+      // The routed strategy may be post-hoc *ineligible* (infinite modeled
+      // cost) — clamp to the worst finite ratio bucket instead of feeding
+      // inf into the histogram.
+      const double ratio = (best_cost > 0.0 && std::isfinite(chosen_cost))
+                               ? chosen_cost / best_cost
+                               : 1e18;
+      ratio_hist.Record(ratio);
+    }
+    if (misroutes > 0) {
+      obs::KernelMetricsFor(AccumulatorKindName(chosen))
+          .misroutes->Add(misroutes);
+    }
+  }
 }
 
 }  // namespace oocgemm::kernels

@@ -1,9 +1,13 @@
 // Row grouping for load balance (the host-side step between row analysis
-// and symbolic execution in Fig. 3 of the paper).
+// and symbolic execution in Fig. 3 of the paper), extended with per-group
+// strategy routing through the kernel registry.
 //
 // Rows are grouped by work class so each group can be processed by a kernel
 // configuration suited to its size — mirroring spECK's lightweight analysis.
-// Group boundaries are powers of two on the flop count.
+// Group boundaries are powers of two on the flop count.  RouteRows layers
+// the Liu–Vinter step on top: each work class gets the accumulator strategy
+// the registry's cost model picks for its representative row, so the
+// symbolic/numeric phases can dispatch per group without per-row branching.
 #pragma once
 
 #include <array>
@@ -11,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/accumulators.hpp"
 #include "sparse/types.hpp"
 
 namespace oocgemm::kernels {
@@ -41,5 +46,41 @@ struct RowGroups {
 
 /// Buckets rows [0, n) by their flop counts.
 RowGroups GroupRowsByWork(const std::int64_t* row_flops, std::size_t n);
+
+/// Work classes plus the accumulator strategy routed to each class.
+struct RoutedGroups {
+  RowGroups groups;
+  /// strategy[g] applies to every row in groups.groups[g]; never kAuto.
+  std::array<AccumulatorKind, kNumRowGroups> strategy = {
+      AccumulatorKind::kHash, AccumulatorKind::kHash, AccumulatorKind::kHash,
+      AccumulatorKind::kHash, AccumulatorKind::kHash};
+  std::string DebugString() const;
+};
+
+/// Buckets rows by `group_key` (flops for the symbolic pass; the device
+/// numeric pass regroups by output nnz, as the paper does) and routes each
+/// class through the kernel registry.  With `forced != kAuto` every group
+/// gets that strategy (modulo the dense feasibility gate, which falls back
+/// to hash).  With kAuto the registry's cost model routes each non-empty
+/// group from the mean flops of its rows and — when `row_nnz` is non-null
+/// (post-symbolic) — the mean exact output nnz; otherwise density comes
+/// from the occupancy model.
+RoutedGroups RouteRows(const std::int64_t* group_key,
+                       const std::int64_t* row_flops,
+                       const std::int64_t* row_nnz, std::size_t n,
+                       sparse::index_t b_cols, AccumulatorKind forced);
+
+/// Bumps oocgemm_kernel_rows_total{strategy} by each group's row count.
+/// Called once per multiply (from the numeric routing pass) so the
+/// counters reconcile exactly with routed row totals.
+void RecordRoutedRows(const RoutedGroups& routed);
+
+/// Post-hoc routing-quality pass: re-routes each row on its exact output
+/// nnz and, where the modeled-best strategy differs from the routed one,
+/// bumps oocgemm_kernel_misroutes_total{strategy} and records the
+/// routed/best cost ratio histogram.
+void RecordRoutingQuality(const RoutedGroups& routed,
+                          const std::int64_t* row_flops,
+                          const std::int64_t* row_nnz, sparse::index_t b_cols);
 
 }  // namespace oocgemm::kernels

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/prefix_sum.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "obs/kernel_metrics.hpp"
 
 namespace oocgemm::kernels {
 
@@ -91,7 +93,10 @@ Status ChunkPipeline::RunAnalysis(vgpu::HostContext& host,
 
   product_.flops = std::accumulate(h_flops_.begin(), h_flops_.end(),
                                    static_cast<std::int64_t>(0));
-  groups_ = GroupRowsByWork(h_flops_.data(), h_flops_.size());
+  // Pre-symbolic routing: per-group strategy from flops alone (occupancy
+  // model density), mirroring the host path's first RouteRows pass.
+  routed_ = RouteRows(h_flops_.data(), h_flops_.data(), nullptr,
+                      h_flops_.size(), b_panel.cols, options_.accumulator);
   stage_ = 1;
   return Status::Ok();
 }
@@ -114,24 +119,31 @@ Status ChunkPipeline::RunSymbolic(vgpu::HostContext& host,
   const double cr_estimate = 2.0;
 
   for (int g = 1; g < kNumRowGroups; ++g) {  // group 0 holds empty rows
-    const auto& rows_in_group = groups_.groups[static_cast<std::size_t>(g)];
+    const auto& rows_in_group =
+        routed_.groups.groups[static_cast<std::size_t>(g)];
     if (rows_in_group.empty()) continue;
+    const AccumulatorKind kind = routed_.strategy[static_cast<std::size_t>(g)];
     std::int64_t group_flops = 0;
     for (index_t r : rows_in_group) {
       group_flops += h_flops_[static_cast<std::size_t>(r)];
     }
+    const double kernel_seconds =
+        cm.GpuSymbolicSeconds(group_flops, cr_estimate);
+    obs::KernelMetricsFor(AccumulatorKindName(kind))
+        .symbolic_seconds->Add(kernel_seconds);
     device_.LaunchKernel(
-        host, stream, tag_ + ".symbolic.g" + std::to_string(g),
-        cm.GpuSymbolicSeconds(group_flops, cr_estimate),
+        host, stream,
+        tag_ + ".symbolic.g" + std::to_string(g) + "." +
+            AccumulatorKindName(kind),
+        kernel_seconds,
         {Region{a_panel.col_ids.offset, a_panel.col_ids.size, false},
          Region{b_panel.col_ids.offset, b_panel.col_ids.size, false},
          Region{product_.d_scratch_row_nnz.offset,
                 static_cast<std::int64_t>(rows) * 8, true}},
-        [this, g, a_ro, a_ci, b_ro, b_ci, row_nnz, &b_panel] {
+        [this, g, kind, a_ro, a_ci, b_ro, b_ci, row_nnz, &b_panel] {
           SymbolicRows(a_ro, a_ci, b_ro, b_ci, b_panel.cols,
-                       groups_.groups[static_cast<std::size_t>(g)],
-                       h_flops_.data(), options_.accumulator, scratch_,
-                       row_nnz);
+                       routed_.groups.groups[static_cast<std::size_t>(g)],
+                       h_flops_.data(), kind, scratch_, row_nnz);
         });
   }
 
@@ -198,33 +210,48 @@ void ChunkPipeline::RunNumeric(vgpu::HostContext& host, vgpu::Stream& stream) {
   value_t* c_va = device_.As<value_t>(product_.d_values);
 
   // "We re-assign rows of matrix A based on the number of non-zero elements
-  // to achieve global load balance again" — regroup by output-row nnz.
-  RowGroups numeric_groups =
-      GroupRowsByWork(h_row_nnz_.data(), h_row_nnz_.size());
+  // to achieve global load balance again" — regroup by output-row nnz, and
+  // re-route each class now that exact densities are known.
+  RoutedGroups numeric_routed =
+      RouteRows(h_row_nnz_.data(), h_flops_.data(), h_row_nnz_.data(),
+                h_row_nnz_.size(), b_panel.cols, options_.accumulator);
+  RecordRoutedRows(numeric_routed);
   const double cr = product_.compression_ratio;
 
   for (int g = 0; g < kNumRowGroups; ++g) {
     const auto& rows_in_group =
-        numeric_groups.groups[static_cast<std::size_t>(g)];
+        numeric_routed.groups.groups[static_cast<std::size_t>(g)];
     if (rows_in_group.empty()) continue;
+    const AccumulatorKind kind =
+        numeric_routed.strategy[static_cast<std::size_t>(g)];
     std::int64_t group_flops = 0;
     for (index_t r : rows_in_group) {
       group_flops += h_flops_[static_cast<std::size_t>(r)];
     }
     if (group_flops == 0) continue;  // empty rows: nothing to write
+    const obs::KernelStrategyMetrics metrics =
+        obs::KernelMetricsFor(AccumulatorKindName(kind));
     device_.LaunchKernelCosted(
-        host, stream, tag_ + ".numeric.g" + std::to_string(g),
+        host, stream,
+        tag_ + ".numeric.g" + std::to_string(g) + "." +
+            AccumulatorKindName(kind),
         {Region{a_panel.col_ids.offset, a_panel.col_ids.size, false},
          Region{b_panel.col_ids.offset, b_panel.col_ids.size, false},
          Region{b_panel.values.offset, b_panel.values.size, false},
          Region{product_.d_col_ids.offset, product_.d_col_ids.size, true},
          Region{product_.d_values.offset, product_.d_values.size, true}},
-        [&, group_flops, cr]() -> double {
+        [&, kind, group_flops, cr, metrics]() -> double {
           NumericRows(a_ro, a_ci, a_va, b_ro, b_ci, b_va, b_panel.cols,
-                      rows_in_group, h_flops_.data(), options_.accumulator,
-                      scratch_, c_ro, c_ci, c_va);
-          return cm.GpuNumericSeconds(group_flops, cr);
+                      rows_in_group, h_flops_.data(), kind, scratch_, c_ro,
+                      c_ci, c_va);
+          const double seconds = cm.GpuNumericSeconds(group_flops, cr);
+          metrics.numeric_seconds->Add(seconds);
+          return seconds;
         });
+  }
+  if (options_.accumulator == AccumulatorKind::kAuto) {
+    RecordRoutingQuality(numeric_routed, h_flops_.data(), h_row_nnz_.data(),
+                         b_panel.cols);
   }
   stage_ = 3;
 }

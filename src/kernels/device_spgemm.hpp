@@ -104,7 +104,7 @@ class ChunkPipeline {
   std::string tag_;
   std::vector<std::int64_t> h_flops_;
   std::vector<std::int64_t> h_row_nnz_;
-  RowGroups groups_;
+  RoutedGroups routed_;
   ChunkProduct product_;
   int stage_ = 0;
 };

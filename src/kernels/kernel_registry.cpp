@@ -1,0 +1,98 @@
+#include "kernels/kernel_registry.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.hpp"
+#include "estimate/estimator.hpp"
+
+namespace oocgemm::kernels {
+
+const AccumulatorTraits& KernelRegistry::TraitsFor(AccumulatorKind kind) {
+  switch (kind) {
+    case AccumulatorKind::kHash:
+      return HashAccumulator::kTraits;
+    case AccumulatorKind::kDense:
+      return DenseAccumulator::kTraits;
+    case AccumulatorKind::kSortMerge:
+      return SortMergeAccumulator::kTraits;
+    case AccumulatorKind::kRowMerge:
+      return RowMergeAccumulator::kTraits;
+    case AccumulatorKind::kAuto:
+      break;
+  }
+  OOC_CHECK(false && "kAuto has no traits");
+  return HashAccumulator::kTraits;  // unreachable
+}
+
+bool KernelRegistry::StrategyFeasible(AccumulatorKind kind, index_t b_cols) {
+  if (kind == AccumulatorKind::kDense) {
+    return b_cols <= DenseAccumulator::kMaxFeasibleCols;
+  }
+  return true;
+}
+
+double KernelRegistry::ModeledRowCost(AccumulatorKind kind,
+                                      std::int64_t row_flops, double est_nnz,
+                                      index_t b_cols) {
+  const AccumulatorTraits& t = TraitsFor(kind);
+  const double products = static_cast<double>(row_flops) / 2.0;
+  const double width = static_cast<double>(b_cols);
+  const double density = width > 0.0 ? est_nnz / width : 0.0;
+  if (!StrategyFeasible(kind, b_cols) || density < t.min_density ||
+      density > t.max_density || row_flops < t.min_flops ||
+      row_flops > t.max_flops) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return t.setup_cost + t.per_product_cost * products +
+         t.log_factor * products *
+             std::log2(std::max(products, 2.0)) +
+         t.width_cost * width;
+}
+
+AccumulatorKind KernelRegistry::RouteRow(std::int64_t row_flops, index_t b_cols,
+                                         std::int64_t exact_nnz) {
+  const double est_nnz =
+      exact_nnz >= 0
+          ? static_cast<double>(exact_nnz)
+          : estimate::OccupancyDistinct(static_cast<double>(b_cols),
+                                        static_cast<double>(row_flops) / 2.0);
+  AccumulatorKind best = AccumulatorKind::kHash;  // always eligible fallback
+  double best_cost = ModeledRowCost(best, row_flops, est_nnz, b_cols);
+  for (AccumulatorKind kind : kAllStrategies) {
+    if (kind == AccumulatorKind::kHash) continue;
+    const double cost = ModeledRowCost(kind, row_flops, est_nnz, b_cols);
+    if (cost < best_cost) {
+      best = kind;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+const char* AccumulatorKindName(AccumulatorKind kind) {
+  switch (kind) {
+    case AccumulatorKind::kAuto:
+      return "auto";
+    case AccumulatorKind::kHash:
+      return "hash";
+    case AccumulatorKind::kDense:
+      return "dense";
+    case AccumulatorKind::kSortMerge:
+      return "sort";
+    case AccumulatorKind::kRowMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+std::optional<AccumulatorKind> ParseAccumulatorKind(const std::string& name) {
+  if (name == "auto") return AccumulatorKind::kAuto;
+  if (name == "hash") return AccumulatorKind::kHash;
+  if (name == "dense") return AccumulatorKind::kDense;
+  if (name == "sort") return AccumulatorKind::kSortMerge;
+  if (name == "merge") return AccumulatorKind::kRowMerge;
+  return std::nullopt;
+}
+
+}  // namespace oocgemm::kernels

@@ -1,0 +1,79 @@
+// Registry of pluggable SpGEMM accumulator strategies and the per-row
+// cost-model router (the Liu–Vinter idea: bin rows by upper-bound work,
+// pick an accumulator per bin; PAPERS.md).
+//
+// Each accumulator class carries a static `kTraits` block — modeled cost
+// coefficients plus its preferred density/flop operating range.  The
+// registry exposes those traits uniformly so the routing pass
+// (`RouteRows` in binning.hpp), the serve `--kernel` flag parser and the
+// mis-route metric all read one source of truth:
+//
+//   cost(row) = setup + per_product * P + log_factor * P * log2(max(P, 2))
+//             + width_cost * panel_cols,           P = flops / 2
+//
+//   eligible(row) <=> density in [min_density, max_density]
+//                  and flops in [min_flops, max_flops]
+//                  and the strategy is feasible at the panel width
+//                  (dense scratch arrays cap at kMaxFeasibleCols).
+//
+// Density is exact nnz/b_cols when the symbolic phase already ran, else the
+// estimator's occupancy model D = W*(1 - e^(-P/W)) with W = panel width
+// (estimate::OccupancyDistinct) — the PR 7 signal that makes routing
+// possible before any symbolic work.  Hash is always eligible, so RouteRow
+// totally covers the row space: every row gets exactly one strategy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "kernels/accumulators.hpp"
+
+namespace oocgemm::kernels {
+
+inline constexpr int kNumStrategies = 4;
+
+/// The concrete (non-kAuto) strategies, in registry order.
+inline constexpr std::array<AccumulatorKind, kNumStrategies> kAllStrategies = {
+    AccumulatorKind::kHash,
+    AccumulatorKind::kDense,
+    AccumulatorKind::kSortMerge,
+    AccumulatorKind::kRowMerge,
+};
+
+class KernelRegistry {
+ public:
+  /// All registered concrete strategies, registry order.
+  static const std::array<AccumulatorKind, kNumStrategies>& Strategies() {
+    return kAllStrategies;
+  }
+
+  /// Traits of a concrete strategy (kAuto is not a strategy; OOC_CHECKs).
+  static const AccumulatorTraits& TraitsFor(AccumulatorKind kind);
+
+  /// False when the strategy cannot run at this panel width (today: dense
+  /// scratch beyond DenseAccumulator::kMaxFeasibleCols columns).
+  static bool StrategyFeasible(AccumulatorKind kind, index_t b_cols);
+
+  /// Modeled cost of running one row through `kind`.  `est_nnz` is the
+  /// expected distinct output count (exact when the symbolic phase ran,
+  /// occupancy-model otherwise); it only gates eligibility via density —
+  /// the cost polynomial itself is a function of flops and width.
+  static double ModeledRowCost(AccumulatorKind kind, std::int64_t row_flops,
+                               double est_nnz, index_t b_cols);
+
+  /// Picks the cheapest eligible-and-feasible strategy for a row.  Pass
+  /// `exact_nnz >= 0` after the symbolic phase to route on real density;
+  /// with the default -1 the density comes from the occupancy model.
+  static AccumulatorKind RouteRow(std::int64_t row_flops, index_t b_cols,
+                                  std::int64_t exact_nnz = -1);
+};
+
+/// "hash" / "dense" / "sort" / "merge" / "auto".
+const char* AccumulatorKindName(AccumulatorKind kind);
+
+/// Inverse of AccumulatorKindName; std::nullopt on unknown spelling.
+std::optional<AccumulatorKind> ParseAccumulatorKind(const std::string& name);
+
+}  // namespace oocgemm::kernels

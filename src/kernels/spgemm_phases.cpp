@@ -1,5 +1,7 @@
 #include "kernels/spgemm_phases.hpp"
 
+#include "kernels/kernel_registry.hpp"
+
 namespace oocgemm::kernels {
 
 using sparse::index_t;
@@ -10,8 +12,69 @@ namespace {
 
 AccumulatorKind ResolveKind(AccumulatorKind kind, std::int64_t row_flops,
                             index_t b_cols) {
-  if (kind != AccumulatorKind::kAuto) return kind;
-  return ChooseAccumulator(row_flops, b_cols);
+  if (kind == AccumulatorKind::kAuto) {
+    return KernelRegistry::RouteRow(row_flops, b_cols);
+  }
+  // A forced strategy still honours the feasibility gate: dense scratch at
+  // an infeasible panel width degrades to hash instead of allocating it.
+  if (!KernelRegistry::StrategyFeasible(kind, b_cols)) {
+    return AccumulatorKind::kHash;
+  }
+  return kind;
+}
+
+/// One row's symbolic pass through accumulator `acc` (any of the four
+/// strategies — they share the Reserve/AddRunSymbolic/size/Clear surface).
+template <typename Acc>
+std::int64_t SymbolicRow(Acc& acc, const offset_t* a_row_offsets,
+                         const index_t* a_col_ids,
+                         const offset_t* b_row_offsets,
+                         const index_t* b_col_ids, index_t r) {
+  acc.Clear();
+  for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
+    const index_t mid = a_col_ids[ka];
+    const offset_t lo = b_row_offsets[mid];
+    acc.AddRunSymbolic(b_col_ids + lo, b_row_offsets[mid + 1] - lo);
+  }
+  return acc.size();
+}
+
+/// One row's numeric pass: accumulate scaled B-row runs, extract sorted.
+template <typename Acc>
+void NumericRow(Acc& acc, const offset_t* a_row_offsets,
+                const index_t* a_col_ids, const value_t* a_values,
+                const offset_t* b_row_offsets, const index_t* b_col_ids,
+                const value_t* b_values, index_t r, index_t* cols_out,
+                value_t* vals_out) {
+  acc.Clear();
+  for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
+    const index_t mid = a_col_ids[ka];
+    const offset_t lo = b_row_offsets[mid];
+    acc.AddRun(b_col_ids + lo, b_values + lo, b_row_offsets[mid + 1] - lo,
+               a_values[ka]);
+  }
+  acc.ExtractSorted(cols_out, vals_out);
+}
+
+void PrepareScratch(AccumulatorKind k, std::int64_t flops, index_t b_cols,
+                    AccumulatorScratch& scratch) {
+  const std::int64_t bound = std::max<std::int64_t>(flops / 2, 8);
+  switch (k) {
+    case AccumulatorKind::kHash:
+      scratch.hash.Reserve(bound);
+      break;
+    case AccumulatorKind::kDense:
+      scratch.dense.Reserve(b_cols);
+      break;
+    case AccumulatorKind::kSortMerge:
+      scratch.sort.Reserve(bound);
+      break;
+    case AccumulatorKind::kRowMerge:
+      scratch.merge.Reserve(bound);
+      break;
+    case AccumulatorKind::kAuto:
+      break;  // resolved before this point
+  }
 }
 
 }  // namespace
@@ -25,27 +88,27 @@ void SymbolicRows(const offset_t* a_row_offsets, const index_t* a_col_ids,
     const index_t r = rows[i];
     const std::int64_t flops = row_flops[r];
     const AccumulatorKind k = ResolveKind(kind, flops, b_cols);
+    PrepareScratch(k, flops, b_cols, scratch);
     std::int64_t count = 0;
-    if (k == AccumulatorKind::kDense) {
-      scratch.dense.Reserve(b_cols);
-      scratch.dense.Clear();
-      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
-        const index_t mid = a_col_ids[ka];
-        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
-          scratch.dense.AddSymbolic(b_col_ids[kb]);
-        }
-      }
-      count = scratch.dense.size();
-    } else {
-      scratch.hash.Reserve(std::max<std::int64_t>(flops / 2, 8));
-      scratch.hash.Clear();
-      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
-        const index_t mid = a_col_ids[ka];
-        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
-          scratch.hash.AddSymbolic(b_col_ids[kb]);
-        }
-      }
-      count = scratch.hash.size();
+    switch (k) {
+      case AccumulatorKind::kHash:
+        count = SymbolicRow(scratch.hash, a_row_offsets, a_col_ids,
+                            b_row_offsets, b_col_ids, r);
+        break;
+      case AccumulatorKind::kDense:
+        count = SymbolicRow(scratch.dense, a_row_offsets, a_col_ids,
+                            b_row_offsets, b_col_ids, r);
+        break;
+      case AccumulatorKind::kSortMerge:
+        count = SymbolicRow(scratch.sort, a_row_offsets, a_col_ids,
+                            b_row_offsets, b_col_ids, r);
+        break;
+      case AccumulatorKind::kRowMerge:
+        count = SymbolicRow(scratch.merge, a_row_offsets, a_col_ids,
+                            b_row_offsets, b_col_ids, r);
+        break;
+      case AccumulatorKind::kAuto:
+        break;  // unreachable: ResolveKind never returns kAuto
     }
     row_nnz_out[r] = count;
   }
@@ -62,29 +125,31 @@ void NumericRows(const offset_t* a_row_offsets, const index_t* a_col_ids,
     const index_t r = rows[i];
     const std::int64_t flops = row_flops[r];
     const AccumulatorKind k = ResolveKind(kind, flops, b_cols);
+    PrepareScratch(k, flops, b_cols, scratch);
     const offset_t out = c_row_offsets[r];
-    if (k == AccumulatorKind::kDense) {
-      scratch.dense.Reserve(b_cols);
-      scratch.dense.Clear();
-      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
-        const index_t mid = a_col_ids[ka];
-        const value_t av = a_values[ka];
-        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
-          scratch.dense.Add(b_col_ids[kb], av * b_values[kb]);
-        }
-      }
-      scratch.dense.ExtractSorted(c_col_ids + out, c_values + out);
-    } else {
-      scratch.hash.Reserve(std::max<std::int64_t>(flops / 2, 8));
-      scratch.hash.Clear();
-      for (offset_t ka = a_row_offsets[r]; ka < a_row_offsets[r + 1]; ++ka) {
-        const index_t mid = a_col_ids[ka];
-        const value_t av = a_values[ka];
-        for (offset_t kb = b_row_offsets[mid]; kb < b_row_offsets[mid + 1]; ++kb) {
-          scratch.hash.Add(b_col_ids[kb], av * b_values[kb]);
-        }
-      }
-      scratch.hash.ExtractSorted(c_col_ids + out, c_values + out);
+    switch (k) {
+      case AccumulatorKind::kHash:
+        NumericRow(scratch.hash, a_row_offsets, a_col_ids, a_values,
+                   b_row_offsets, b_col_ids, b_values, r, c_col_ids + out,
+                   c_values + out);
+        break;
+      case AccumulatorKind::kDense:
+        NumericRow(scratch.dense, a_row_offsets, a_col_ids, a_values,
+                   b_row_offsets, b_col_ids, b_values, r, c_col_ids + out,
+                   c_values + out);
+        break;
+      case AccumulatorKind::kSortMerge:
+        NumericRow(scratch.sort, a_row_offsets, a_col_ids, a_values,
+                   b_row_offsets, b_col_ids, b_values, r, c_col_ids + out,
+                   c_values + out);
+        break;
+      case AccumulatorKind::kRowMerge:
+        NumericRow(scratch.merge, a_row_offsets, a_col_ids, a_values,
+                   b_row_offsets, b_col_ids, b_values, r, c_col_ids + out,
+                   c_values + out);
+        break;
+      case AccumulatorKind::kAuto:
+        break;  // unreachable
     }
   }
 }

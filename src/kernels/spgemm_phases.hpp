@@ -2,8 +2,12 @@
 //
 // Both phases walk Gustavson row-row products of a row panel of A against a
 // column panel of B (stored in CSR with panel-local column ids) and
-// accumulate per output row, selecting hash or dense accumulation per row
-// as the paper does (dense for dense rows, hash for sparse rows).
+// accumulate per output row through one of the registry's four accumulator
+// strategies (hash / dense / sort-merge / row-merge).  Callers pass the
+// strategy per call — the routing pass (binning.hpp's RouteRows) groups
+// rows by work class and picks a strategy per group, so a kernel launch
+// processes one group with one strategy.  kAuto falls back to per-row
+// registry routing for callers that skip the grouping step.
 //
 // These functions are the *bodies* of virtual-GPU kernels: they run on the
 // host, but only ever through Device::LaunchKernel so their time is
@@ -23,6 +27,8 @@ namespace oocgemm::kernels {
 struct AccumulatorScratch {
   HashAccumulator hash;
   DenseAccumulator dense;
+  SortMergeAccumulator sort;
+  RowMergeAccumulator merge;
 };
 
 /// Symbolic phase over a set of rows: writes the number of distinct output

@@ -1,0 +1,31 @@
+#include "obs/kernel_metrics.hpp"
+
+namespace oocgemm::obs {
+
+KernelStrategyMetrics KernelMetricsFor(const char* strategy) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const Labels labels = {{"strategy", strategy}};
+  KernelStrategyMetrics m;
+  m.rows_total = &reg.GetCounter(
+      "oocgemm_kernel_rows", labels,
+      "Output rows executed per accumulator strategy");
+  m.symbolic_seconds = &reg.GetDoubleCounter(
+      "oocgemm_kernel_symbolic_seconds", labels,
+      "Wall seconds spent in the symbolic phase per strategy");
+  m.numeric_seconds = &reg.GetDoubleCounter(
+      "oocgemm_kernel_numeric_seconds", labels,
+      "Wall seconds spent in the numeric phase per strategy");
+  m.misroutes = &reg.GetCounter(
+      "oocgemm_kernel_misroutes", labels,
+      "Rows routed to this strategy whose post-hoc best strategy differed");
+  return m;
+}
+
+LogBucketHistogram& KernelMisrouteCostRatio() {
+  return MetricsRegistry::Default().GetHistogram(
+      "oocgemm_kernel_misroute_cost_ratio", {},
+      "Modeled cost of the routed strategy over the post-hoc best, "
+      "mis-routed rows only");
+}
+
+}  // namespace oocgemm::obs

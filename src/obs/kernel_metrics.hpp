@@ -1,0 +1,43 @@
+// Per-kernel-strategy instruments for the adaptive SpGEMM router.
+//
+// The kernel registry (src/kernels/kernel_registry.hpp) picks an
+// accumulator strategy per row group; these metrics make that routing
+// measurable:
+//
+//   oocgemm_kernel_rows_total{strategy}            rows executed per strategy
+//   oocgemm_kernel_symbolic_seconds_total{strategy} wall seconds in symbolic
+//   oocgemm_kernel_numeric_seconds_total{strategy}  wall seconds in numeric
+//   oocgemm_kernel_misroutes_total{strategy}       rows whose post-hoc best
+//                                                  strategy differed
+//   oocgemm_kernel_misroute_cost_ratio             histogram of
+//                                                  routed_cost / best_cost
+//                                                  over mis-routed rows
+//
+// rows_total reconciles exactly with the router's group sizes (every routed
+// row is recorded once, in the numeric pass) — the reconciliation property
+// test_kernels_routing.cpp asserts.  The mis-route signal compares the
+// modeled cost of the routed strategy against the post-hoc cheapest one
+// once exact output nnz is known; a ratio near 1 means routing on the
+// estimate lost almost nothing.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace oocgemm::obs {
+
+/// Resolved instruments for one strategy label.  References are stable for
+/// the default registry's lifetime; call sites cache the struct.
+struct KernelStrategyMetrics {
+  Counter* rows_total = nullptr;
+  DoubleCounter* symbolic_seconds = nullptr;
+  DoubleCounter* numeric_seconds = nullptr;
+  Counter* misroutes = nullptr;
+};
+
+/// Instruments labelled {strategy="<strategy>"} in the default registry.
+KernelStrategyMetrics KernelMetricsFor(const char* strategy);
+
+/// The routed-vs-best modeled cost ratio histogram (mis-routed rows only).
+LogBucketHistogram& KernelMisrouteCostRatio();
+
+}  // namespace oocgemm::obs

@@ -246,6 +246,7 @@ StatusOr<PanelPlan> PlanPanels(const sparse::Csr& a, const sparse::Csr& b,
     plan.max_b_panel_bytes = s.max_b;
     plan.max_output_bytes = s.max_out;
     plan.row_nnz_estimate = row_estimate;
+    plan.accumulator = options.accumulator;
     if (sampled_est != nullptr) {
       plan.estimated = true;
       plan.row_products_estimate = sampled_est->row_products;

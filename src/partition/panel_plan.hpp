@@ -14,6 +14,7 @@
 
 #include "common/status.hpp"
 #include "estimate/estimator.hpp"
+#include "kernels/accumulators.hpp"
 #include "partition/chunk.hpp"
 #include "partition/panels.hpp"
 #include "sparse/csr.hpp"
@@ -54,6 +55,10 @@ struct PlanOptions {
   /// already paid for one; shared_ptr so the hint survives job copies.
   /// Ignored (recomputed) when its row count does not match A.
   std::shared_ptr<const estimate::ProductEstimate> estimate_hint;
+  /// Accumulator strategy the chunk phases will run with; kAuto routes per
+  /// row group through the kernel registry.  Recorded on the plan so the
+  /// whole pipeline (planner -> executors -> kernels) agrees on one choice.
+  kernels::AccumulatorKind accumulator = kernels::AccumulatorKind::kAuto;
 };
 
 struct PanelPlan {
@@ -85,6 +90,10 @@ struct PanelPlan {
   std::vector<double> row_products_estimate;
   /// The estimate's SRS relative standard error (only when estimated).
   double estimate_rel_stderr = 0.0;
+
+  /// The accumulator strategy from PlanOptions, carried along so executors
+  /// route kernels the way the plan was costed.
+  kernels::AccumulatorKind accumulator = kernels::AccumulatorKind::kAuto;
 
   std::string DebugString() const;
 };

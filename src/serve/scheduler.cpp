@@ -247,6 +247,9 @@ void Scheduler::RunJob(ScheduledJob& item) {
   core::ExecutorOptions exec = opts.exec;
   exec.cancel = item.cancel.get();
   exec.max_oom_attempts = 1;
+  if (config_.kernel != kernels::AccumulatorKind::kAuto) {
+    exec.spgemm.accumulator = config_.kernel;
+  }
   double backoff = std::max(0.0, opts.retry_backoff_seconds);
 
   core::ExecutionMode mode = opts.mode;
@@ -512,6 +515,9 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
   core::ExecutorOptions exec = leader.job.options.exec;
   exec.cancel = nullptr;
   exec.max_oom_attempts = 1;
+  if (config_.kernel != kernels::AccumulatorKind::kAuto) {
+    exec.spgemm.accumulator = config_.kernel;
+  }
   std::vector<core::BatchJobSpec> specs;
   specs.reserve(live.size());
   for (auto& item : live) {

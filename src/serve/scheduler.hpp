@@ -42,6 +42,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/device_pool.hpp"
+#include "kernels/accumulators.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
@@ -78,6 +79,11 @@ struct SchedulerConfig {
   /// degrade to the CPU path immediately instead of waiting.
   double reserve_wait_seconds = 0.05;
   double reserve_poll_seconds = 0.002;
+
+  /// Accumulator strategy forced on every job's kernels (`--kernel`).
+  /// kAuto keeps per-row-group registry routing; any other value
+  /// overrides the job's own executor options at dispatch.
+  kernels::AccumulatorKind kernel = kernels::AccumulatorKind::kAuto;
 };
 
 /// A job after admission, en route to a worker.

@@ -1,0 +1,212 @@
+// Differential harness for the accumulator-strategy family (PR 8 satellite
+// 1): every registered strategy, forced through the full two-phase CPU
+// SpGEMM (symbolic + numeric), must produce bit-identical structure
+// (row_offsets, col_ids) and tolerance-bounded values against
+// ReferenceSpgemm on every adversarial input class:
+//
+//   * empty rows                — rows with zero products route/skip cleanly
+//   * single-entry rows         — runs of length one everywhere
+//   * duplicate-heavy rows      — narrow B so most products collide
+//   * dense rows                — output rows filling most of the panel
+//   * INT32-boundary column ids — b_cols near INT32_MAX (exercises the
+//                                 dense feasibility gate's hash fallback)
+//
+// Inputs come from one seeded generator so any failure replays from a
+// single integer (the seed is part of the test's SCOPED_TRACE).  Values are
+// positive, so strategy-dependent summation order cannot cancel — the
+// CsrNear relative tolerance then genuinely bounds accumulated ULP error.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/cpu_spgemm.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "kernels/spgemm_phases.hpp"
+#include "sparse/coo.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::value_t;
+
+/// Seeded positive-valued random CSR: every structural choice and every
+/// value derives from `seed` alone.
+Csr PositiveCsr(index_t rows, index_t cols, int degree, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  sparse::Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (index_t r = 0; r < rows; ++r) {
+    const int nnz = static_cast<int>(rng.Below(static_cast<std::uint32_t>(degree + 1)));
+    for (int i = 0; i < nnz; ++i) {
+      coo.Add(r, static_cast<index_t>(rng.Below(static_cast<std::uint32_t>(cols))),
+              rng.Uniform(0.1, 1.0));
+    }
+  }
+  return sparse::CooToCsr(coo);
+}
+
+struct InputClass {
+  const char* name;
+  Csr a;
+  Csr b;
+};
+
+/// The five adversarial classes, all derived from one seed.
+std::vector<InputClass> MakeInputClasses(std::uint64_t seed) {
+  std::vector<InputClass> classes;
+
+  {  // Empty rows: only every fourth A row has entries; B has gaps too.
+    Pcg32 rng(seed);
+    sparse::Coo a;
+    a.rows = 64;
+    a.cols = 48;
+    for (index_t r = 0; r < a.rows; r += 4) {
+      for (int i = 0; i < 3; ++i) {
+        a.Add(r, static_cast<index_t>(rng.Below(48)), rng.Uniform(0.1, 1.0));
+      }
+    }
+    classes.push_back(
+        {"empty_rows", sparse::CooToCsr(a), PositiveCsr(48, 40, 2, seed + 1)});
+  }
+
+  {  // Single-entry rows: exactly one entry per row of A and of B.
+    Pcg32 rng(seed + 2);
+    sparse::Coo a, b;
+    a.rows = 100;
+    a.cols = 80;
+    b.rows = 80;
+    b.cols = 90;
+    for (index_t r = 0; r < a.rows; ++r) {
+      a.Add(r, static_cast<index_t>(rng.Below(80)), rng.Uniform(0.1, 1.0));
+    }
+    for (index_t r = 0; r < b.rows; ++r) {
+      b.Add(r, static_cast<index_t>(rng.Below(90)), rng.Uniform(0.1, 1.0));
+    }
+    classes.push_back(
+        {"single_entry", sparse::CooToCsr(a), sparse::CooToCsr(b)});
+  }
+
+  {  // Duplicate-heavy: B only 6 columns wide, so nearly every product of a
+     // row collides with an earlier one.
+    classes.push_back({"duplicate_heavy", PositiveCsr(40, 64, 12, seed + 3),
+                       PositiveCsr(64, 6, 4, seed + 4)});
+  }
+
+  {  // Dense rows: high degree against a narrow panel fills most columns.
+    classes.push_back({"dense_rows", PositiveCsr(32, 96, 24, seed + 5),
+                       PositiveCsr(96, 32, 16, seed + 6)});
+  }
+
+  {  // INT32-boundary column ids: a B panel whose width is at the index
+     // type's edge.  Dense scratch is infeasible here (kMaxFeasibleCols),
+     // so forcing kDense must take the hash fallback, and every strategy
+     // must keep ids exact where value_t could not represent them.
+    Pcg32 rng(seed + 7);
+    const index_t wide = INT32_MAX - 2;
+    sparse::Coo a, b;
+    a.rows = 24;
+    a.cols = 16;
+    b.rows = 16;
+    b.cols = wide;
+    for (index_t r = 0; r < a.rows; ++r) {
+      a.Add(r, static_cast<index_t>(rng.Below(16)), rng.Uniform(0.1, 1.0));
+      a.Add(r, static_cast<index_t>(rng.Below(16)), rng.Uniform(0.1, 1.0));
+    }
+    for (index_t r = 0; r < b.rows; ++r) {
+      // Cluster ids at the top of the range: wide-1, wide-2, ... plus a few
+      // low ones so each run spans the whole index space.
+      b.Add(r, static_cast<index_t>(rng.Below(8)), rng.Uniform(0.1, 1.0));
+      b.Add(r, wide - 1 - static_cast<index_t>(rng.Below(8)),
+            rng.Uniform(0.1, 1.0));
+    }
+    classes.push_back({"int32_boundary", sparse::CooToCsr(a), sparse::CooToCsr(b)});
+  }
+
+  return classes;
+}
+
+class DifferentialSpgemm
+    : public ::testing::TestWithParam<AccumulatorKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, DifferentialSpgemm, ::testing::ValuesIn(kAllStrategies),
+    [](const ::testing::TestParamInfo<AccumulatorKind>& info) {
+      return std::string(AccumulatorKindName(info.param));
+    });
+
+TEST_P(DifferentialSpgemm, NumericMatchesReferenceOnAllClasses) {
+  constexpr std::uint64_t kSeed = 20210808;
+  CpuSpgemmOptions opts;
+  opts.accumulator = GetParam();
+  for (const InputClass& input : MakeInputClasses(kSeed)) {
+    SCOPED_TRACE(std::string(input.name) + " seed=" + std::to_string(kSeed));
+    const Csr expected = ReferenceSpgemm(input.a, input.b);
+    const Csr got = CpuSpgemmSerial(input.a, input.b, opts);
+    // CsrNear demands bit-identical row_offsets and col_ids; values are
+    // rel-tol bounded (positive inputs, so no cancellation slack needed).
+    EXPECT_TRUE(testutil::CsrNear(got, expected, 1e-11));
+  }
+}
+
+TEST_P(DifferentialSpgemm, SymbolicCountsMatchReferenceOnAllClasses) {
+  // Drive the symbolic phase directly (not via the full multiply) so a
+  // numeric-phase bug cannot mask a symbolic one.
+  constexpr std::uint64_t kSeed = 4242;
+  for (const InputClass& input : MakeInputClasses(kSeed)) {
+    SCOPED_TRACE(std::string(input.name) + " seed=" + std::to_string(kSeed));
+    const Csr& a = input.a;
+    const Csr& b = input.b;
+    const Csr expected = ReferenceSpgemm(a, b);
+    std::vector<index_t> rows;
+    std::vector<std::int64_t> flops(static_cast<std::size_t>(a.rows()), 0);
+    for (index_t r = 0; r < a.rows(); ++r) {
+      rows.push_back(r);
+      for (offset_t k = a.row_offsets()[static_cast<std::size_t>(r)];
+           k < a.row_offsets()[static_cast<std::size_t>(r) + 1]; ++k) {
+        flops[static_cast<std::size_t>(r)] +=
+            2 * b.row_nnz(a.col_ids()[static_cast<std::size_t>(k)]);
+      }
+    }
+    AccumulatorScratch scratch;
+    std::vector<std::int64_t> row_nnz(rows.size(), -1);
+    SymbolicRows(a.row_offsets().data(), a.col_ids().data(),
+                 b.row_offsets().data(), b.col_ids().data(), b.cols(), rows,
+                 flops.data(), GetParam(), scratch, row_nnz.data());
+    for (index_t r = 0; r < a.rows(); ++r) {
+      ASSERT_EQ(row_nnz[static_cast<std::size_t>(r)],
+                expected.row_nnz(r))
+          << "row " << r;
+    }
+  }
+}
+
+TEST(DifferentialSpgemm, ForcedStrategiesAgreePairwise) {
+  // Beyond matching the oracle, all strategies must match *each other*
+  // bit-for-bit structurally on a larger skewed input.
+  const Csr a = testutil::RandomRmat(7, 6.0, 11);
+  Csr first;
+  bool have_first = false;
+  for (AccumulatorKind kind : kAllStrategies) {
+    CpuSpgemmOptions opts;
+    opts.accumulator = kind;
+    Csr c = CpuSpgemmSerial(a, a, opts);
+    if (!have_first) {
+      first = std::move(c);
+      have_first = true;
+      continue;
+    }
+    SCOPED_TRACE(AccumulatorKindName(kind));
+    EXPECT_TRUE(testutil::CsrNear(c, first, 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

@@ -1,0 +1,233 @@
+// Kernel-registry routing tests (PR 8 tentpole + satellite 2): unit tests
+// for the cost-model router's decision regions, plus a seeded fuzz pass
+// asserting the three routing invariants —
+//
+//   (a) every row is assigned to exactly one group with exactly one
+//       concrete (non-kAuto) strategy,
+//   (b) forced and adaptive routing produce identical products,
+//   (c) the per-strategy oocgemm_kernel_rows counters reconcile exactly
+//       with the routed row totals (reconciliation-style, like the serve
+//       admission ledger tests).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/binning.hpp"
+#include "kernels/cpu_spgemm.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "kernels/reference_spgemm.hpp"
+#include "obs/metrics.hpp"
+#include "test_util.hpp"
+
+namespace oocgemm::kernels {
+namespace {
+
+using sparse::Csr;
+using sparse::index_t;
+
+TEST(KernelRouting, NamesRoundTripThroughParser) {
+  for (AccumulatorKind kind : kAllStrategies) {
+    const char* name = AccumulatorKindName(kind);
+    auto parsed = ParseAccumulatorKind(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(ParseAccumulatorKind("auto"), AccumulatorKind::kAuto);
+  EXPECT_FALSE(ParseAccumulatorKind("bogus").has_value());
+  EXPECT_FALSE(ParseAccumulatorKind("").has_value());
+  EXPECT_FALSE(ParseAccumulatorKind("Hash").has_value());  // case-sensitive
+}
+
+TEST(KernelRouting, TraitsExposeEveryStrategy) {
+  std::set<std::string> names;
+  for (AccumulatorKind kind : KernelRegistry::Strategies()) {
+    const AccumulatorTraits& t = KernelRegistry::TraitsFor(kind);
+    EXPECT_STREQ(t.name, AccumulatorKindName(kind));
+    EXPECT_GE(t.setup_cost, 0.0);
+    EXPECT_LE(t.min_density, t.max_density);
+    EXPECT_LE(t.min_flops, t.max_flops);
+    names.insert(t.name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumStrategies));
+}
+
+TEST(KernelRouting, DecisionRegions) {
+  // Empty rows: sort-merge's 2-op setup beats the hash table's 16.
+  EXPECT_EQ(KernelRegistry::RouteRow(0, 1000), AccumulatorKind::kSortMerge);
+  // Tiny rows stay sort-merge while P*log2(P) is small.
+  EXPECT_EQ(KernelRegistry::RouteRow(32, 100000), AccumulatorKind::kSortMerge);
+  // Past the ceiling on a sparse wide panel: hash.
+  EXPECT_EQ(KernelRegistry::RouteRow(1024, 100000), AccumulatorKind::kHash);
+  // High-density rows on a narrow panel: dense accumulation.
+  EXPECT_EQ(KernelRegistry::RouteRow(4096, 256), AccumulatorKind::kDense);
+  // Heavy row, huge sparse panel: density is far below dense's floor and
+  // flops far above merge's; pairwise row merging wins over hashing.
+  EXPECT_EQ(KernelRegistry::RouteRow(1 << 20, 1 << 26),
+            AccumulatorKind::kRowMerge);
+}
+
+TEST(KernelRouting, DenseFeasibilityGate) {
+  EXPECT_TRUE(KernelRegistry::StrategyFeasible(AccumulatorKind::kDense, 1024));
+  EXPECT_FALSE(KernelRegistry::StrategyFeasible(
+      AccumulatorKind::kDense, DenseAccumulator::kMaxFeasibleCols + 1));
+  // The sparse strategies have no width limit.
+  for (AccumulatorKind kind : {AccumulatorKind::kHash,
+                               AccumulatorKind::kSortMerge,
+                               AccumulatorKind::kRowMerge}) {
+    EXPECT_TRUE(KernelRegistry::StrategyFeasible(kind, INT32_MAX - 1));
+  }
+  // Routing a dense-looking row at infeasible width must still resolve.
+  const AccumulatorKind routed = KernelRegistry::RouteRow(
+      /*row_flops=*/1 << 24, DenseAccumulator::kMaxFeasibleCols + 1);
+  EXPECT_NE(routed, AccumulatorKind::kDense);
+  EXPECT_NE(routed, AccumulatorKind::kAuto);
+}
+
+TEST(KernelRouting, ExactNnzOverridesOccupancyEstimate) {
+  // A 4096-flop row on a 256-wide panel looks dense under the occupancy
+  // model, but an exact post-symbolic nnz of 1 (total duplication) drops
+  // density below dense's floor.
+  EXPECT_EQ(KernelRegistry::RouteRow(4096, 256), AccumulatorKind::kDense);
+  EXPECT_NE(KernelRegistry::RouteRow(4096, 256, /*exact_nnz=*/1),
+            AccumulatorKind::kDense);
+}
+
+TEST(KernelRouting, HashCostIsFiniteEverywhere) {
+  // Hash is the total-coverage fallback: its modeled cost must be finite
+  // for any row the fuzzer can produce.
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t flops = static_cast<std::int64_t>(rng.NextU32());
+    const index_t b_cols = 1 + static_cast<index_t>(rng.Below(1u << 30));
+    const double cost = KernelRegistry::ModeledRowCost(
+        AccumulatorKind::kHash, flops, /*est_nnz=*/1.0, b_cols);
+    ASSERT_TRUE(cost >= 0.0 && cost < 1e30) << "flops=" << flops;
+  }
+}
+
+/// Fuzz invariant (a): partition totality — every row id lands in exactly
+/// one group, and every group has a concrete strategy.
+TEST(KernelRouting, FuzzEveryRowGetsExactlyOneStrategy) {
+  Pcg32 rng(314159);
+  for (int trial = 0; trial < 50; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::size_t n = 1 + rng.Below(400);
+    const index_t b_cols = 1 + static_cast<index_t>(rng.Below(1u << 20));
+    std::vector<std::int64_t> flops(n), nnz(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Log-uniform-ish flops spanning all five work classes, inc. empty.
+      flops[i] = static_cast<std::int64_t>(rng.NextU32()) >>
+                 rng.Below(32);
+      nnz[i] = std::min<std::int64_t>(flops[i] / 2, b_cols);
+    }
+    const bool post_symbolic = rng.Below(2) == 0;
+    const RoutedGroups routed =
+        RouteRows(flops.data(), flops.data(),
+                  post_symbolic ? nnz.data() : nullptr, n, b_cols,
+                  AccumulatorKind::kAuto);
+    std::set<index_t> seen;
+    for (int g = 0; g < kNumRowGroups; ++g) {
+      EXPECT_NE(routed.strategy[static_cast<std::size_t>(g)],
+                AccumulatorKind::kAuto);
+      for (index_t r : routed.groups.groups[static_cast<std::size_t>(g)]) {
+        EXPECT_TRUE(seen.insert(r).second) << "row " << r << " in two groups";
+      }
+    }
+    EXPECT_EQ(seen.size(), n);  // no row dropped
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), static_cast<index_t>(n - 1));
+  }
+}
+
+/// Fuzz invariant (a) continued: a forced strategy applies everywhere,
+/// modulo the dense feasibility fallback.
+TEST(KernelRouting, FuzzForcedStrategyHonored) {
+  Pcg32 rng(27182);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.Below(100);
+    std::vector<std::int64_t> flops(n);
+    for (std::size_t i = 0; i < n; ++i) flops[i] = rng.Below(100000);
+    for (AccumulatorKind forced : kAllStrategies) {
+      const RoutedGroups routed = RouteRows(
+          flops.data(), flops.data(), nullptr, n, /*b_cols=*/512, forced);
+      for (int g = 0; g < kNumRowGroups; ++g) {
+        EXPECT_EQ(routed.strategy[static_cast<std::size_t>(g)], forced);
+      }
+      // Infeasible width: forced dense must fall back to hash, others hold.
+      const RoutedGroups gated =
+          RouteRows(flops.data(), flops.data(), nullptr, n,
+                    DenseAccumulator::kMaxFeasibleCols + 1, forced);
+      const AccumulatorKind want = forced == AccumulatorKind::kDense
+                                       ? AccumulatorKind::kHash
+                                       : forced;
+      for (int g = 0; g < kNumRowGroups; ++g) {
+        EXPECT_EQ(gated.strategy[static_cast<std::size_t>(g)], want);
+      }
+    }
+  }
+}
+
+/// Fuzz invariant (b): adaptive routing is a pure performance decision —
+/// the product must equal every forced strategy's product.
+TEST(KernelRouting, FuzzAdaptiveMatchesForcedProducts) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Csr a = seed % 2 == 0
+                      ? testutil::RandomRmat(6, 5.0, seed)
+                      : testutil::RandomCsr(80, 80, 6.0, seed);
+    CpuSpgemmOptions auto_opts;
+    auto_opts.accumulator = AccumulatorKind::kAuto;
+    const Csr adaptive = CpuSpgemmSerial(a, a, auto_opts);
+    EXPECT_TRUE(testutil::CsrNear(adaptive, ReferenceSpgemm(a, a), 1e-9));
+    for (AccumulatorKind forced : kAllStrategies) {
+      SCOPED_TRACE(AccumulatorKindName(forced));
+      CpuSpgemmOptions opts;
+      opts.accumulator = forced;
+      EXPECT_TRUE(testutil::CsrNear(CpuSpgemmSerial(a, a, opts), adaptive, 1e-9));
+    }
+  }
+}
+
+/// Fuzz invariant (c): the per-strategy row counters bumped by the numeric
+/// routing pass sum exactly to the number of A rows multiplied —
+/// reconciliation in the style of the serve admission ledger.
+TEST(KernelRouting, FuzzRowCountersReconcileWithRowTotal) {
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.ResetForTest();
+  Pcg32 rng(161803);
+  std::int64_t total_rows = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const index_t rows = 16 + static_cast<index_t>(rng.Below(128));
+    const index_t inner = 16 + static_cast<index_t>(rng.Below(64));
+    const Csr a = testutil::RandomCsr(rows, inner, 4.0, 900 + trial);
+    const Csr b = testutil::RandomCsr(inner, 64, 4.0, 1900 + trial);
+    CpuSpgemmOptions opts;
+    opts.accumulator = trial % 2 == 0 ? AccumulatorKind::kAuto
+                                      : AccumulatorKind::kHash;
+    (void)CpuSpgemmSerial(a, b, opts);
+    total_rows += rows;
+  }
+  const obs::RegistrySnapshot snap = reg.Snapshot();
+  double counted = 0;
+  for (AccumulatorKind kind : kAllStrategies) {
+    counted += snap.Value("oocgemm_kernel_rows",
+                          {{"strategy", AccumulatorKindName(kind)}});
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(counted), total_rows);
+}
+
+TEST(KernelRouting, RoutedGroupsDebugStringNamesStrategies) {
+  std::vector<std::int64_t> flops = {0, 10, 500, 10000, 100000};
+  const RoutedGroups routed = RouteRows(flops.data(), flops.data(), nullptr,
+                                        flops.size(), /*b_cols=*/1024,
+                                        AccumulatorKind::kAuto);
+  const std::string s = routed.DebugString();
+  EXPECT_NE(s.find("sort"), std::string::npos);  // empty rows route to sort
+}
+
+}  // namespace
+}  // namespace oocgemm::kernels

@@ -10,7 +10,7 @@
 //               [--fault-spec=dev1:kernel:nth=40] [--fault-seed=1]
 //               [--metrics-out=m.prom] [--metrics-interval=0.5]
 //               [--admission=exact|estimate] [--estimator-seed=S]
-//               [--estimator-sample=F]
+//               [--estimator-sample=F] [--kernel=auto|hash|dense|sort|merge]
 //               [--shards=N] [--replication=R] [--route=affinity|random]
 //
 // `multiply` squares `a.mtx` when no second matrix is given (the paper's
@@ -39,9 +39,13 @@
 // back to exact per job when the sample's variance check fails;
 // --estimator-seed seeds the sampling draws (same seed, same estimates)
 // and --estimator-sample overrides the row-sample fraction (default 0.05).
-// Serve flags are validated up front: an unknown --route or --admission
-// value, or a non-positive --shards or --replication, prints the usage
-// text and exits nonzero instead of being silently clamped.
+// --kernel forces one accumulator strategy on every served job's SpGEMM
+// kernels (hash, dense, sort = gather-then-sort, merge = binary row
+// merging); the default `auto` routes per row group through the kernel
+// registry's cost model (see src/kernels/kernel_registry.hpp).
+// Serve flags are validated up front: an unknown --route, --admission or
+// --kernel value, or a non-positive --shards or --replication, prints the
+// usage text and exits nonzero instead of being silently clamped.
 // --shards=N (N >= 2) serves through the fleet router instead of a single
 // server: N in-process shards of --devices GPUs each, consistent-hash
 // B-operand placement (--route=affinity, the default) or a uniform random
@@ -71,6 +75,7 @@
 #include "common/thread_pool.hpp"
 #include "core/executors.hpp"
 #include "fleet/router.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "kernels/reference_spgemm.hpp"
 #include "serve/server.hpp"
 #include "sparse/analysis.hpp"
@@ -133,7 +138,7 @@ int Usage() {
       "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S] "
       "[--metrics-out=M.prom] [--metrics-interval=SEC] "
       "[--admission=exact|estimate] [--estimator-seed=S] "
-      "[--estimator-sample=F] "
+      "[--estimator-sample=F] [--kernel=auto|hash|dense|sort|merge] "
       "[--shards=N] [--replication=R] [--route=affinity|random]\n");
   return 2;
 }
@@ -343,6 +348,7 @@ int InstallFaultInjectors(
 struct ServeAdmission {
   serve::AdmissionMode mode = serve::AdmissionMode::kExact;
   estimate::EstimatorOptions estimator;
+  kernels::AccumulatorKind kernel = kernels::AccumulatorKind::kAuto;
 };
 
 // Strict up-front validation of the serve flags: an unknown --route or
@@ -372,6 +378,15 @@ int ValidateServeFlags(const Args& args, ServeAdmission* adm) {
   if (route != "affinity" && route != "random") {
     std::fprintf(stderr, "--route=%s: want affinity or random\n",
                  route.c_str());
+    return Usage();
+  }
+  const std::string kernel = args.Flag("kernel", "auto");
+  if (auto parsed = kernels::ParseAccumulatorKind(kernel)) {
+    adm->kernel = *parsed;
+  } else {
+    std::fprintf(stderr,
+                 "--kernel=%s: want auto, hash, dense, sort or merge\n",
+                 kernel.c_str());
     return Usage();
   }
   if (args.Has("shards")) {
@@ -436,6 +451,7 @@ int ServeFleet(const Args& args, const ServeAdmission& adm) {
   config.shard.default_timeout_seconds = args.FlagD("timeout", 0.0);
   config.shard.admission_mode = adm.mode;
   config.shard.estimator = adm.estimator;
+  config.shard.scheduler.kernel = adm.kernel;
   config.policy = route == "random" ? fleet::RoutingPolicy::kRandom
                                     : fleet::RoutingPolicy::kAffinity;
   config.replication.replication = replication;
@@ -552,6 +568,7 @@ int Serve(const Args& args) {
   config.default_timeout_seconds = args.FlagD("timeout", 0.0);
   config.admission_mode = adm.mode;
   config.estimator = adm.estimator;
+  config.scheduler.kernel = adm.kernel;
   config.metrics_path = args.Flag("metrics-out", "");
   config.metrics_interval_seconds = args.FlagD("metrics-interval", 0.5);
   serve::SpgemmServer server(device_ptrs, pool, config);
