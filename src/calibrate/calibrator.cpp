@@ -1,0 +1,274 @@
+#include "calibrate/calibrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace oocgemm::calibrate {
+namespace {
+
+// Guard rails on published values: the route scales stay within a band so
+// one pathological tick cannot flip every routing decision, and the hybrid
+// ratio never collapses to "all CPU" / "all GPU" (both extremes starve the
+// other lane and the fit loses its signal).
+constexpr double kMinRouteScale = 0.25;
+constexpr double kMaxRouteScale = 8.0;
+constexpr double kMinGpuRatio = 0.05;
+constexpr double kMaxGpuRatio = 0.95;
+
+obs::Labels DeviceLabels(int index) {
+  return {{"device", std::to_string(index)}};
+}
+
+obs::Labels FitLabels(int index, const char* fit) {
+  return {{"device", std::to_string(index)}, {"fit", fit}};
+}
+
+/// Counter delta with reset tolerance: a ResetForTest (or registry swap)
+/// makes the counter go backwards; treat that as "resync, no sample".
+double Delta(double now, double* prev) {
+  const double d = now - *prev;
+  *prev = now;
+  return d >= 0.0 ? d : 0.0;
+}
+
+}  // namespace
+
+const char* CalibrateModeName(CalibrateMode mode) {
+  switch (mode) {
+    case CalibrateMode::kOff:
+      return "off";
+    case CalibrateMode::kObserve:
+      return "observe";
+    case CalibrateMode::kApply:
+      return "apply";
+  }
+  return "off";
+}
+
+bool ParseCalibrateMode(const std::string& text, CalibrateMode* mode) {
+  if (text == "off") {
+    *mode = CalibrateMode::kOff;
+  } else if (text == "observe") {
+    *mode = CalibrateMode::kObserve;
+  } else if (text == "apply") {
+    *mode = CalibrateMode::kApply;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CostModelCalibrator::CostModelCalibrator(CalibratorConfig config,
+                                         core::DevicePool* pool,
+                                         obs::MetricsRegistry* registry)
+    : config_(config), pool_(pool), registry_(registry), cpu_fit_(config.fit) {
+  const int n = pool_ != nullptr ? pool_->size() : 0;
+  fits_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fits_.push_back(DeviceFits{
+        LinearFit(config_.fit), LinearFit(config_.fit),
+        OverheadRateFit(config_.fit,
+                        config_.static_rates.kernel_launch_overhead)});
+  }
+  // Baseline: counters accumulated before the calibrator existed must not
+  // contaminate the first tick's deltas.
+  std::lock_guard<std::mutex> lock(mutex_);
+  IngestLocked(registry_->Snapshot(), /*record=*/false);
+}
+
+CostModelCalibrator::~CostModelCalibrator() { Stop(); }
+
+void CostModelCalibrator::Start() {
+  if (config_.mode == CalibrateMode::kOff) return;
+  if (config_.interval_seconds > 0.0 && !thread_.joinable()) {
+    stop_.store(false, std::memory_order_release);
+    thread_ = std::thread(&CostModelCalibrator::ThreadLoop, this);
+  }
+}
+
+void CostModelCalibrator::Stop() {
+  if (thread_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    // The final tick: traffic between the last periodic tick and Stop is
+    // still folded in, so short runs calibrate too.
+    TickNow();
+  }
+}
+
+void CostModelCalibrator::TickNow() {
+  const obs::RegistrySnapshot snap = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  IngestLocked(snap, /*record=*/true);
+  for (DeviceFits& f : fits_) {
+    f.h2d.Commit();
+    f.d2h.Commit();
+    f.rate.Commit();
+  }
+  cpu_fit_.Commit();
+  PublishLocked();
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const CalibratedModel> CostModelCalibrator::model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_;
+}
+
+void CostModelCalibrator::ThreadLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.interval_seconds));
+  Clock::time_point next = Clock::now() + interval;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (Clock::now() >= next) {
+      TickNow();
+      next = Clock::now() + interval;
+    }
+  }
+}
+
+void CostModelCalibrator::IngestLocked(const obs::RegistrySnapshot& snap,
+                                       bool record) {
+  for (int i = 0; i < static_cast<int>(fits_.size()); ++i) {
+    DeviceFits& f = fits_[static_cast<std::size_t>(i)];
+    const obs::Labels labels = DeviceLabels(i);
+    const double h2d_b =
+        Delta(snap.Value("oocgemm_vgpu_h2d_bytes", labels), &f.h2d_bytes);
+    const double h2d_s =
+        Delta(snap.Value("oocgemm_vgpu_h2d_seconds", labels), &f.h2d_seconds);
+    const double d2h_b =
+        Delta(snap.Value("oocgemm_vgpu_d2h_bytes", labels), &f.d2h_bytes);
+    const double d2h_s =
+        Delta(snap.Value("oocgemm_vgpu_d2h_seconds", labels), &f.d2h_seconds);
+    const double launches = Delta(
+        snap.Value("oocgemm_vgpu_kernel_launches", labels), &f.launches);
+    const double flops =
+        Delta(snap.Value("oocgemm_kernels_device_flops", labels), &f.flops);
+    const double kernel_s = Delta(
+        snap.Value("oocgemm_vgpu_kernel_seconds", labels), &f.kernel_seconds);
+    if (!record) continue;
+    if (h2d_b > 0.0 && h2d_s > 0.0) f.h2d.Add(h2d_b, h2d_s);
+    if (d2h_b > 0.0 && d2h_s > 0.0) f.d2h.Add(d2h_b, d2h_s);
+    // The kernel-seconds counter records wall intervals *including* any
+    // injected delay faults — exactly the degradation signal the fitted
+    // effective rate must see.
+    if (flops > 0.0 && kernel_s > 0.0) f.rate.Add(launches, flops, kernel_s);
+  }
+  const double cpu_f = Delta(snap.Value("oocgemm_core_cpu_flops"), &cpu_flops_);
+  const double cpu_s =
+      Delta(snap.Value("oocgemm_core_cpu_seconds"), &cpu_seconds_);
+  if (record && cpu_f > 0.0 && cpu_s > 0.0) cpu_fit_.Add(cpu_f, cpu_s);
+}
+
+void CostModelCalibrator::PublishLocked() {
+  const ExecRates& s = config_.static_rates;
+
+  CalibratedModel::CpuModel cpu;
+  cpu.confident = cpu_fit_.confident();
+  cpu.flop_rate = cpu.confident ? cpu_fit_.rate() : s.cpu_flop_rate;
+
+  std::vector<CalibratedModel::DeviceModel> devices(fits_.size());
+  for (std::size_t i = 0; i < fits_.size(); ++i) {
+    const DeviceFits& f = fits_[i];
+    CalibratedModel::DeviceModel& d = devices[i];
+    d.h2d_confident = f.h2d.confident();
+    d.h2d_bandwidth = d.h2d_confident ? f.h2d.rate() : s.h2d_bandwidth;
+    d.d2h_confident = f.d2h.confident();
+    d.d2h_bandwidth = d.d2h_confident ? f.d2h.rate() : s.d2h_bandwidth;
+    d.rate_confident = f.rate.confident() && f.rate.effective_rate() > 0.0;
+    // Steering uses the *effective* rate (per-launch overhead included at
+    // the observed launch intensity): a device drowning in launch delay
+    // must look slow to the split/placement levers even though its
+    // marginal flop rate stays healthy.
+    d.flop_rate = d.rate_confident ? f.rate.effective_rate() : s.gpu_flop_rate;
+    d.launch_overhead =
+        d.rate_confident ? f.rate.overhead() : s.kernel_launch_overhead;
+    if (d.rate_confident && cpu.confident && cpu.flop_rate > 0.0) {
+      // The paper's split rule with live inputs: Ratio = S/(S+1), S the
+      // *fitted* GPU/CPU speedup of this device.
+      const double speedup = d.flop_rate / cpu.flop_rate;
+      d.gpu_ratio =
+          std::clamp(speedup / (speedup + 1.0), kMinGpuRatio, kMaxGpuRatio);
+      d.ratio_confident = true;
+    }
+    if (d.rate_confident && d.flop_rate > 0.0) {
+      d.routing.compute_scale = std::clamp(s.gpu_flop_rate / d.flop_rate,
+                                           kMinRouteScale, kMaxRouteScale);
+      d.routing.overhead_scale =
+          s.kernel_launch_overhead > 0.0
+              ? std::clamp(d.launch_overhead / s.kernel_launch_overhead,
+                           kMinRouteScale, kMaxRouteScale)
+              : 1.0;
+    }
+  }
+
+  // Apply mode steers placement: push the fitted effective rate into the
+  // pool so least-reserved ties prefer the faster (undegraded) device.
+  if (config_.mode == CalibrateMode::kApply && pool_ != nullptr) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      pool_->set_rate_hint(static_cast<int>(i),
+                           devices[i].rate_confident ? devices[i].flop_rate
+                                                     : 0.0);
+    }
+  }
+
+  // oocgemm_calibrate_* exports: one gauge per fitted quantity plus
+  // sample/outlier accounting, so dashboards (and the feedback test) can
+  // watch the loop converge.
+  obs::MetricsRegistry& reg = *registry_;
+  reg.GetCounter("oocgemm_calibrate_ticks", {}, "Calibration passes run")
+      .Add(1);
+  for (std::size_t i = 0; i < fits_.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    const DeviceFits& f = fits_[i];
+    const CalibratedModel::DeviceModel& d = devices[i];
+    struct Row {
+      const char* fit;
+      std::int64_t samples, outliers;
+      bool confident;
+      double fitted;
+    } rows[] = {
+        {"h2d", f.h2d.samples(), f.h2d.outliers(), d.h2d_confident,
+         d.h2d_bandwidth},
+        {"d2h", f.d2h.samples(), f.d2h.outliers(), d.d2h_confident,
+         d.d2h_bandwidth},
+        {"rate", f.rate.samples(), f.rate.outliers(), d.rate_confident,
+         d.flop_rate},
+    };
+    for (const Row& r : rows) {
+      const obs::Labels labels = FitLabels(idx, r.fit);
+      reg.GetGauge("oocgemm_calibrate_samples", labels,
+                   "Committed samples per fit")
+          .Set(r.samples);
+      reg.GetGauge("oocgemm_calibrate_outliers", labels,
+                   "Winsorized samples per fit")
+          .Set(r.outliers);
+      reg.GetGauge("oocgemm_calibrate_confident", labels,
+                   "1 when the fit passed the confidence gate")
+          .Set(r.confident ? 1 : 0);
+      reg.GetGauge("oocgemm_calibrate_fitted_rate", labels,
+                   "Fitted rate (bytes/s or flops/s), static while gated")
+          .Set(static_cast<std::int64_t>(r.fitted));
+    }
+    reg.GetGauge("oocgemm_calibrate_gpu_ratio_millis", DeviceLabels(idx),
+                 "Fitted hybrid split ratio x1000 (static when 0 samples)")
+        .Set(static_cast<std::int64_t>(
+            std::lround((d.ratio_confident ? d.gpu_ratio : 0.0) * 1000.0)));
+    reg.GetHistogram("oocgemm_calibrate_rate_residual", DeviceLabels(idx),
+                     "Relative residual scale of the device rate fit")
+        .Record(f.rate.residual_scale());
+  }
+  reg.GetGauge("oocgemm_calibrate_cpu_flop_rate", {},
+               "Fitted CPU effective flop rate (static while gated)")
+      .Set(static_cast<std::int64_t>(cpu.flop_rate));
+  reg.GetGauge("oocgemm_calibrate_cpu_confident", {},
+               "1 when the CPU rate fit passed the confidence gate")
+      .Set(cpu.confident ? 1 : 0);
+
+  model_ = std::make_shared<const CalibratedModel>(std::move(devices), cpu);
+}
+
+}  // namespace oocgemm::calibrate

@@ -31,10 +31,17 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
   const kernels::CostModel& cm = options.spgemm.cost_model;
   kernels::CpuSpgemmOptions cpu_options;
   cpu_options.accumulator = prep.plan.accumulator;  // route as planned
+  cpu_options.routing = options.spgemm.routing;
   auto& chunk_err = obs::MetricsRegistry::Default().GetHistogram(
       "oocgemm_estimate_chunk_flops_rel_error", {},
       "Relative error |estimated - exact| / exact of per-chunk flop "
       "predictions on estimate-seeded plans");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& cpu_flops_counter = reg.GetCounter(
+      "oocgemm_core_cpu_flops", {}, "Flops executed on the CPU path");
+  obs::DoubleCounter& cpu_seconds_counter = reg.GetDoubleCounter(
+      "oocgemm_core_cpu_seconds", {},
+      "Modeled busy seconds of the CPU path");
 
   for (int id : order) {
     if (options.cancel != nullptr &&
@@ -60,10 +67,15 @@ CpuRunOutput RunCpuChunks(const PreparedProblem& prep,
     const double cr = c.nnz() > 0 ? static_cast<double>(chunk_flops) /
                                         static_cast<double>(c.nnz())
                                   : 1.0;
-    out.busy_seconds += cm.CpuChunkSeconds(chunk_flops, cr);
+    const double chunk_seconds = cm.CpuChunkSeconds(chunk_flops, cr);
+    out.busy_seconds += chunk_seconds;
     out.flops += chunk_flops;
     out.nnz += c.nnz();
     ++out.chunks_run;
+    // The (flops, seconds) sample stream the calibrator fits the CPU
+    // effective rate from — the denominator of the live hybrid split.
+    cpu_flops_counter.Add(chunk_flops);
+    cpu_seconds_counter.Add(chunk_seconds);
 
     ChunkPayload payload;
     payload.row_panel = desc.row_panel;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <tuple>
 
 namespace oocgemm::core {
 
 DevicePool::DevicePool(std::vector<vgpu::Device*> devices)
     : devices_(std::move(devices)),
-      health_(devices_.size(), DeviceHealth::kHealthy) {
+      health_(devices_.size(), DeviceHealth::kHealthy),
+      rate_hints_(devices_.size(), 0.0) {
   arbiters_.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     devices_[i]->set_id(static_cast<int>(i));
@@ -50,19 +52,33 @@ int DevicePool::healthy_count() const {
   return count;
 }
 
+void DevicePool::set_rate_hint(int index, double flops_per_second) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  rate_hints_[static_cast<std::size_t>(index)] =
+      flops_per_second > 0.0 ? flops_per_second : 0.0;
+}
+
+double DevicePool::rate_hint(int index) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return rate_hints_[static_cast<std::size_t>(index)];
+}
+
 std::vector<int> DevicePool::CandidatesByLeastReserved(
     std::int64_t min_capacity_bytes) const {
-  std::vector<std::pair<std::int64_t, int>> order;
+  // (reserved bytes asc, rate hint desc, index asc): the historical order
+  // is least-reserved-then-index; calibration hints only re-rank *ties* in
+  // reserved bytes, so hintless pools behave exactly as before.
+  std::vector<std::tuple<std::int64_t, double, int>> order;
   order.reserve(devices_.size());
   for (int i = 0; i < size(); ++i) {
     if (health(i) != DeviceHealth::kHealthy) continue;
     if (device(i).capacity() < min_capacity_bytes) continue;
-    order.emplace_back(arbiter(i).reserved_bytes(), i);
+    order.emplace_back(arbiter(i).reserved_bytes(), -rate_hint(i), i);
   }
   std::sort(order.begin(), order.end());
   std::vector<int> indices;
   indices.reserve(order.size());
-  for (const auto& [reserved, i] : order) indices.push_back(i);
+  for (const auto& [reserved, neg_hint, i] : order) indices.push_back(i);
   return indices;
 }
 

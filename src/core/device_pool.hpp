@@ -127,6 +127,16 @@ class DevicePool {
 
   int healthy_count() const;
 
+  // --- calibration hints -----------------------------------------------------
+
+  /// Fitted effective flop rate of a device (flops/s), pushed by the
+  /// cost-model calibrator in apply mode.  Candidate ordering breaks
+  /// least-reserved ties on the hint (faster device first), so placement
+  /// steers away from degraded devices.  0 (the default) = no information;
+  /// all-zero hints reproduce the historical by-index tie-break exactly.
+  void set_rate_hint(int index, double flops_per_second);
+  double rate_hint(int index) const;
+
   // --- aggregate accounting (sums over the per-device arbiters) -----------
 
   std::int64_t total_capacity() const;
@@ -152,6 +162,7 @@ class DevicePool {
 
   mutable std::mutex health_mutex_;
   std::vector<DeviceHealth> health_;
+  std::vector<double> rate_hints_;  // guarded by health_mutex_
 
   // Wakes Acquire when any Slot releases.  Waits use a short timeout as a
   // backstop so a lease released through the raw arbiter (tests do this)

@@ -251,7 +251,9 @@ StatusOr<RunResult> CpuMulticore(const Csr& a, const Csr& b,
     return Status::InvalidArgument("dimension mismatch");
   }
   const kernels::CostModel& cm = options.spgemm.cost_model;
-  Csr c = kernels::CpuSpgemm(a, b, pool, kernels::CpuSpgemmOptions{});
+  kernels::CpuSpgemmOptions cpu_options;
+  cpu_options.routing = options.spgemm.routing;
+  Csr c = kernels::CpuSpgemm(a, b, pool, cpu_options);
 
   RunResult result;
   result.stats.flops = sparse::TotalFlops(a, b);
@@ -262,6 +264,16 @@ StatusOr<RunResult> CpuMulticore(const Csr& a, const Csr& b,
                   : 0.0;
   result.stats.total_seconds = cm.CpuChunkSeconds(
       result.stats.flops, result.stats.compression_ratio);
+  // Same (flops, seconds) stream RunCpuChunks records: the calibrator's
+  // CPU-rate fit must see CPU-only traffic too.
+  obs::MetricsRegistry::Default()
+      .GetCounter("oocgemm_core_cpu_flops", {},
+                  "Flops executed on the CPU path")
+      .Add(result.stats.flops);
+  obs::MetricsRegistry::Default()
+      .GetDoubleCounter("oocgemm_core_cpu_seconds", {},
+                        "Modeled busy seconds of the CPU path")
+      .Add(result.stats.total_seconds);
   result.stats.cpu_seconds = result.stats.total_seconds;
   result.stats.num_chunks = 1;
   result.stats.num_cpu_chunks = 1;

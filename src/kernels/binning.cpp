@@ -51,7 +51,8 @@ std::string RoutedGroups::DebugString() const {
 RoutedGroups RouteRows(const std::int64_t* group_key,
                        const std::int64_t* row_flops,
                        const std::int64_t* row_nnz, std::size_t n,
-                       sparse::index_t b_cols, AccumulatorKind forced) {
+                       sparse::index_t b_cols, AccumulatorKind forced,
+                       const RouteCalibration& calibration) {
   RoutedGroups routed;
   routed.groups = GroupRowsByWork(group_key, n);
   for (int g = 0; g < kNumRowGroups; ++g) {
@@ -75,7 +76,7 @@ RoutedGroups RouteRows(const std::int64_t* group_key,
       const auto count = static_cast<std::int64_t>(rows.size());
       const std::int64_t mean_flops = flops_sum / count;
       const std::int64_t mean_nnz = row_nnz ? nnz_sum / count : -1;
-      kind = KernelRegistry::RouteRow(mean_flops, b_cols, mean_nnz);
+      kind = KernelRegistry::RouteRow(mean_flops, b_cols, mean_nnz, calibration);
     }
     routed.strategy[static_cast<std::size_t>(g)] = kind;
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "kernels/accumulators.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "sparse/types.hpp"
 
 namespace oocgemm::kernels {
@@ -65,10 +66,13 @@ struct RoutedGroups {
 /// group from the mean flops of its rows and — when `row_nnz` is non-null
 /// (post-symbolic) — the mean exact output nnz; otherwise density comes
 /// from the occupancy model.
+/// `calibration` (default identity = static model) comes from the
+/// cost-model calibrator and rescales the per-class cost comparison.
 RoutedGroups RouteRows(const std::int64_t* group_key,
                        const std::int64_t* row_flops,
                        const std::int64_t* row_nnz, std::size_t n,
-                       sparse::index_t b_cols, AccumulatorKind forced);
+                       sparse::index_t b_cols, AccumulatorKind forced,
+                       const RouteCalibration& calibration = {});
 
 /// Bumps oocgemm_kernel_rows_total{strategy} by each group's row count.
 /// Called once per multiply (from the numeric routing pass) so the

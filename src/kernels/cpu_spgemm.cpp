@@ -82,7 +82,7 @@ Csr RunTwoPhase(const Csr& a, const Csr& b, ThreadPool* pool,
   // exact output nnz exists yet.
   const RoutedGroups routed_symbolic =
       RouteRows(row_flops.data(), row_flops.data(), nullptr, n, b.cols(),
-                options.accumulator);
+                options.accumulator, options.routing);
 
   // Symbolic phase, one (possibly parallel) sweep per routed work class.
   ForEachGroup(routed_symbolic, pool, options.min_grain, /*symbolic=*/true,
@@ -105,7 +105,7 @@ Csr RunTwoPhase(const Csr& a, const Csr& b, ThreadPool* pool,
   // pass upgraded the density estimate for free.
   const RoutedGroups routed_numeric =
       RouteRows(row_flops.data(), row_flops.data(), row_nnz.data(), n,
-                b.cols(), options.accumulator);
+                b.cols(), options.accumulator, options.routing);
   RecordRoutedRows(routed_numeric);
 
   ForEachGroup(routed_numeric, pool, options.min_grain, /*symbolic=*/false,

@@ -13,6 +13,7 @@
 
 #include "common/thread_pool.hpp"
 #include "kernels/accumulators.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "sparse/csr.hpp"
 
 namespace oocgemm::kernels {
@@ -21,6 +22,8 @@ struct CpuSpgemmOptions {
   AccumulatorKind accumulator = AccumulatorKind::kHash;  // Nagasaka's choice
   /// Rows per parallel block (amortizes task dispatch).
   std::size_t min_grain = 64;
+  /// Calibrated routing scales (identity = static cost model).
+  RouteCalibration routing;
 };
 
 /// C = A * B using `pool` workers.  Aborts on dimension mismatch.

@@ -6,6 +6,7 @@
 #include "common/prefix_sum.hpp"
 #include "kernels/kernel_registry.hpp"
 #include "obs/kernel_metrics.hpp"
+#include "obs/metrics.hpp"
 
 namespace oocgemm::kernels {
 
@@ -96,7 +97,8 @@ Status ChunkPipeline::RunAnalysis(vgpu::HostContext& host,
   // Pre-symbolic routing: per-group strategy from flops alone (occupancy
   // model density), mirroring the host path's first RouteRows pass.
   routed_ = RouteRows(h_flops_.data(), h_flops_.data(), nullptr,
-                      h_flops_.size(), b_panel.cols, options_.accumulator);
+                      h_flops_.size(), b_panel.cols, options_.accumulator,
+                      options_.routing);
   stage_ = 1;
   return Status::Ok();
 }
@@ -214,8 +216,17 @@ void ChunkPipeline::RunNumeric(vgpu::HostContext& host, vgpu::Stream& stream) {
   // re-route each class now that exact densities are known.
   RoutedGroups numeric_routed =
       RouteRows(h_row_nnz_.data(), h_flops_.data(), h_row_nnz_.data(),
-                h_row_nnz_.size(), b_panel.cols, options_.accumulator);
+                h_row_nnz_.size(), b_panel.cols, options_.accumulator,
+                options_.routing);
   RecordRoutedRows(numeric_routed);
+  // Per-device flop accounting: paired with oocgemm_vgpu_kernel_seconds it
+  // is the (flops, seconds) sample stream the cost-model calibrator fits a
+  // per-device effective rate from.
+  obs::MetricsRegistry::Default()
+      .GetCounter("oocgemm_kernels_device_flops",
+                  {{"device", std::to_string(device_.id())}},
+                  "Numeric flops executed on this device")
+      .Add(product_.flops);
   const double cr = product_.compression_ratio;
 
   for (int g = 0; g < kNumRowGroups; ++g) {

@@ -36,6 +36,8 @@ namespace oocgemm::kernels {
 struct DeviceSpgemmOptions {
   AccumulatorKind accumulator = AccumulatorKind::kAuto;
   CostModel cost_model;
+  /// Calibrated routing scales (identity = static cost model).
+  RouteCalibration routing;
 };
 
 /// Output of one chunk multiplication, still resident on the device.

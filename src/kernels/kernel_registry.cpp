@@ -34,7 +34,8 @@ bool KernelRegistry::StrategyFeasible(AccumulatorKind kind, index_t b_cols) {
 
 double KernelRegistry::ModeledRowCost(AccumulatorKind kind,
                                       std::int64_t row_flops, double est_nnz,
-                                      index_t b_cols) {
+                                      index_t b_cols,
+                                      const RouteCalibration& calibration) {
   const AccumulatorTraits& t = TraitsFor(kind);
   const double products = static_cast<double>(row_flops) / 2.0;
   const double width = static_cast<double>(b_cols);
@@ -44,24 +45,25 @@ double KernelRegistry::ModeledRowCost(AccumulatorKind kind,
       row_flops > t.max_flops) {
     return std::numeric_limits<double>::infinity();
   }
-  return t.setup_cost + t.per_product_cost * products +
-         t.log_factor * products *
-             std::log2(std::max(products, 2.0)) +
-         t.width_cost * width;
+  return calibration.overhead_scale * (t.setup_cost + t.width_cost * width) +
+         calibration.compute_scale *
+             (t.per_product_cost * products +
+              t.log_factor * products * std::log2(std::max(products, 2.0)));
 }
 
 AccumulatorKind KernelRegistry::RouteRow(std::int64_t row_flops, index_t b_cols,
-                                         std::int64_t exact_nnz) {
+                                         std::int64_t exact_nnz,
+                                         const RouteCalibration& calibration) {
   const double est_nnz =
       exact_nnz >= 0
           ? static_cast<double>(exact_nnz)
           : estimate::OccupancyDistinct(static_cast<double>(b_cols),
                                         static_cast<double>(row_flops) / 2.0);
   AccumulatorKind best = AccumulatorKind::kHash;  // always eligible fallback
-  double best_cost = ModeledRowCost(best, row_flops, est_nnz, b_cols);
+  double best_cost = ModeledRowCost(best, row_flops, est_nnz, b_cols, calibration);
   for (AccumulatorKind kind : kAllStrategies) {
     if (kind == AccumulatorKind::kHash) continue;
-    const double cost = ModeledRowCost(kind, row_flops, est_nnz, b_cols);
+    const double cost = ModeledRowCost(kind, row_flops, est_nnz, b_cols, calibration);
     if (cost < best_cost) {
       best = kind;
       best_cost = cost;

@@ -32,6 +32,17 @@
 
 namespace oocgemm::kernels {
 
+/// Multiplicative scales the cost-model calibrator applies to the routing
+/// polynomial: compute_scale multiplies the flop-proportional terms
+/// (per_product and log_factor), overhead_scale the fixed terms (setup and
+/// width cost).  The identity {1.0, 1.0} reproduces the static cost
+/// bit-for-bit (multiplying an IEEE double by 1.0 is exact), which the
+/// differential harness relies on.
+struct RouteCalibration {
+  double compute_scale = 1.0;
+  double overhead_scale = 1.0;
+};
+
 inline constexpr int kNumStrategies = 4;
 
 /// The concrete (non-kAuto) strategies, in registry order.
@@ -61,13 +72,17 @@ class KernelRegistry {
   /// occupancy-model otherwise); it only gates eligibility via density —
   /// the cost polynomial itself is a function of flops and width.
   static double ModeledRowCost(AccumulatorKind kind, std::int64_t row_flops,
-                               double est_nnz, index_t b_cols);
+                               double est_nnz, index_t b_cols,
+                               const RouteCalibration& calibration = {});
 
   /// Picks the cheapest eligible-and-feasible strategy for a row.  Pass
   /// `exact_nnz >= 0` after the symbolic phase to route on real density;
-  /// with the default -1 the density comes from the occupancy model.
+  /// with the default -1 the density comes from the occupancy model.  The
+  /// calibration scales (default identity = the static model) shift the
+  /// compute/overhead balance the router optimizes.
   static AccumulatorKind RouteRow(std::int64_t row_flops, index_t b_cols,
-                                  std::int64_t exact_nnz = -1);
+                                  std::int64_t exact_nnz = -1,
+                                  const RouteCalibration& calibration = {});
 };
 
 /// "hash" / "dense" / "sort" / "merge" / "auto".

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 
+#include "calibrate/model.hpp"
 #include "common/saturating.hpp"
 #include "common/status.hpp"
 #include "core/executor_options.hpp"
@@ -86,16 +87,25 @@ struct JobDemand {
   /// Host wall seconds the demand analysis took (either path) — the
   /// quantity the estimate path is built to shrink.
   double analysis_seconds = 0.0;
+  /// Modeled execution latency of the job (calibrate::EstimateExecSeconds):
+  /// transfers plus compute plus launch overheads at the calibrated rates
+  /// when a model was supplied, the static rates otherwise.  The quantity
+  /// AdmissionLimits::max_est_exec_seconds gates on.
+  double est_exec_seconds = 0.0;
   /// The structure estimate behind an estimated demand; the server threads
   /// it into ExecutorOptions::plan as the planner's hint so the job's run
   /// never re-estimates.
   std::shared_ptr<const estimate::ProductEstimate> estimate;
 };
 
-/// Runs the exact estimators; never touches the device.
+/// Runs the exact estimators; never touches the device.  `model` (may be
+/// null) supplies calibrated rates for the latency estimate; feeding a
+/// CalibratedModel::FromStatic model reproduces the null-model demand
+/// bit-for-bit (the differential harness's contract).
 JobDemand EstimateJobDemand(const sparse::Csr& a, const sparse::Csr& b,
                             std::int64_t device_capacity,
-                            const core::ExecutorOptions& exec);
+                            const core::ExecutorOptions& exec,
+                            const calibrate::CalibratedModel* model = nullptr);
 
 /// The estimate-mode path: prices the job from estimate::EstimateProduct
 /// and an estimate-seeded plan; falls back to EstimateJobDemand (setting
@@ -103,7 +113,9 @@ JobDemand EstimateJobDemand(const sparse::Csr& a, const sparse::Csr& b,
 JobDemand EstimateJobDemandSampled(const sparse::Csr& a, const sparse::Csr& b,
                                    std::int64_t device_capacity,
                                    const core::ExecutorOptions& exec,
-                                   const estimate::EstimatorOptions& opts);
+                                   const estimate::EstimatorOptions& opts,
+                                   const calibrate::CalibratedModel* model =
+                                       nullptr);
 
 struct AdmissionLimits {
   /// Ceiling on the summed host_bytes() of admitted, not-yet-finished jobs.
@@ -113,6 +125,10 @@ struct AdmissionLimits {
   /// uncapped (the per-device reservation ledgers still bound what runs);
   /// servers typically set it to DevicePool::total_capacity().
   std::int64_t device_bytes_budget = 0;
+  /// Deadline gate on JobDemand::est_exec_seconds: jobs whose modeled
+  /// latency exceeds it are rejected with FAILED_PRECONDITION (waiting
+  /// cannot make the job faster).  0 disables the gate.
+  double max_est_exec_seconds = 0.0;
 };
 
 class AdmissionController {

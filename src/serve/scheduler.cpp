@@ -250,6 +250,9 @@ void Scheduler::RunJob(ScheduledJob& item) {
   if (config_.kernel != kernels::AccumulatorKind::kAuto) {
     exec.spgemm.accumulator = config_.kernel;
   }
+  // The job's own (static) split ratio, kept apart from the per-round
+  // calibrated override so failover rounds never compound overrides.
+  const double static_gpu_ratio = exec.gpu_ratio;
   double backoff = std::max(0.0, opts.retry_backoff_seconds);
 
   core::ExecutionMode mode = opts.mode;
@@ -376,6 +379,19 @@ void Scheduler::RunJob(ScheduledJob& item) {
     m.executed = true;
     m.device_index = slot.held() ? slot.index() : -1;
     m.devices_used = static_cast<int>(devs.size());
+
+    // Calibrated dispatch overrides (apply mode only): the hybrid split
+    // becomes the dispatched device's fitted S/(S+1) and the kernel router
+    // sees its fitted cost scales.  A model that carries the static
+    // constants reproduces the static values exactly (differential test).
+    exec.gpu_ratio = static_gpu_ratio;
+    exec.spgemm.routing = opts.exec.spgemm.routing;
+    if (calibrator_ != nullptr) {
+      if (auto model = calibrator_->apply_model()) {
+        exec.gpu_ratio = model->GpuRatioFor(m.device_index, static_gpu_ratio);
+        exec.spgemm.routing = model->RouteScalesFor(m.device_index);
+      }
+    }
 
     WatchJob(item);
 
@@ -517,6 +533,12 @@ void Scheduler::RunBatch(std::vector<std::unique_ptr<ScheduledJob>>& batch) {
   exec.max_oom_attempts = 1;
   if (config_.kernel != kernels::AccumulatorKind::kAuto) {
     exec.spgemm.accumulator = config_.kernel;
+  }
+  // The batch pins to one device, so the routing override is that device's.
+  if (calibrator_ != nullptr) {
+    if (auto model = calibrator_->apply_model()) {
+      exec.spgemm.routing = model->RouteScalesFor(slot.index());
+    }
   }
   std::vector<core::BatchJobSpec> specs;
   specs.reserve(live.size());

@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "calibrate/calibrator.hpp"
 #include "common/thread_pool.hpp"
 #include "core/device_pool.hpp"
 #include "kernels/accumulators.hpp"
@@ -118,6 +119,13 @@ class Scheduler {
   /// Invoked after each job's promise is fulfilled (drain bookkeeping).
   void set_on_job_done(std::function<void()> fn) { on_job_done_ = std::move(fn); }
 
+  /// The server's cost-model calibrator (may be null).  In apply mode the
+  /// dispatch path overrides each job's hybrid split and kernel-routing
+  /// scales with the dispatched device's fitted state.  Set before Start().
+  void set_calibrator(calibrate::CostModelCalibrator* calibrator) {
+    calibrator_ = calibrator;
+  }
+
   core::DevicePool& device_pool() { return devices_; }
   const core::DevicePool& device_pool() const { return devices_; }
   /// The first device's arbiter — the single-device view older callers and
@@ -163,6 +171,7 @@ class Scheduler {
   JobQueue& queue_;
   AdmissionController& admission_;
   ServerStats& stats_;
+  calibrate::CostModelCalibrator* calibrator_ = nullptr;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

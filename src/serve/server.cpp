@@ -34,6 +34,12 @@ SpgemmServer::SpgemmServer(std::vector<vgpu::Device*> devices,
     std::unique_lock<std::mutex> lock(pending_mutex_);
     if (--pending_ == 0) pending_cv_.notify_all();
   });
+  if (config_.calibrate.mode != calibrate::CalibrateMode::kOff) {
+    calibrator_ = std::make_unique<calibrate::CostModelCalibrator>(
+        config_.calibrate, &devices_);
+    scheduler_.set_calibrator(calibrator_.get());
+    calibrator_->Start();
+  }
   scheduler_.Start();
 }
 
@@ -81,13 +87,18 @@ std::future<JobResult> SpgemmServer::Submit(SpgemmJob job) {
   }
 
   const bool use_estimate = config_.admission_mode == AdmissionMode::kEstimate;
+  // In apply mode admission prices latency at the fitted rates; observe
+  // mode keeps the static estimate (apply_model() is null there).
+  std::shared_ptr<const calibrate::CalibratedModel> model =
+      calibrator_ != nullptr ? calibrator_->apply_model() : nullptr;
   JobDemand demand =
       use_estimate
           ? EstimateJobDemandSampled(*job.a, *job.b,
                                      devices_.max_device_capacity(),
-                                     job.options.exec, config_.estimator)
+                                     job.options.exec, config_.estimator,
+                                     model.get())
           : EstimateJobDemand(*job.a, *job.b, devices_.max_device_capacity(),
-                              job.options.exec);
+                              job.options.exec, model.get());
   obs::MetricsRegistry::Default()
       .GetCounter("oocgemm_estimate_admissions_total",
                   {{"mode", demand.estimated ? "estimate" : "exact"}},
@@ -146,6 +157,9 @@ void SpgemmServer::Shutdown() {
     shut_down_ = true;
   }
   scheduler_.Stop();  // drains the queue: every accepted job resolves
+  // Calibrator after the scheduler: its final tick folds in the last jobs'
+  // traffic, and the snapshotter below then exports the final fitted state.
+  if (calibrator_ != nullptr) calibrator_->Stop();
   // Final snapshot after the scheduler quiesced: the exported files end at
   // the terminal counter state the reconciliation checks compare against.
   if (snapshotter_ != nullptr) snapshotter_->Stop();

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <vector>
 
+#include "calibrate/calibrator.hpp"
 #include "common/thread_pool.hpp"
 #include "core/device_pool.hpp"
 #include "obs/snapshotter.hpp"
@@ -70,6 +71,13 @@ struct ServerConfig {
   /// unlabeled point.  A fleet of in-process servers needs this: unlabeled,
   /// every shard's queue would scribble over one gauge.
   std::string instance_label;
+
+  /// Closed-loop cost-model calibration (`--calibrate`): kOff = no
+  /// calibrator; kObserve = fit live rates and export oocgemm_calibrate_*
+  /// metrics but keep every decision static; kApply = admission latency
+  /// estimates, hybrid split, placement tie-breaks and kernel routing all
+  /// consume the fitted model.
+  calibrate::CalibratorConfig calibrate;
 };
 
 /// Cheap routing-time health summary of one server, read lock-free off the
@@ -133,6 +141,8 @@ class SpgemmServer {
   const ServerConfig& config() const { return config_; }
   /// Non-null while metrics_path is configured (tests use WriteNow()).
   obs::Snapshotter* snapshotter() { return snapshotter_.get(); }
+  /// Non-null while calibrate.mode != kOff (tests drive TickNow()).
+  calibrate::CostModelCalibrator* calibrator() { return calibrator_.get(); }
 
  private:
   std::future<JobResult> Reject(std::uint64_t id, Status status,
@@ -145,6 +155,7 @@ class SpgemmServer {
   JobQueue queue_;
   Scheduler scheduler_;
   std::unique_ptr<obs::Snapshotter> snapshotter_;
+  std::unique_ptr<calibrate::CostModelCalibrator> calibrator_;
 
   std::atomic<std::uint64_t> next_id_{1};
   mutable std::mutex pending_mutex_;

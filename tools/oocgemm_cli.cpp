@@ -43,9 +43,18 @@
 // kernels (hash, dense, sort = gather-then-sort, merge = binary row
 // merging); the default `auto` routes per row group through the kernel
 // registry's cost model (see src/kernels/kernel_registry.hpp).
-// Serve flags are validated up front: an unknown --route, --admission or
-// --kernel value, or a non-positive --shards or --replication, prints the
-// usage text and exits nonzero instead of being silently clamped.
+// --calibrate=observe fits live device/CPU rates from the metrics registry
+// (exported as oocgemm_calibrate_*) while every decision stays static;
+// --calibrate=apply additionally feeds the fitted model into admission
+// latency pricing, the hybrid split, placement tie-breaks and kernel
+// routing (see src/calibrate/).  --calibrate-interval sets the fit tick
+// period in wall seconds (default 0.05 when calibrating).  --ratio forces
+// one hybrid GPU work fraction on every served job.
+// Serve flags are validated up front: an unknown --route, --admission,
+// --kernel or --calibrate value, a --ratio outside (0, 1), a non-positive
+// --calibrate-interval, or a non-positive --shards or --replication,
+// prints the usage text and exits nonzero instead of being silently
+// clamped.
 // --shards=N (N >= 2) serves through the fleet router instead of a single
 // server: N in-process shards of --devices GPUs each, consistent-hash
 // B-operand placement (--route=affinity, the default) or a uniform random
@@ -70,6 +79,7 @@
 #include <string>
 #include <vector>
 
+#include "calibrate/calibrator.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -134,11 +144,12 @@ int Usage() {
       "[--verify]\n"
       "  oocgemm_cli serve [--jobs=N] [--load=JOBS_PER_VSEC] [--workers=W] "
       "[--queue=Q] [--batch=B] [--devices=D] [--span=M] [--device-mem=MiB] "
-      "[--timeout=SEC] [--seed=S] [--report=R.json] [--verify] "
+      "[--timeout=SEC] [--seed=S] [--ratio=R] [--report=R.json] [--verify] "
       "[--fault-spec=dev<K>:<rule>[,...]] [--fault-seed=S] "
       "[--metrics-out=M.prom] [--metrics-interval=SEC] "
       "[--admission=exact|estimate] [--estimator-seed=S] "
       "[--estimator-sample=F] [--kernel=auto|hash|dense|sort|merge] "
+      "[--calibrate=off|observe|apply] [--calibrate-interval=SEC] "
       "[--shards=N] [--replication=R] [--route=affinity|random]\n");
   return 2;
 }
@@ -349,6 +360,10 @@ struct ServeAdmission {
   serve::AdmissionMode mode = serve::AdmissionMode::kExact;
   estimate::EstimatorOptions estimator;
   kernels::AccumulatorKind kernel = kernels::AccumulatorKind::kAuto;
+  calibrate::CalibratorConfig calibrate;
+  /// Hybrid split forced on every job (`--ratio`); < 0 keeps the
+  /// executor-options default.
+  double gpu_ratio = -1.0;
 };
 
 // Strict up-front validation of the serve flags: an unknown --route or
@@ -405,6 +420,38 @@ int ValidateServeFlags(const Args& args, ServeAdmission* adm) {
       return Usage();
     }
   }
+  if (args.Has("ratio")) {
+    const double ratio = args.FlagD("ratio", -1.0);
+    if (!(ratio > 0.0) || !(ratio < 1.0)) {
+      std::fprintf(stderr,
+                   "--ratio=%s: want a GPU work fraction strictly inside "
+                   "(0, 1)\n",
+                   args.Flag("ratio", "").c_str());
+      return Usage();
+    }
+    adm->gpu_ratio = ratio;
+  }
+  const std::string calibrate_mode = args.Flag("calibrate", "off");
+  if (!calibrate::ParseCalibrateMode(calibrate_mode, &adm->calibrate.mode)) {
+    std::fprintf(stderr, "--calibrate=%s: want off, observe or apply\n",
+                 calibrate_mode.c_str());
+    return Usage();
+  }
+  if (args.Has("calibrate-interval")) {
+    const double interval = args.FlagD("calibrate-interval", 0.0);
+    if (!(interval > 0.0)) {
+      std::fprintf(stderr,
+                   "--calibrate-interval=%s: want a positive tick period in "
+                   "seconds\n",
+                   args.Flag("calibrate-interval", "").c_str());
+      return Usage();
+    }
+    adm->calibrate.interval_seconds = interval;
+  } else if (adm->calibrate.mode != calibrate::CalibrateMode::kOff) {
+    // A calibrating server should actually tick without the test-style
+    // manual TickNow(); default to a fast background cadence.
+    adm->calibrate.interval_seconds = 0.05;
+  }
   return 0;
 }
 
@@ -452,6 +499,7 @@ int ServeFleet(const Args& args, const ServeAdmission& adm) {
   config.shard.admission_mode = adm.mode;
   config.shard.estimator = adm.estimator;
   config.shard.scheduler.kernel = adm.kernel;
+  config.shard.calibrate = adm.calibrate;
   config.policy = route == "random" ? fleet::RoutingPolicy::kRandom
                                     : fleet::RoutingPolicy::kAffinity;
   config.replication.replication = replication;
@@ -484,6 +532,7 @@ int ServeFleet(const Args& args, const ServeAdmission& adm) {
     job.a = std::make_shared<const sparse::Csr>(sparse::GenerateErdosRenyi(p));
     job.b = b;
     job.options.mode = core::ExecutionMode::kGpuOutOfCore;
+    if (adm.gpu_ratio > 0.0) job.options.exec.gpu_ratio = adm.gpu_ratio;
     job.options.priority = static_cast<int>(rng.Next() % 4);
     job.options.tenant = "tenant-" + std::to_string(i % 4);
     job.options.virtual_arrival = load > 0.0 ? i / load : 0.0;
@@ -571,6 +620,7 @@ int Serve(const Args& args) {
   config.scheduler.kernel = adm.kernel;
   config.metrics_path = args.Flag("metrics-out", "");
   config.metrics_interval_seconds = args.FlagD("metrics-interval", 0.5);
+  config.calibrate = adm.calibrate;
   serve::SpgemmServer server(device_ptrs, pool, config);
 
   SplitMix64 rng(seed);
@@ -631,6 +681,7 @@ int Serve(const Args& args) {
       job.a = std::make_shared<const sparse::Csr>(std::move(m));
       job.b = job.a;
     }
+    if (adm.gpu_ratio > 0.0) job.options.exec.gpu_ratio = adm.gpu_ratio;
     job.options.priority = static_cast<int>(rng.Next() % 4);
     job.options.virtual_arrival = load > 0.0 ? i / load : 0.0;
     pending.push_back({job.a, job.b, server.Submit(std::move(job))});
